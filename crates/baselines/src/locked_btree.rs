@@ -1,0 +1,136 @@
+//! A coarse-grained locked `BTreeMap` baseline.
+
+use std::collections::BTreeMap;
+
+use parking_lot::RwLock;
+
+/// The conventional "just put a lock around `std::collections::BTreeMap`" ordered map.
+///
+/// Depth is `Θ(log m)` and every operation serializes on a single reader-writer lock,
+/// which is exactly the kind of structure whose scaling the SkipTrie paper sets out to
+/// beat. Used as a baseline in experiments E1/E7.
+///
+/// # Examples
+///
+/// ```
+/// use skiptrie_baselines::LockedBTreeMap;
+///
+/// let map = LockedBTreeMap::new();
+/// map.insert(5, "five");
+/// assert_eq!(map.predecessor(7), Some((5, "five")));
+/// ```
+#[derive(Debug, Default)]
+pub struct LockedBTreeMap<V> {
+    inner: RwLock<BTreeMap<u64, V>>,
+}
+
+impl<V: Clone> LockedBTreeMap<V> {
+    /// Creates an empty map.
+    pub fn new() -> Self {
+        LockedBTreeMap {
+            inner: RwLock::new(BTreeMap::new()),
+        }
+    }
+
+    /// Inserts `key -> value`; returns `true` if the key was absent.
+    pub fn insert(&self, key: u64, value: V) -> bool {
+        let mut map = self.inner.write();
+        if map.contains_key(&key) {
+            false
+        } else {
+            map.insert(key, value);
+            true
+        }
+    }
+
+    /// Removes `key`, returning its value.
+    pub fn remove(&self, key: u64) -> Option<V> {
+        self.inner.write().remove(&key)
+    }
+
+    /// Returns a clone of the value stored under `key`.
+    pub fn get(&self, key: u64) -> Option<V> {
+        self.inner.read().get(&key).cloned()
+    }
+
+    /// True if `key` is present.
+    pub fn contains(&self, key: u64) -> bool {
+        self.inner.read().contains_key(&key)
+    }
+
+    /// The largest key `<= key` and its value.
+    pub fn predecessor(&self, key: u64) -> Option<(u64, V)> {
+        self.inner
+            .read()
+            .range(..=key)
+            .next_back()
+            .map(|(k, v)| (*k, v.clone()))
+    }
+
+    /// The smallest key `>= key` and its value.
+    pub fn successor(&self, key: u64) -> Option<(u64, V)> {
+        self.inner
+            .read()
+            .range(key..)
+            .next()
+            .map(|(k, v)| (*k, v.clone()))
+    }
+
+    /// Number of keys stored.
+    pub fn len(&self) -> usize {
+        self.inner.read().len()
+    }
+
+    /// True if no keys are stored.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Snapshot of the contents in key order.
+    pub fn to_vec(&self) -> Vec<(u64, V)> {
+        self.inner.read().iter().map(|(k, v)| (*k, v.clone())).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn basic_map_semantics() {
+        let map = LockedBTreeMap::new();
+        assert!(map.is_empty());
+        assert!(map.insert(3, 30));
+        assert!(!map.insert(3, 31));
+        assert!(map.insert(7, 70));
+        assert_eq!(map.len(), 2);
+        assert_eq!(map.get(3), Some(30));
+        assert_eq!(map.predecessor(6), Some((3, 30)));
+        assert_eq!(map.predecessor(2), None);
+        assert_eq!(map.successor(4), Some((7, 70)));
+        assert_eq!(map.remove(3), Some(30));
+        assert_eq!(map.remove(3), None);
+        assert_eq!(map.to_vec(), vec![(7, 70)]);
+    }
+
+    #[test]
+    fn concurrent_access_is_safe() {
+        use std::sync::Arc;
+        let map = Arc::new(LockedBTreeMap::new());
+        let handles: Vec<_> = (0..4)
+            .map(|t| {
+                let map = Arc::clone(&map);
+                std::thread::spawn(move || {
+                    for i in 0..1_000u64 {
+                        map.insert(t * 1_000 + i, i);
+                        map.predecessor(t * 1_000 + i);
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(map.len(), 4_000);
+    }
+}

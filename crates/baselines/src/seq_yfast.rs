@@ -1,0 +1,355 @@
+//! A sequential y-fast trie (Willard 1983), the structure whose rebalancing the
+//! SkipTrie's probabilistic sampling replaces.
+//!
+//! Keys are grouped into buckets of `Θ(log u)` consecutive keys; one representative
+//! per bucket is stored in an x-fast trie ([`crate::SeqXFastTrie`]); buckets are
+//! ordinary balanced trees (`BTreeMap`). When a bucket grows beyond `2 log u` it is
+//! split, when it shrinks below `log u / 4` it is merged with a neighbour — exactly
+//! the "take keys in and out of the x-fast trie to make sure they are well spaced-out"
+//! bookkeeping the paper's introduction describes (and the SkipTrie avoids).
+
+use std::collections::BTreeMap;
+
+use crate::SeqXFastTrie;
+
+/// A sequential y-fast trie over `universe_bits`-bit keys.
+///
+/// # Examples
+///
+/// ```
+/// use skiptrie_baselines::SeqYFastTrie;
+///
+/// let mut trie = SeqYFastTrie::new(16);
+/// for k in 0..100u64 {
+///     trie.insert(k, k * 2);
+/// }
+/// assert_eq!(trie.predecessor(55), Some((55, 110)));
+/// assert_eq!(trie.len(), 100);
+/// ```
+#[derive(Debug, Clone)]
+pub struct SeqYFastTrie<V> {
+    universe_bits: u32,
+    /// Representative keys (each bucket's current minimum at creation time) indexed in
+    /// an x-fast trie; values are unused.
+    reps: SeqXFastTrie<()>,
+    /// Buckets keyed by their representative.
+    buckets: BTreeMap<u64, BTreeMap<u64, V>>,
+    len: usize,
+    /// Counters for the amortization experiment (splits/merges performed).
+    splits: usize,
+    merges: usize,
+}
+
+impl<V: Clone> SeqYFastTrie<V> {
+    /// Creates an empty trie over a `universe_bits`-bit universe.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `universe_bits` is not in `1..=64`.
+    pub fn new(universe_bits: u32) -> Self {
+        SeqYFastTrie {
+            universe_bits,
+            reps: SeqXFastTrie::new(universe_bits),
+            buckets: BTreeMap::new(),
+            len: 0,
+            splits: 0,
+            merges: 0,
+        }
+    }
+
+    fn bucket_max(&self) -> usize {
+        (2 * self.universe_bits as usize).max(4)
+    }
+
+    fn bucket_min(&self) -> usize {
+        (self.universe_bits as usize / 4).max(1)
+    }
+
+    /// Number of keys stored.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True if the trie is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// `(bucket_count, splits_performed, merges_performed)` — the explicit rebalancing
+    /// work the SkipTrie does away with (experiment E3 reports this).
+    pub fn rebalance_stats(&self) -> (usize, usize, usize) {
+        (self.buckets.len(), self.splits, self.merges)
+    }
+
+    /// The current bucket layout as `(representative, min_key, max_key, len)` tuples,
+    /// in representative order. Intended for tests and structural experiments.
+    pub fn bucket_layout(&self) -> Vec<(u64, Option<u64>, Option<u64>, usize)> {
+        self.buckets
+            .iter()
+            .map(|(rep, b)| {
+                (
+                    *rep,
+                    b.keys().next().copied(),
+                    b.keys().next_back().copied(),
+                    b.len(),
+                )
+            })
+            .collect()
+    }
+
+    /// The representative of the bucket that should contain `key`.
+    fn bucket_rep_for(&self, key: u64) -> Option<u64> {
+        match self.reps.predecessor(key) {
+            Some((rep, ())) => Some(rep),
+            None => self.reps.successor(key).map(|(rep, ())| rep),
+        }
+    }
+
+    /// True if `key` is present.
+    pub fn contains(&self, key: u64) -> bool {
+        self.get(key).is_some()
+    }
+
+    /// Returns a clone of the value stored under `key`.
+    pub fn get(&self, key: u64) -> Option<V> {
+        let rep = self.bucket_rep_for(key)?;
+        self.buckets.get(&rep)?.get(&key).cloned()
+    }
+
+    /// Inserts `key -> value`; returns `true` if the key was absent.
+    pub fn insert(&mut self, key: u64, value: V) -> bool {
+        match self.bucket_rep_for(key) {
+            None => {
+                // First bucket.
+                self.reps.insert(key, ());
+                self.buckets.insert(key, BTreeMap::from([(key, value)]));
+                self.len += 1;
+                true
+            }
+            Some(rep) if key < rep => {
+                // A new global minimum: re-key the leftmost bucket so that every
+                // representative stays `<=` all keys of its bucket (the ordering
+                // invariant the query paths rely on).
+                let mut bucket = self.buckets.remove(&rep).expect("rep has a bucket");
+                if bucket.contains_key(&key) {
+                    self.buckets.insert(rep, bucket);
+                    return false;
+                }
+                self.reps.remove(rep);
+                self.reps.insert(key, ());
+                bucket.insert(key, value);
+                self.len += 1;
+                let overflow = bucket.len() > self.bucket_max();
+                self.buckets.insert(key, bucket);
+                if overflow {
+                    self.split_bucket(key);
+                }
+                true
+            }
+            Some(rep) => {
+                let bucket = self.buckets.get_mut(&rep).expect("rep has a bucket");
+                if bucket.contains_key(&key) {
+                    return false;
+                }
+                bucket.insert(key, value);
+                self.len += 1;
+                if bucket.len() > self.bucket_max() {
+                    self.split_bucket(rep);
+                }
+                true
+            }
+        }
+    }
+
+    /// Splits the bucket of `rep` in two, inserting the new representative into the
+    /// x-fast trie (`O(log u)` work, amortized over the `Θ(log u)` inserts it took to
+    /// overflow).
+    fn split_bucket(&mut self, rep: u64) {
+        let bucket = self.buckets.get_mut(&rep).expect("rep has a bucket");
+        let keys: Vec<u64> = bucket.keys().copied().collect();
+        let median = keys[keys.len() / 2];
+        let upper: BTreeMap<u64, V> = bucket.split_off(&median);
+        self.buckets.insert(median, upper);
+        self.reps.insert(median, ());
+        self.splits += 1;
+    }
+
+    /// Removes `key`, returning its value.
+    pub fn remove(&mut self, key: u64) -> Option<V> {
+        let rep = self.bucket_rep_for(key)?;
+        let bucket = self.buckets.get_mut(&rep)?;
+        let removed = bucket.remove(&key)?;
+        self.len -= 1;
+        if bucket.len() < self.bucket_min() {
+            self.merge_bucket(rep);
+        }
+        Some(removed)
+    }
+
+    /// Merges the bucket of `rep` with a neighbouring bucket (removing one
+    /// representative from the x-fast trie), splitting again if the result overflows.
+    ///
+    /// The under-full bucket is always folded *leftwards* (into its predecessor
+    /// bucket); only the leftmost bucket absorbs its successor instead. This preserves
+    /// the invariant that every key of a bucket is smaller than the next bucket's
+    /// representative, which the query paths rely on.
+    fn merge_bucket(&mut self, rep: u64) {
+        if let Some(prev_rep) = self.buckets.range(..rep).next_back().map(|(r, _)| *r) {
+            let small = self.buckets.remove(&rep).expect("bucket exists");
+            self.reps.remove(rep);
+            self.merges += 1;
+            let target = self.buckets.get_mut(&prev_rep).expect("predecessor bucket exists");
+            target.extend(small);
+            if target.len() > self.bucket_max() {
+                self.split_bucket(prev_rep);
+            }
+        } else if let Some(next_rep) = self.buckets.range(rep + 1..).next().map(|(r, _)| *r) {
+            // Leftmost bucket: absorb the successor bucket, keeping our representative.
+            let other = self.buckets.remove(&next_rep).expect("successor bucket exists");
+            self.reps.remove(next_rep);
+            self.merges += 1;
+            let target = self.buckets.get_mut(&rep).expect("bucket exists");
+            target.extend(other);
+            if target.len() > self.bucket_max() {
+                self.split_bucket(rep);
+            }
+        } else {
+            // Only one bucket left: if it became empty, drop back to the empty state.
+            if self.buckets.get(&rep).is_some_and(|b| b.is_empty()) {
+                self.buckets.remove(&rep);
+                self.reps.remove(rep);
+            }
+        }
+    }
+
+    /// The largest key `<= key` and its value.
+    pub fn predecessor(&self, key: u64) -> Option<(u64, V)> {
+        let rep = self.bucket_rep_for(key)?;
+        if let Some((k, v)) = self
+            .buckets
+            .get(&rep)
+            .and_then(|b| b.range(..=key).next_back())
+        {
+            return Some((*k, v.clone()));
+        }
+        // Nothing `<= key` in this bucket: the answer is the maximum of the previous
+        // non-empty bucket.
+        for (_, bucket) in self.buckets.range(..rep).rev() {
+            if let Some((k, v)) = bucket.iter().next_back() {
+                if *k <= key {
+                    return Some((*k, v.clone()));
+                }
+            }
+        }
+        None
+    }
+
+    /// The smallest key `>= key` and its value.
+    pub fn successor(&self, key: u64) -> Option<(u64, V)> {
+        let start_rep = self.bucket_rep_for(key)?;
+        if let Some((k, v)) = self.buckets.get(&start_rep).and_then(|b| b.range(key..).next()) {
+            return Some((*k, v.clone()));
+        }
+        for (_, bucket) in self.buckets.range(start_rep..).skip(1) {
+            if let Some((k, v)) = bucket.range(key..).next() {
+                return Some((*k, v.clone()));
+            }
+        }
+        // The representative index may place `key` after every bucket it knows about;
+        // scan buckets above `key` directly (they can only exist if reps > key).
+        for (_, bucket) in self.buckets.range(..start_rep) {
+            if let Some((k, v)) = bucket.range(key..).next() {
+                return Some((*k, v.clone()));
+            }
+        }
+        None
+    }
+
+    /// Snapshot of the contents in key order.
+    pub fn to_vec(&self) -> Vec<(u64, V)> {
+        let mut out = Vec::with_capacity(self.len);
+        for bucket in self.buckets.values() {
+            for (k, v) in bucket {
+                out.push((*k, v.clone()));
+            }
+        }
+        out.sort_by_key(|(k, _)| *k);
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::BTreeMap as Model;
+
+    #[test]
+    fn empty_and_singleton() {
+        let mut trie: SeqYFastTrie<u64> = SeqYFastTrie::new(16);
+        assert!(trie.is_empty());
+        assert_eq!(trie.predecessor(10), None);
+        assert_eq!(trie.successor(10), None);
+        assert!(trie.insert(42, 420));
+        assert!(!trie.insert(42, 421));
+        assert_eq!(trie.get(42), Some(420));
+        assert_eq!(trie.predecessor(100), Some((42, 420)));
+        assert_eq!(trie.successor(0), Some((42, 420)));
+        assert_eq!(trie.remove(42), Some(420));
+        assert!(trie.is_empty());
+        assert_eq!(trie.predecessor(100), None);
+    }
+
+    #[test]
+    fn buckets_split_and_merge() {
+        let mut trie: SeqYFastTrie<u64> = SeqYFastTrie::new(16);
+        for k in 0..2_000u64 {
+            trie.insert(k, k);
+        }
+        let (buckets, splits, _) = trie.rebalance_stats();
+        assert!(buckets > 10, "2000 sequential keys must split into many buckets");
+        assert!(splits >= buckets - 1);
+        for k in 0..2_000u64 {
+            assert_eq!(trie.remove(k), Some(k));
+        }
+        assert!(trie.is_empty());
+        let (_, _, merges) = trie.rebalance_stats();
+        assert!(merges > 0, "draining must trigger merges");
+    }
+
+    #[test]
+    fn matches_btreemap_model_randomized() {
+        let mut trie: SeqYFastTrie<u64> = SeqYFastTrie::new(12);
+        let mut model: Model<u64, u64> = Model::new();
+        let mut state = 0x5ca1ab1eu64;
+        let mut next = || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            state
+        };
+        for _ in 0..10_000 {
+            let key = next() % (1 << 12);
+            match next() % 4 {
+                0 | 1 => {
+                    let fresh = !model.contains_key(&key);
+                    if fresh {
+                        model.insert(key, key + 7);
+                    }
+                    assert_eq!(trie.insert(key, key + 7), fresh, "insert {key}");
+                }
+                2 => {
+                    assert_eq!(trie.remove(key), model.remove(&key), "remove {key}");
+                }
+                _ => {
+                    let pred = model.range(..=key).next_back().map(|(k, v)| (*k, *v));
+                    assert_eq!(trie.predecessor(key), pred, "pred {key}");
+                    let succ = model.range(key..).next().map(|(k, v)| (*k, *v));
+                    assert_eq!(trie.successor(key), succ, "succ {key}");
+                }
+            }
+            assert_eq!(trie.len(), model.len());
+        }
+        let expected: Vec<(u64, u64)> = model.into_iter().collect();
+        assert_eq!(trie.to_vec(), expected);
+    }
+}

@@ -1,0 +1,48 @@
+use skiptrie_baselines::{SeqXFastTrie, SeqYFastTrie};
+use std::collections::BTreeMap as Model;
+
+#[test]
+fn yfast_xfast_and_btreemap_agree_on_random_history() {
+    let mut trie: SeqYFastTrie<u64> = SeqYFastTrie::new(12);
+    let mut xf: SeqXFastTrie<u64> = SeqXFastTrie::new(12);
+    let mut model: Model<u64, u64> = Model::new();
+    let mut state = 0x5ca1ab1eu64;
+    let mut next = || {
+        state ^= state << 13;
+        state ^= state >> 7;
+        state ^= state << 17;
+        state
+    };
+    for step in 0..10_000 {
+        let key = next() % (1 << 12);
+        match next() % 4 {
+            0 | 1 => {
+                let fresh = !model.contains_key(&key);
+                if fresh { model.insert(key, key + 7); }
+                let gotx = xf.insert(key, key + 7);
+                assert_eq!(gotx, fresh, "xfast insert {key} at step {step}");
+                let got = trie.insert(key, key + 7);
+                assert_eq!(got, fresh, "yfast insert {key} at step {step}");
+            }
+            2 => {
+                let expected = model.remove(&key);
+                let gotx = xf.remove(key);
+                assert_eq!(gotx, expected, "xfast remove {key} at step {step}");
+                assert_eq!(trie.remove(key), expected, "yfast remove {key} at step {step}");
+            }
+            _ => {
+                let pred = model.range(..=key).next_back().map(|(k, v)| (*k, *v));
+                let gotx = xf.predecessor(key);
+                assert_eq!(gotx, pred, "xfast pred {key} at step {step}");
+                let got = trie.predecessor(key);
+                if got != pred {
+                    eprintln!("step {step}: yfast pred({key}) = {got:?}, expected {pred:?}");
+                    eprintln!("model around: {:?}", model.range(key.saturating_sub(300)..=key+5).collect::<Vec<_>>());
+                    eprintln!("buckets: {:?}", trie.bucket_layout());
+                    eprintln!("stats: {:?}", trie.rebalance_stats());
+                    panic!("divergence");
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,87 @@
+//! Criterion benchmark mirroring experiment E6: the cost of the software DCSS
+//! primitive itself (descriptor install + help + uninstall) versus a plain CAS, and of
+//! the SkipTrie configured in each mode.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use skiptrie::{DcssMode, SkipTrie, SkipTrieConfig};
+use skiptrie_atomics::dcss::{dcss, read_resolved};
+use skiptrie_workloads::SplitMix64;
+
+fn bench_primitive(c: &mut Criterion) {
+    let mut group = c.benchmark_group("dcss_primitive_uncontended");
+    let target = AtomicU64::new(0);
+    let guard_word = AtomicU64::new(0);
+
+    group.bench_function("plain_cas", |b| {
+        b.iter(|| {
+            let cur = target.load(Ordering::SeqCst);
+            let _ = target.compare_exchange(cur, cur.wrapping_add(8), Ordering::SeqCst, Ordering::SeqCst);
+        })
+    });
+
+    group.bench_function("dcss_descriptor", |b| {
+        b.iter(|| {
+            let epoch = skiptrie_atomics::pin();
+            let cur = read_resolved(&target, &epoch);
+            // SAFETY: the guard word outlives the call (it lives on this stack frame
+            // for the whole benchmark) and values carry no tag bits.
+            let _ = unsafe {
+                dcss(
+                    &target,
+                    cur,
+                    cur.wrapping_add(8),
+                    &guard_word,
+                    0,
+                    DcssMode::Descriptor,
+                    &epoch,
+                )
+            };
+        })
+    });
+
+    group.bench_function("dcss_cas_fallback", |b| {
+        b.iter(|| {
+            let epoch = skiptrie_atomics::pin();
+            let cur = read_resolved(&target, &epoch);
+            // SAFETY: as above.
+            let _ = unsafe {
+                dcss(
+                    &target,
+                    cur,
+                    cur.wrapping_add(8),
+                    &guard_word,
+                    0,
+                    DcssMode::CasOnly,
+                    &epoch,
+                )
+            };
+        })
+    });
+    group.finish();
+}
+
+fn bench_structure_modes(c: &mut Criterion) {
+    let mut group = c.benchmark_group("skiptrie_update_by_dcss_mode");
+    for (name, mode) in [("descriptor", DcssMode::Descriptor), ("cas_fallback", DcssMode::CasOnly)] {
+        let trie = SkipTrie::new(SkipTrieConfig::for_universe_bits(32).with_mode(mode));
+        let mut rng = SplitMix64::new(3);
+        for _ in 0..50_000 {
+            let k = rng.next() & 0xffff_ffff;
+            trie.insert(k, k);
+        }
+        let mut rng = SplitMix64::new(4);
+        group.bench_function(name, |b| {
+            b.iter(|| {
+                let k = rng.next() & 0xffff_ffff;
+                trie.insert(k, k);
+                trie.remove(k);
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_primitive, bench_structure_modes);
+criterion_main!(benches);

@@ -1,0 +1,69 @@
+//! Criterion benchmark mirroring experiments E1/E2: predecessor query latency as a
+//! function of the number of keys `m` and of the universe width `b = log u`,
+//! for the SkipTrie and its baselines.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use skiptrie::{SkipTrie, SkipTrieConfig};
+use skiptrie_baselines::{FullSkipList, LockedBTreeMap};
+use skiptrie_workloads::SplitMix64;
+
+fn prefill_keys(m: usize, bits: u32, seed: u64) -> Vec<u64> {
+    let mask = if bits >= 64 { u64::MAX } else { (1 << bits) - 1 };
+    let mut rng = SplitMix64::new(seed);
+    let mut set = std::collections::HashSet::new();
+    while set.len() < m {
+        set.insert(rng.next() & mask);
+    }
+    set.into_iter().collect()
+}
+
+fn bench_vs_m(c: &mut Criterion) {
+    let mut group = c.benchmark_group("predecessor_vs_m_u32");
+    group.throughput(Throughput::Elements(1));
+    for &m in &[1_000usize, 10_000, 100_000] {
+        let keys = prefill_keys(m, 32, 0xbe);
+        let trie = SkipTrie::new(SkipTrieConfig::for_universe_bits(32));
+        let skiplist: FullSkipList<u64> = FullSkipList::new();
+        let btree: LockedBTreeMap<u64> = LockedBTreeMap::new();
+        for &k in &keys {
+            trie.insert(k, k);
+            skiplist.insert(k, k);
+            btree.insert(k, k);
+        }
+        let mut rng = SplitMix64::new(7);
+        group.bench_with_input(BenchmarkId::new("skiptrie", m), &m, |b, _| {
+            b.iter(|| trie.predecessor(rng.next() & 0xffff_ffff))
+        });
+        let mut rng = SplitMix64::new(7);
+        group.bench_with_input(BenchmarkId::new("lockfree-skiplist", m), &m, |b, _| {
+            b.iter(|| skiplist.predecessor(rng.next() & 0xffff_ffff))
+        });
+        let mut rng = SplitMix64::new(7);
+        group.bench_with_input(BenchmarkId::new("locked-btreemap", m), &m, |b, _| {
+            b.iter(|| btree.predecessor(rng.next() & 0xffff_ffff))
+        });
+    }
+    group.finish();
+}
+
+fn bench_vs_universe(c: &mut Criterion) {
+    let mut group = c.benchmark_group("predecessor_vs_universe_bits");
+    group.throughput(Throughput::Elements(1));
+    for &bits in &[16u32, 32, 48, 64] {
+        let m = 50_000.min(1usize << (bits.min(20) - 1));
+        let keys = prefill_keys(m, bits, 0xca);
+        let trie = SkipTrie::new(SkipTrieConfig::for_universe_bits(bits));
+        for &k in &keys {
+            trie.insert(k, k);
+        }
+        let mask = if bits >= 64 { u64::MAX } else { (1 << bits) - 1 };
+        let mut rng = SplitMix64::new(9);
+        group.bench_with_input(BenchmarkId::new("skiptrie", bits), &bits, |b, _| {
+            b.iter(|| trie.predecessor(rng.next() & mask))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_vs_m, bench_vs_universe);
+criterion_main!(benches);

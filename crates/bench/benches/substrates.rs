@@ -1,0 +1,59 @@
+//! Criterion benchmarks for the substrates the SkipTrie is composed of: the
+//! split-ordered hash table (the trie's prefix store, expected O(1) per operation) and
+//! the truncated skiplist (expected O(log log u) per search below the trie).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use skiptrie_skiplist::{SkipList, SkipListConfig};
+use skiptrie_splitorder::SplitOrderedMap;
+use skiptrie_workloads::SplitMix64;
+
+fn bench_splitorder(c: &mut Criterion) {
+    let mut group = c.benchmark_group("splitorder_hash_table");
+    for &n in &[10_000usize, 100_000] {
+        let map: SplitOrderedMap<u64, u64> = SplitOrderedMap::new();
+        for k in 0..n as u64 {
+            map.insert(k.wrapping_mul(0x9E3779B97F4A7C15), k);
+        }
+        let mut rng = SplitMix64::new(5);
+        group.bench_with_input(BenchmarkId::new("get_hit", n), &n, |b, _| {
+            b.iter(|| {
+                let k = (rng.next() % n as u64).wrapping_mul(0x9E3779B97F4A7C15);
+                map.get(&k)
+            })
+        });
+        let mut rng = SplitMix64::new(6);
+        group.bench_with_input(BenchmarkId::new("get_miss", n), &n, |b, _| {
+            b.iter(|| map.get(&rng.next()))
+        });
+        let mut rng = SplitMix64::new(7);
+        group.bench_with_input(BenchmarkId::new("insert_remove", n), &n, |b, _| {
+            b.iter(|| {
+                let k = rng.next();
+                map.insert(k, 1);
+                map.remove(&k)
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_truncated_skiplist(c: &mut Criterion) {
+    let mut group = c.benchmark_group("truncated_skiplist");
+    for &bits in &[16u32, 32, 64] {
+        let list: SkipList<u64> = SkipList::new(SkipListConfig::for_universe_bits(bits));
+        let mask = if bits >= 64 { u64::MAX } else { (1 << bits) - 1 };
+        let mut rng = SplitMix64::new(8);
+        for _ in 0..50_000 {
+            let k = rng.next() & mask;
+            list.insert(k, k);
+        }
+        let mut rng = SplitMix64::new(9);
+        group.bench_with_input(BenchmarkId::new("predecessor_from_head", bits), &bits, |b, _| {
+            b.iter(|| list.predecessor(rng.next() & mask))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_splitorder, bench_truncated_skiplist);
+criterion_main!(benches);

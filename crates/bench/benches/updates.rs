@@ -1,0 +1,97 @@
+//! Criterion benchmark mirroring experiment E3: insert/remove cost, including the
+//! amortized x-fast-trie maintenance performed by the ~1/log u inserts that reach the
+//! top level.
+
+use criterion::{criterion_group, criterion_main, BatchSize, BenchmarkId, Criterion};
+use skiptrie::{SkipTrie, SkipTrieConfig};
+use skiptrie_baselines::{FullSkipList, LockedBTreeMap};
+use skiptrie_workloads::SplitMix64;
+
+fn bench_insert_remove_churn(c: &mut Criterion) {
+    let mut group = c.benchmark_group("update_churn_u32");
+    for &m in &[10_000usize, 100_000] {
+        // Pre-populate once per structure; the benchmark then measures a churn pair
+        // (insert a fresh key, remove it) so the size stays constant.
+        let trie = SkipTrie::new(SkipTrieConfig::for_universe_bits(32));
+        let skiplist: FullSkipList<u64> = FullSkipList::new();
+        let btree: LockedBTreeMap<u64> = LockedBTreeMap::new();
+        let mut rng = SplitMix64::new(0xadd);
+        for _ in 0..m {
+            let k = rng.next() & 0xffff_ffff;
+            trie.insert(k, k);
+            skiplist.insert(k, k);
+            btree.insert(k, k);
+        }
+        let mut rng = SplitMix64::new(1);
+        group.bench_with_input(BenchmarkId::new("skiptrie", m), &m, |b, _| {
+            b.iter_batched(
+                || rng.next() & 0xffff_ffff,
+                |k| {
+                    trie.insert(k, k);
+                    trie.remove(k);
+                },
+                BatchSize::SmallInput,
+            )
+        });
+        let mut rng = SplitMix64::new(1);
+        group.bench_with_input(BenchmarkId::new("lockfree-skiplist", m), &m, |b, _| {
+            b.iter_batched(
+                || rng.next() & 0xffff_ffff,
+                |k| {
+                    skiplist.insert(k, k);
+                    skiplist.remove(k);
+                },
+                BatchSize::SmallInput,
+            )
+        });
+        let mut rng = SplitMix64::new(1);
+        group.bench_with_input(BenchmarkId::new("locked-btreemap", m), &m, |b, _| {
+            b.iter_batched(
+                || rng.next() & 0xffff_ffff,
+                |k| {
+                    btree.insert(k, k);
+                    btree.remove(k);
+                },
+                BatchSize::SmallInput,
+            )
+        });
+    }
+    group.finish();
+}
+
+fn bench_bulk_build(c: &mut Criterion) {
+    let mut group = c.benchmark_group("bulk_build_20k_keys");
+    group.sample_size(10);
+    group.bench_function("skiptrie", |b| {
+        b.iter_batched(
+            || SkipTrie::<u64>::new(SkipTrieConfig::for_universe_bits(32)),
+            |trie| {
+                let mut rng = SplitMix64::new(2);
+                for _ in 0..20_000 {
+                    let k = rng.next() & 0xffff_ffff;
+                    trie.insert(k, k);
+                }
+                trie
+            },
+            BatchSize::LargeInput,
+        )
+    });
+    group.bench_function("lockfree-skiplist", |b| {
+        b.iter_batched(
+            FullSkipList::<u64>::new,
+            |list| {
+                let mut rng = SplitMix64::new(2);
+                for _ in 0..20_000 {
+                    let k = rng.next() & 0xffff_ffff;
+                    list.insert(k, k);
+                }
+                list
+            },
+            BatchSize::LargeInput,
+        )
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_insert_remove_churn, bench_bulk_build);
+criterion_main!(benches);

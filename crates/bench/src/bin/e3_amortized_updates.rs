@@ -1,0 +1,95 @@
+//! Experiment E3 — amortized cost of keeping the x-fast trie up to date.
+//!
+//! Paper claim (Section 1 and 4.2): although inserting or deleting a key from the
+//! x-fast trie costs `O(log u)` hash/DCSS operations, only about one in `log u` keys
+//! rises to the top level, so the *amortized* trie-maintenance cost per SkipTrie
+//! update is `O(1)` — this is what replaces the y-fast trie's explicit bucket
+//! splits/merges. This binary runs an insert/delete churn workload and reports, per
+//! update operation, the number of x-fast-trie levels crossed and hash operations, and
+//! compares against the sequential y-fast trie's explicit rebalancing frequency.
+//!
+//! Expected shape: trie levels crossed per update ≈ `(fraction of top-level keys) ×
+//! log u` ≈ 1, independent of `m`; the y-fast trie's splits+merges per update is also
+//! `Θ(1/log u)` events but each costs `O(log u)` — the SkipTrie achieves the same
+//! amortized bound without any rebalancing logic.
+
+use skiptrie::{SkipTrie, SkipTrieConfig};
+use skiptrie_baselines::SeqYFastTrie;
+use skiptrie_bench::{measure_steps, prefill, print_table, scaled};
+use skiptrie_workloads::{KeyDist, Op, OpMix, WorkloadSpec};
+
+fn main() {
+    const UNIVERSE_BITS: u32 = 32;
+    let churn_ops = scaled(60_000);
+    let sizes: Vec<usize> = [2_000usize, 20_000, 100_000].iter().map(|&m| scaled(m)).collect();
+
+    let mut rows = Vec::new();
+    for &m in &sizes {
+        let spec = WorkloadSpec {
+            universe_bits: UNIVERSE_BITS,
+            prefill: m,
+            ops_per_thread: churn_ops,
+            threads: 1,
+            dist: KeyDist::Uniform,
+            mix: OpMix::CHURN,
+            seed: 0xE3,
+        };
+        let keys = spec.prefill_keys();
+        let ops = spec.thread_ops(0);
+
+        let trie = SkipTrie::new(SkipTrieConfig::for_universe_bits(UNIVERSE_BITS));
+        prefill(&trie, &keys);
+        let steps = measure_steps(&trie, &ops);
+
+        // The sequential y-fast trie under the same churn: count explicit rebalances.
+        let mut yfast: SeqYFastTrie<u64> = SeqYFastTrie::new(UNIVERSE_BITS);
+        for &k in &keys {
+            yfast.insert(k, k);
+        }
+        let (_, splits_before, merges_before) = yfast.rebalance_stats();
+        for &op in &ops {
+            match op {
+                Op::Insert(k) => {
+                    yfast.insert(k, k);
+                }
+                Op::Remove(k) => {
+                    yfast.remove(k);
+                }
+                Op::Predecessor(k) => {
+                    yfast.predecessor(k);
+                }
+            }
+        }
+        let (_, splits_after, merges_after) = yfast.rebalance_stats();
+        let rebalances_per_op =
+            (splits_after + merges_after - splits_before - merges_before) as f64 / ops.len() as f64;
+
+        rows.push(vec![
+            m.to_string(),
+            format!("{:.3}", steps.trie_levels_per_op),
+            format!("{:.2}", steps.hash_ops_per_op),
+            format!("{:.2}", steps.update_steps_per_op),
+            format!("{:.2}", steps.traversal_steps_per_op),
+            format!("{:.4}", rebalances_per_op),
+            format!("{:.2}", rebalances_per_op * UNIVERSE_BITS as f64),
+        ]);
+    }
+
+    print_table(
+        "E3: amortized update cost (50/50 insert/delete churn, u = 2^32)",
+        &[
+            "m",
+            "skiptrie_trie_levels/update",
+            "skiptrie_hash_ops/update",
+            "skiptrie_cas_dcss/update",
+            "skiptrie_traversal_steps/update",
+            "yfast_rebalances/update",
+            "yfast_rebalance_work/update(~logu each)",
+        ],
+        &rows,
+    );
+    println!(
+        "expectation: trie levels crossed per update stays O(1) and flat in m (amortization), \
+         matching the y-fast trie's amortized rebalancing work without any rebalancing code."
+    );
+}

@@ -1,0 +1,70 @@
+//! Experiment E5 — space usage.
+//!
+//! Paper claim (Section 1): the SkipTrie occupies `O(m)` space in expectation — the
+//! truncated skiplist is `O(m)` and the x-fast trie holds an expected `m / log u`
+//! top-level keys, each contributing `O(log u)` prefixes, for another `O(m)`.
+//!
+//! This binary sweeps `m`, reporting skiplist node counts, trie prefix counts,
+//! top-level population, and approximate bytes per key.
+//!
+//! Expected shape: nodes/key ≈ 2 (geometric towers truncated at `log log u` levels),
+//! prefixes/key ≈ 1 (= `(1/log u) × log u`), and bytes/key roughly constant in `m`.
+
+use skiptrie::{SkipTrie, SkipTrieConfig};
+use skiptrie_bench::{prefill, print_table, scaled};
+use skiptrie_workloads::WorkloadSpec;
+
+fn main() {
+    const UNIVERSE_BITS: u32 = 32;
+    let sizes: Vec<usize> = [1_000usize, 10_000, 50_000, 200_000]
+        .iter()
+        .map(|&m| scaled(m))
+        .collect();
+
+    let mut rows = Vec::new();
+    for &m in &sizes {
+        let spec = WorkloadSpec::read_only(UNIVERSE_BITS, m, 0, 0xE5);
+        let keys = spec.prefill_keys();
+        let trie = SkipTrie::new(SkipTrieConfig::for_universe_bits(UNIVERSE_BITS));
+        prefill(&trie, &keys);
+
+        let level_lengths = trie.level_lengths();
+        let total_nodes: usize = level_lengths.iter().sum();
+        let top = *level_lengths.last().unwrap_or(&0);
+        let prefixes = trie.prefix_count();
+        let (allocated, _, pooled) = trie.allocation_stats();
+        let node_bytes = trie.approx_node_bytes();
+        let expected_top = m as f64 / 2f64.powi(level_lengths.len() as i32 - 1);
+
+        rows.push(vec![
+            m.to_string(),
+            total_nodes.to_string(),
+            format!("{:.2}", total_nodes as f64 / m as f64),
+            top.to_string(),
+            format!("{expected_top:.0}"),
+            prefixes.to_string(),
+            format!("{:.2}", prefixes as f64 / m as f64),
+            allocated.to_string(),
+            pooled.to_string(),
+            format!("{:.0}", node_bytes as f64 / m as f64),
+        ]);
+    }
+
+    print_table(
+        "E5: space usage vs m (u = 2^32)",
+        &[
+            "m",
+            "skiplist_nodes",
+            "nodes/key",
+            "top_level_keys",
+            "expected_top(m/2^(L-1))",
+            "trie_prefixes",
+            "prefixes/key",
+            "pool_allocated",
+            "pool_free",
+            "node_bytes/key",
+        ],
+        &rows,
+    );
+    println!("expectation: nodes/key, prefixes/key and bytes/key are ~constant in m (O(m) space).");
+}

@@ -1,0 +1,90 @@
+//! Figure 1 reproduction — the shape of a built SkipTrie.
+//!
+//! The paper's Figure 1 illustrates the construction: a truncated skiplist of
+//! `log log u` levels whose top-level nodes are doubly linked and indexed by an x-fast
+//! trie, with expected spacing `O(log u)` between top-level keys. This binary builds a
+//! SkipTrie, then prints the measured structural statistics that the figure depicts:
+//! per-level occupancy (halving per level), the distribution of gaps between
+//! consecutive top-level keys (mean ≈ `2^(levels-1) ≈ log u`), and the trie's prefix
+//! population.
+
+use skiptrie::{SkipTrie, SkipTrieConfig};
+use skiptrie_bench::{prefill, print_table, scaled};
+use skiptrie_metrics::Histogram;
+use skiptrie_workloads::WorkloadSpec;
+
+fn main() {
+    const UNIVERSE_BITS: u32 = 32;
+    let m = scaled(200_000);
+    let spec = WorkloadSpec::read_only(UNIVERSE_BITS, m, 0, 0xF1);
+    let trie = SkipTrie::new(SkipTrieConfig::for_universe_bits(UNIVERSE_BITS));
+    prefill(&trie, &spec.prefill_keys());
+
+    // Per-level occupancy (the "tower" part of Figure 1).
+    let lengths = trie.level_lengths();
+    let mut rows = Vec::new();
+    for (level, &count) in lengths.iter().enumerate() {
+        let expected = m as f64 / 2f64.powi(level as i32);
+        rows.push(vec![
+            level.to_string(),
+            count.to_string(),
+            format!("{expected:.0}"),
+            format!("{:.3}", count as f64 / m as f64),
+        ]);
+    }
+    print_table(
+        "F1a: skiplist level occupancy (m keys, geometric towers truncated at log log u levels)",
+        &["level", "nodes", "expected(m/2^level)", "fraction_of_keys"],
+        &rows,
+    );
+
+    // Spacing between top-level keys, in *rank* distance (number of keys between
+    // consecutive top-level keys) — the paper's "expected O(log u) keys per bucket".
+    let all_keys = trie.keys();
+    let top_keys = trie.top_level_keys();
+    let mut rank_of: std::collections::HashMap<u64, usize> = std::collections::HashMap::new();
+    for (i, k) in all_keys.iter().enumerate() {
+        rank_of.insert(*k, i);
+    }
+    let mut gaps = Histogram::new();
+    for pair in top_keys.windows(2) {
+        let a = rank_of[&pair[0]];
+        let b = rank_of[&pair[1]];
+        gaps.record((b - a) as u64);
+    }
+    let expected_gap = 2f64.powi(lengths.len() as i32 - 1);
+    print_table(
+        "F1b: spacing between consecutive top-level keys (implicit bucket size)",
+        &[
+            "top_level_keys",
+            "mean_gap",
+            "expected_gap(2^(L-1)~log u)",
+            "p50_gap",
+            "p99_gap",
+            "max_gap",
+        ],
+        &[vec![
+            top_keys.len().to_string(),
+            format!("{:.1}", gaps.mean()),
+            format!("{expected_gap:.0}"),
+            gaps.value_at_quantile(0.5).to_string(),
+            gaps.value_at_quantile(0.99).to_string(),
+            gaps.max().unwrap_or(0).to_string(),
+        ]],
+    );
+
+    // The x-fast trie population (the top of Figure 1).
+    print_table(
+        "F1c: x-fast trie population",
+        &["trie_prefixes", "prefixes_per_top_key", "universe_bits"],
+        &[vec![
+            trie.prefix_count().to_string(),
+            format!("{:.1}", trie.prefix_count() as f64 / top_keys.len().max(1) as f64),
+            UNIVERSE_BITS.to_string(),
+        ]],
+    );
+    println!(
+        "expectation: each level holds ~half the previous one; mean gap ~= 2^(levels-1) ~ log u \
+         (the probabilistic replacement for y-fast buckets); prefixes per top key <= log u."
+    );
+}

@@ -1,0 +1,350 @@
+//! Shared experiment harness for the SkipTrie reproduction.
+//!
+//! The paper (PODC 2013) is a theory paper: its "evaluation" is Theorem 4.3 and the
+//! surrounding amortized-complexity analysis, plus two illustrative figures. This
+//! crate regenerates those artefacts as *measured* experiments (see `EXPERIMENTS.md`
+//! at the repository root for the mapping):
+//!
+//! * step-count measurements validating the `O(log log u)` vs `Θ(log m)` separation
+//!   (E1, E2) and the `O(1)` amortized trie maintenance (E3);
+//! * contention and throughput measurements for the `+ c` term (E4, E6, E7);
+//! * space and structural statistics (E5, F1) and the transient prev-gap phenomenon of
+//!   Figure 2 (F2).
+//!
+//! The harness abstracts every structure under test behind
+//! [`ConcurrentPredecessorMap`] so the same deterministic workloads
+//! ([`skiptrie_workloads`]) drive the SkipTrie and each baseline, and it prints plain
+//! tab-separated tables that `EXPERIMENTS.md` quotes directly.
+
+#![warn(missing_docs)]
+
+use std::time::Duration;
+
+use skiptrie::SkipTrie;
+use skiptrie_baselines::{FullSkipList, LockedBTreeMap};
+use skiptrie_metrics::{self as metrics, Counter, Snapshot};
+use skiptrie_skiplist::SkipList;
+use skiptrie_workloads::{Op, WorkloadSpec};
+
+/// A uniform facade over every concurrent structure the experiments compare.
+///
+/// Values are fixed to `u64` (the experiments never need richer payloads).
+pub trait ConcurrentPredecessorMap: Send + Sync {
+    /// Short name used in result tables.
+    fn name(&self) -> &'static str;
+    /// Inserts `key -> value`; `true` if the key was absent.
+    fn insert(&self, key: u64, value: u64) -> bool;
+    /// Removes `key`, returning its value.
+    fn remove(&self, key: u64) -> Option<u64>;
+    /// Largest key `<= key`.
+    fn predecessor(&self, key: u64) -> Option<(u64, u64)>;
+    /// Smallest key `>= key`.
+    fn successor(&self, key: u64) -> Option<(u64, u64)>;
+    /// Number of keys stored.
+    fn len(&self) -> usize;
+}
+
+impl ConcurrentPredecessorMap for SkipTrie<u64> {
+    fn name(&self) -> &'static str {
+        "skiptrie"
+    }
+    fn insert(&self, key: u64, value: u64) -> bool {
+        SkipTrie::insert(self, key, value)
+    }
+    fn remove(&self, key: u64) -> Option<u64> {
+        SkipTrie::remove(self, key)
+    }
+    fn predecessor(&self, key: u64) -> Option<(u64, u64)> {
+        SkipTrie::predecessor(self, key)
+    }
+    fn successor(&self, key: u64) -> Option<(u64, u64)> {
+        SkipTrie::successor(self, key)
+    }
+    fn len(&self) -> usize {
+        SkipTrie::len(self)
+    }
+}
+
+impl ConcurrentPredecessorMap for FullSkipList<u64> {
+    fn name(&self) -> &'static str {
+        "lockfree-skiplist"
+    }
+    fn insert(&self, key: u64, value: u64) -> bool {
+        FullSkipList::insert(self, key, value)
+    }
+    fn remove(&self, key: u64) -> Option<u64> {
+        FullSkipList::remove(self, key)
+    }
+    fn predecessor(&self, key: u64) -> Option<(u64, u64)> {
+        FullSkipList::predecessor(self, key)
+    }
+    fn successor(&self, key: u64) -> Option<(u64, u64)> {
+        FullSkipList::successor(self, key)
+    }
+    fn len(&self) -> usize {
+        FullSkipList::len(self)
+    }
+}
+
+impl ConcurrentPredecessorMap for LockedBTreeMap<u64> {
+    fn name(&self) -> &'static str {
+        "locked-btreemap"
+    }
+    fn insert(&self, key: u64, value: u64) -> bool {
+        LockedBTreeMap::insert(self, key, value)
+    }
+    fn remove(&self, key: u64) -> Option<u64> {
+        LockedBTreeMap::remove(self, key)
+    }
+    fn predecessor(&self, key: u64) -> Option<(u64, u64)> {
+        LockedBTreeMap::predecessor(self, key)
+    }
+    fn successor(&self, key: u64) -> Option<(u64, u64)> {
+        LockedBTreeMap::successor(self, key)
+    }
+    fn len(&self) -> usize {
+        LockedBTreeMap::len(self)
+    }
+}
+
+impl ConcurrentPredecessorMap for SkipList<u64> {
+    fn name(&self) -> &'static str {
+        "truncated-skiplist"
+    }
+    fn insert(&self, key: u64, value: u64) -> bool {
+        SkipList::insert(self, key, value)
+    }
+    fn remove(&self, key: u64) -> Option<u64> {
+        SkipList::remove(self, key)
+    }
+    fn predecessor(&self, key: u64) -> Option<(u64, u64)> {
+        SkipList::predecessor(self, key)
+    }
+    fn successor(&self, key: u64) -> Option<(u64, u64)> {
+        SkipList::successor(self, key)
+    }
+    fn len(&self) -> usize {
+        SkipList::len(self)
+    }
+}
+
+/// Applies one workload operation to a structure.
+pub fn apply_op<M: ConcurrentPredecessorMap + ?Sized>(map: &M, op: Op) {
+    match op {
+        Op::Insert(k) => {
+            map.insert(k, k);
+        }
+        Op::Remove(k) => {
+            map.remove(k);
+        }
+        Op::Predecessor(k) => {
+            map.predecessor(k);
+        }
+    }
+}
+
+/// Inserts the workload's prefill keys (value = key).
+pub fn prefill<M: ConcurrentPredecessorMap + ?Sized>(map: &M, keys: &[u64]) {
+    for &k in keys {
+        map.insert(k, k);
+    }
+}
+
+/// Result of a timed multi-threaded workload run.
+#[derive(Debug, Clone, Copy)]
+pub struct ThroughputResult {
+    /// Total operations executed across all threads.
+    pub total_ops: u64,
+    /// Wall-clock time of the measured phase.
+    pub elapsed: Duration,
+    /// Operations per second.
+    pub ops_per_sec: f64,
+    /// Counter deltas accumulated during the measured phase (only populated when
+    /// metrics recording was enabled by the caller).
+    pub steps: Snapshot,
+}
+
+/// Runs the workload's operation streams on `spec.threads` worker threads and reports
+/// aggregate throughput. The structure must already be prefilled.
+pub fn run_throughput<M: ConcurrentPredecessorMap + ?Sized>(
+    map: &M,
+    spec: &WorkloadSpec,
+) -> ThroughputResult {
+    let streams: Vec<Vec<Op>> = (0..spec.threads).map(|t| spec.thread_ops(t)).collect();
+    let before = metrics::snapshot();
+    let sw = skiptrie_metrics::Stopwatch::start();
+    std::thread::scope(|scope| {
+        for ops in &streams {
+            scope.spawn(move || {
+                for &op in ops {
+                    apply_op(map, op);
+                }
+            });
+        }
+    });
+    let elapsed = sw.elapsed();
+    let steps = metrics::snapshot().since(&before);
+    let total_ops = spec.total_ops() as u64;
+    ThroughputResult {
+        total_ops,
+        elapsed,
+        ops_per_sec: metrics::ops_per_second(total_ops, elapsed),
+        steps,
+    }
+}
+
+/// Per-operation step counts measured over a single-threaded run of `ops`.
+#[derive(Debug, Clone, Copy)]
+pub struct StepReport {
+    /// Number of operations measured.
+    pub ops: u64,
+    /// Mean shared-memory traversal steps (pointer reads + guide hops + hash probes)
+    /// per operation — the quantity Theorem 4.3 bounds by `O(log log u + c)`.
+    pub traversal_steps_per_op: f64,
+    /// Mean hash-table probes per operation (the `LowestAncestor` binary search).
+    pub hash_ops_per_op: f64,
+    /// Mean CAS/DCSS attempts per operation.
+    pub update_steps_per_op: f64,
+    /// Mean contention-attributed steps (failures, helps, restarts) per operation.
+    pub contention_steps_per_op: f64,
+    /// Mean x-fast-trie levels crossed per operation (E3's amortization measure).
+    pub trie_levels_per_op: f64,
+}
+
+/// Runs `ops` single-threaded with step recording enabled and reports per-operation
+/// means.
+pub fn measure_steps<M: ConcurrentPredecessorMap + ?Sized>(map: &M, ops: &[Op]) -> StepReport {
+    let was_enabled = metrics::is_enabled();
+    metrics::set_enabled(true);
+    let before = metrics::snapshot();
+    for &op in ops {
+        apply_op(map, op);
+    }
+    let delta = metrics::snapshot().since(&before);
+    metrics::set_enabled(was_enabled);
+    let n = ops.len().max(1) as f64;
+    StepReport {
+        ops: ops.len() as u64,
+        traversal_steps_per_op: delta.traversal_steps() as f64 / n,
+        hash_ops_per_op: delta.get(Counter::HashOp) as f64 / n,
+        update_steps_per_op: delta.update_steps() as f64 / n,
+        contention_steps_per_op: delta.contention_steps() as f64 / n,
+        trie_levels_per_op: delta.get(Counter::TrieLevelCrossed) as f64 / n,
+    }
+}
+
+/// Prints a tab-separated table with a title line and a header row; rows are quoted
+/// verbatim into `EXPERIMENTS.md`.
+pub fn print_table(title: &str, headers: &[&str], rows: &[Vec<String>]) {
+    println!("## {title}");
+    println!("{}", headers.join("\t"));
+    for row in rows {
+        println!("{}", row.join("\t"));
+    }
+    println!();
+}
+
+/// Number of worker threads to sweep up to (respects `SKIPTRIE_MAX_THREADS`).
+pub fn max_threads() -> usize {
+    if let Ok(v) = std::env::var("SKIPTRIE_MAX_THREADS") {
+        if let Ok(n) = v.parse::<usize>() {
+            return n.max(1);
+        }
+    }
+    std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4)
+}
+
+/// A scale factor for experiment sizes (`SKIPTRIE_SCALE`, default 1.0) so the full
+/// suite can be shrunk for smoke runs or grown for publication-quality numbers.
+pub fn scale() -> f64 {
+    std::env::var("SKIPTRIE_SCALE")
+        .ok()
+        .and_then(|v| v.parse::<f64>().ok())
+        .filter(|v| *v > 0.0)
+        .unwrap_or(1.0)
+}
+
+/// Applies the global scale factor to a nominal size.
+pub fn scaled(nominal: usize) -> usize {
+    ((nominal as f64 * scale()) as usize).max(16)
+}
+
+/// Standard thread counts for sweep experiments: 1, 2, 4, ... up to [`max_threads`].
+pub fn thread_sweep() -> Vec<usize> {
+    let mut out = vec![1usize];
+    while *out.last().unwrap() * 2 <= max_threads() {
+        out.push(out.last().unwrap() * 2);
+    }
+    if *out.last().unwrap() != max_threads() {
+        out.push(max_threads());
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use skiptrie::SkipTrieConfig;
+    use skiptrie_workloads::{KeyDist, OpMix};
+
+    fn small_spec(threads: usize) -> WorkloadSpec {
+        WorkloadSpec {
+            universe_bits: 20,
+            prefill: 500,
+            ops_per_thread: 500,
+            threads,
+            dist: KeyDist::Uniform,
+            mix: OpMix::UPDATE_HEAVY,
+            seed: 11,
+        }
+    }
+
+    #[test]
+    fn all_structures_run_the_same_workload() {
+        let spec = small_spec(2);
+        let keys = spec.prefill_keys();
+        let trie = SkipTrie::new(SkipTrieConfig::for_universe_bits(20));
+        let skiplist = FullSkipList::new();
+        let btree = LockedBTreeMap::new();
+        let structures: Vec<&dyn ConcurrentPredecessorMap> = vec![&trie, &skiplist, &btree];
+        for s in structures {
+            prefill(s, &keys);
+            assert_eq!(s.len(), keys.len(), "{}", s.name());
+            let result = run_throughput(s, &spec);
+            assert_eq!(result.total_ops, spec.total_ops() as u64);
+            assert!(result.ops_per_sec > 0.0);
+        }
+    }
+
+    #[test]
+    fn step_measurement_reports_positive_traversal_cost() {
+        let trie = SkipTrie::new(SkipTrieConfig::for_universe_bits(24));
+        for k in 0..2_000u64 {
+            trie.insert(k * 7, k);
+        }
+        let spec = WorkloadSpec::read_only(24, 0, 500, 3);
+        let ops = spec.thread_ops(0);
+        let report = measure_steps(&trie, &ops);
+        assert_eq!(report.ops, 500);
+        assert!(report.traversal_steps_per_op > 1.0);
+        assert!(report.hash_ops_per_op >= 1.0, "LowestAncestor probes the table");
+        // Note: metrics are process-wide, and other tests in this binary may run
+        // concurrently, so we do not assert that update counters stayed at zero here.
+        assert!(report.update_steps_per_op >= 0.0);
+    }
+
+    #[test]
+    fn thread_sweep_is_monotone_and_bounded() {
+        let sweep = thread_sweep();
+        assert!(!sweep.is_empty());
+        assert_eq!(sweep[0], 1);
+        assert!(sweep.windows(2).all(|w| w[0] < w[1]));
+        assert!(*sweep.last().unwrap() <= max_threads().max(1));
+    }
+
+    #[test]
+    fn scaled_has_a_floor() {
+        assert!(scaled(0) >= 16);
+        assert!(scaled(1_000) >= 16);
+    }
+}

@@ -1,0 +1,560 @@
+//! # SkipTrie — low-depth concurrent search without rebalancing
+//!
+//! A from-scratch Rust implementation of the **SkipTrie** of Oshman & Shavit
+//! (PODC 2013): a lock-free, linearizable ordered map over an integer key universe
+//! `[u]` that supports predecessor queries in expected amortized
+//! `O(log log u + c)` shared-memory steps (`c` = contention), insertions and
+//! deletions in expected amortized `O(log log u + c)`, and `O(m)` space for `m` keys.
+//!
+//! ## How it works
+//!
+//! The SkipTrie is a probabilistically balanced y-fast trie:
+//!
+//! 1. Every key lives in a **truncated lock-free skiplist** of only `log log u`
+//!    levels ([`skiptrie_skiplist`]).
+//! 2. A key whose geometric tower height reaches the top level (probability
+//!    `≈ 1/log u`) becomes a *top-level key*: top-level nodes are additionally linked
+//!    backwards (`prev` guides) into a doubly-linked list, and **all of the key's
+//!    prefixes are published in a concurrent x-fast trie** — a lock-free hash table
+//!    ([`skiptrie_splitorder`]) mapping prefixes to pairs of pointers into the top
+//!    level.
+//! 3. A predecessor query binary-searches the prefix table (`O(log log u)` hash
+//!    probes) to land on a nearby top-level node, walks guide pointers to a node with
+//!    key `<= x`, and then descends the truncated skiplist (`O(log log u)` expected
+//!    steps) to the exact predecessor.
+//!
+//! Because which keys enter the trie is decided by coin flips rather than bucket
+//! sizes, no rebalancing (bucket splitting/merging) is ever needed — this is the
+//! paper's central idea.
+//!
+//! ## Example
+//!
+//! ```
+//! use skiptrie::{SkipTrie, SkipTrieConfig};
+//!
+//! // A SkipTrie over 32-bit keys (u = 2^32, so log log u = 5 skiplist levels).
+//! let trie: SkipTrie<&'static str> = SkipTrie::new(SkipTrieConfig::for_universe_bits(32));
+//!
+//! assert!(trie.insert(1_000, "a"));
+//! assert!(trie.insert(2_000, "b"));
+//! assert!(trie.insert(u32::MAX as u64, "z"));
+//!
+//! // Predecessor = largest key <= query (the paper's predecessor query).
+//! assert_eq!(trie.predecessor(1_999), Some((1_000, "a")));
+//! assert_eq!(trie.predecessor(2_000), Some((2_000, "b")));
+//! assert_eq!(trie.successor(2_001), Some((u32::MAX as u64, "z")));
+//! assert_eq!(trie.get(1_000), Some("a"));
+//!
+//! assert_eq!(trie.remove(1_000), Some("a"));
+//! assert_eq!(trie.predecessor(1_999), None);
+//! ```
+//!
+//! ## Concurrency
+//!
+//! Every operation is lock-free and linearizable and may be called from any number of
+//! threads; see `DESIGN.md` at the repository root for the proof sketch mapping and
+//! the memory-reclamation discipline (epoch-based reclamation plus a type-stable node
+//! pool).
+
+#![warn(missing_docs)]
+
+mod prefix;
+mod xfast;
+
+pub use prefix::{key_bit, lcp_len, max_key, Prefix};
+pub use skiptrie_atomics::dcss::DcssMode;
+pub use skiptrie_skiplist::{levels_for_universe_bits, NodeRef, SkipList, SkipListConfig};
+
+use skiptrie_splitorder::SplitOrderedMap;
+use xfast::{TrieNode, TrieNodePtr};
+
+use crossbeam_epoch::Guard;
+
+/// Configuration of a [`SkipTrie`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SkipTrieConfig {
+    /// Width of the key universe in bits (`1..=64`); keys must be `< 2^universe_bits`.
+    pub universe_bits: u32,
+    /// How conditional pointer swings are performed (software DCSS descriptors, the
+    /// default, or the paper's CAS fallback).
+    pub mode: DcssMode,
+    /// Seed of the geometric height sampler (fix it for reproducible structure).
+    pub seed: u64,
+}
+
+impl Default for SkipTrieConfig {
+    fn default() -> Self {
+        SkipTrieConfig::for_universe_bits(32)
+    }
+}
+
+impl SkipTrieConfig {
+    /// A SkipTrie over `universe_bits`-bit keys with the paper's default parameters.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `universe_bits` is not in `1..=64`.
+    pub fn for_universe_bits(universe_bits: u32) -> Self {
+        assert!(
+            (1..=64).contains(&universe_bits),
+            "universe_bits must be between 1 and 64"
+        );
+        SkipTrieConfig {
+            universe_bits,
+            mode: DcssMode::Descriptor,
+            seed: 0x5eed_5eed_5eed_5eed,
+        }
+    }
+
+    /// Overrides the DCSS mode (experiment E6 ablation).
+    pub fn with_mode(mut self, mode: DcssMode) -> Self {
+        self.mode = mode;
+        self
+    }
+
+    /// Overrides the height-sampler seed.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+}
+
+/// A lock-free, linearizable ordered map over `universe_bits`-bit integer keys with
+/// `O(log log u + c)` expected amortized predecessor queries — the paper's SkipTrie.
+///
+/// See the crate-level documentation for the construction and an example, and
+/// [`SkipTrieConfig`] for configuration.
+pub struct SkipTrie<V> {
+    config: SkipTrieConfig,
+    skiplist: SkipList<V>,
+    /// The x-fast trie's prefix table (the paper's `prefixes`).
+    prefixes: SplitOrderedMap<Prefix, TrieNodePtr>,
+}
+
+impl<V> Default for SkipTrie<V>
+where
+    V: Clone + Send + Sync + 'static,
+{
+    fn default() -> Self {
+        SkipTrie::new(SkipTrieConfig::default())
+    }
+}
+
+impl<V> SkipTrie<V>
+where
+    V: Clone + Send + Sync + 'static,
+{
+    /// Creates an empty SkipTrie.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `config.universe_bits` is not in `1..=64`.
+    pub fn new(config: SkipTrieConfig) -> Self {
+        assert!(
+            (1..=64).contains(&config.universe_bits),
+            "universe_bits must be between 1 and 64"
+        );
+        let skiplist = SkipList::new(
+            SkipListConfig::for_universe_bits(config.universe_bits)
+                .with_mode(config.mode)
+                .with_seed(config.seed),
+        );
+        let prefixes = SplitOrderedMap::new();
+        // The empty prefix ε is permanent (Algorithm 3 line 4 starts from it).
+        prefixes.insert(Prefix::EMPTY, TrieNodePtr::from_box(Box::new(TrieNode::new())));
+        SkipTrie {
+            config,
+            skiplist,
+            prefixes,
+        }
+    }
+
+    /// The configuration this SkipTrie was built with.
+    pub fn config(&self) -> SkipTrieConfig {
+        self.config
+    }
+
+    /// Width of the key universe in bits (`log u`).
+    pub fn universe_bits(&self) -> u32 {
+        self.config.universe_bits
+    }
+
+    /// The largest key this SkipTrie accepts.
+    pub fn max_key(&self) -> u64 {
+        prefix::max_key(self.config.universe_bits)
+    }
+
+    pub(crate) fn mode(&self) -> DcssMode {
+        self.config.mode
+    }
+
+    pub(crate) fn skiplist(&self) -> &SkipList<V> {
+        &self.skiplist
+    }
+
+    /// Number of keys currently stored (quiescently accurate).
+    pub fn len(&self) -> usize {
+        self.skiplist.len()
+    }
+
+    /// True if no keys are stored (quiescently accurate).
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    fn check_key(&self, key: u64) {
+        assert!(
+            key <= self.max_key(),
+            "key {key} exceeds the configured universe of {} bits",
+            self.config.universe_bits
+        );
+    }
+
+    /// Inserts `key -> value`. Returns `true` if the key was absent and is now
+    /// present, `false` if it was already present (the existing value is kept).
+    ///
+    /// The insertion is linearized when the key's skiplist node becomes reachable; if
+    /// the key's tower reaches the top level, its prefixes are then published in the
+    /// x-fast trie (Algorithm 6).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `key` does not fit in the configured universe.
+    pub fn insert(&self, key: u64, value: V) -> bool {
+        self.check_key(key);
+        let guard = self.skiplist.pin();
+        let start = self.xfast_pred(key, &guard);
+        match self.skiplist.insert_from(key, value, Some(start), &guard) {
+            skiptrie_skiplist::InsertOutcome::AlreadyPresent => false,
+            skiptrie_skiplist::InsertOutcome::Inserted { top_node } => {
+                if let Some(node) = top_node {
+                    self.insert_prefixes(key, node, &guard);
+                }
+                true
+            }
+        }
+    }
+
+    /// Removes `key`, returning its value if this call performed the removal
+    /// (Algorithm 7: skiplist deletion, then x-fast-trie cleanup).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `key` does not fit in the configured universe.
+    pub fn remove(&self, key: u64) -> Option<V> {
+        self.check_key(key);
+        let guard = self.skiplist.pin();
+        let start = self.xfast_pred(key, &guard);
+        let outcome = self.skiplist.delete_from(key, Some(start), &guard);
+        if outcome.root_was_top || outcome.top_to_retire.is_some() {
+            // The deleted tower was (or may have been) published in the trie: make
+            // sure no prefix pointer still references it.
+            self.cleanup_prefixes(key, &guard);
+        }
+        if let Some(top) = outcome.top_to_retire {
+            // Only after the trie cleanup can the unlinked top-level node be retired.
+            // SAFETY: this call won the node's removal; it is unlinked and no longer
+            // referenced by the trie.
+            unsafe { self.skiplist.retire_node(top, &guard) };
+        }
+        if outcome.removed {
+            outcome.value
+        } else {
+            None
+        }
+    }
+
+    /// The largest key `<= key` and its value — the paper's predecessor query
+    /// (Algorithm 5: `LowestAncestor` binary search, guide walk, skiplist descent).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `key` does not fit in the configured universe.
+    pub fn predecessor(&self, key: u64) -> Option<(u64, V)> {
+        self.check_key(key);
+        let guard = self.skiplist.pin();
+        let start = self.xfast_pred(key, &guard);
+        self.skiplist.predecessor_from(key, Some(start), &guard)
+    }
+
+    /// The largest key strictly `< key`, if any.
+    pub fn strict_predecessor(&self, key: u64) -> Option<(u64, V)> {
+        if key == 0 {
+            return None;
+        }
+        self.predecessor(key - 1)
+    }
+
+    /// The smallest key `>= key` and its value.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `key` does not fit in the configured universe.
+    pub fn successor(&self, key: u64) -> Option<(u64, V)> {
+        self.check_key(key);
+        let guard = self.skiplist.pin();
+        let start = self.xfast_pred(key, &guard);
+        self.skiplist.successor_from(key, Some(start), &guard)
+    }
+
+    /// The smallest key strictly `> key`, if any.
+    pub fn strict_successor(&self, key: u64) -> Option<(u64, V)> {
+        if key >= self.max_key() {
+            return None;
+        }
+        self.successor(key + 1)
+    }
+
+    /// Returns a clone of the value stored under `key`.
+    pub fn get(&self, key: u64) -> Option<V> {
+        match self.predecessor(key) {
+            Some((k, v)) if k == key => Some(v),
+            _ => None,
+        }
+    }
+
+    /// True if `key` is present.
+    pub fn contains(&self, key: u64) -> bool {
+        self.get(key).is_some()
+    }
+
+    /// A (non-linearizable) snapshot of the contents in key order.
+    pub fn to_vec(&self) -> Vec<(u64, V)> {
+        self.skiplist.to_vec()
+    }
+
+    /// A (non-linearizable) snapshot of the keys in order.
+    pub fn keys(&self) -> Vec<u64> {
+        self.skiplist.keys()
+    }
+
+    /// Pins the current thread (for repeated low-level calls in benchmarks).
+    pub fn pin(&self) -> Guard {
+        self.skiplist.pin()
+    }
+
+    // ------------------------------------------------------------------
+    // Structural statistics (experiments F1 / E5)
+    // ------------------------------------------------------------------
+
+    /// Number of (unmarked) data nodes per skiplist level, bottom to top.
+    pub fn level_lengths(&self) -> Vec<usize> {
+        self.skiplist.level_lengths()
+    }
+
+    /// The keys currently published at the skiplist's top level — i.e. the keys whose
+    /// prefixes populate the x-fast trie.
+    pub fn top_level_keys(&self) -> Vec<u64> {
+        self.skiplist.top_level_keys()
+    }
+
+    /// `(nodes_allocated, nodes_recycled, nodes_pooled)` of the skiplist node pool.
+    pub fn allocation_stats(&self) -> (usize, usize, usize) {
+        self.skiplist.allocation_stats()
+    }
+
+    /// Approximate resident bytes for skiplist nodes (experiment E5).
+    pub fn approx_node_bytes(&self) -> usize {
+        self.skiplist.approx_node_bytes()
+    }
+}
+
+impl<V> Drop for SkipTrie<V> {
+    fn drop(&mut self) {
+        // Free all trie nodes still referenced by the prefix table; the table itself
+        // frees its own hash nodes, and the skiplist frees its towers.
+        let mut ptrs: Vec<u64> = Vec::new();
+        self.prefixes.for_each(|_, tnp| ptrs.push(tnp.0));
+        for raw in ptrs {
+            // SAFETY: exclusive access at drop time; each trie node is referenced by
+            // exactly one live prefix entry.
+            unsafe { drop(Box::from_raw(raw as *mut TrieNode)) };
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::BTreeMap;
+
+    fn trie(bits: u32) -> SkipTrie<u64> {
+        SkipTrie::new(SkipTrieConfig::for_universe_bits(bits).with_seed(7))
+    }
+
+    #[test]
+    fn empty_trie() {
+        let t = trie(16);
+        assert!(t.is_empty());
+        assert_eq!(t.len(), 0);
+        assert_eq!(t.predecessor(100), None);
+        assert_eq!(t.successor(100), None);
+        assert_eq!(t.get(0), None);
+        assert_eq!(t.remove(5), None);
+        assert_eq!(t.prefix_count(), 1, "only the permanent ε entry");
+    }
+
+    #[test]
+    fn basic_roundtrip_and_duplicates() {
+        let t = trie(32);
+        assert!(t.insert(10, 100));
+        assert!(!t.insert(10, 999), "duplicate insert is rejected");
+        assert_eq!(t.get(10), Some(100), "original value kept");
+        assert!(t.insert(20, 200));
+        assert_eq!(t.len(), 2);
+        assert_eq!(t.remove(10), Some(100));
+        assert_eq!(t.remove(10), None);
+        assert_eq!(t.len(), 1);
+    }
+
+    #[test]
+    fn predecessor_successor_match_btreemap_model() {
+        let t = trie(16);
+        let mut model: BTreeMap<u64, u64> = BTreeMap::new();
+        let mut state = 0xfeed_f00d_u64;
+        let mut next = || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            state
+        };
+        for _ in 0..6_000 {
+            let key = next() % (1 << 16);
+            match next() % 4 {
+                0 | 1 => {
+                    let fresh = !model.contains_key(&key);
+                    if fresh {
+                        model.insert(key, key * 3);
+                    }
+                    assert_eq!(t.insert(key, key * 3), fresh, "insert {key}");
+                }
+                2 => {
+                    assert_eq!(t.remove(key), model.remove(&key), "remove {key}");
+                }
+                _ => {
+                    let pred = model.range(..=key).next_back().map(|(k, v)| (*k, *v));
+                    assert_eq!(t.predecessor(key), pred, "predecessor {key}");
+                    let succ = model.range(key..).next().map(|(k, v)| (*k, *v));
+                    assert_eq!(t.successor(key), succ, "successor {key}");
+                }
+            }
+        }
+        assert_eq!(t.len(), model.len());
+        let snapshot: Vec<(u64, u64)> = model.into_iter().collect();
+        assert_eq!(t.to_vec(), snapshot);
+    }
+
+    #[test]
+    fn strict_variants() {
+        let t = trie(16);
+        t.insert(5, 1);
+        t.insert(10, 2);
+        assert_eq!(t.strict_predecessor(10), Some((5, 1)));
+        assert_eq!(t.strict_predecessor(5), None);
+        assert_eq!(t.strict_predecessor(0), None);
+        assert_eq!(t.strict_successor(5), Some((10, 2)));
+        assert_eq!(t.strict_successor(10), None);
+        assert_eq!(t.strict_successor(t.max_key()), None);
+    }
+
+    #[test]
+    fn universe_boundaries() {
+        let t = trie(8);
+        assert_eq!(t.max_key(), 255);
+        assert!(t.insert(0, 0));
+        assert!(t.insert(255, 255));
+        assert_eq!(t.predecessor(255), Some((255, 255)));
+        assert_eq!(t.predecessor(254), Some((0, 0)));
+        assert_eq!(t.successor(1), Some((255, 255)));
+        assert_eq!(t.successor(0), Some((0, 0)));
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds the configured universe")]
+    fn oversized_key_panics() {
+        let t = trie(8);
+        t.insert(256, 0);
+    }
+
+    #[test]
+    fn trie_population_tracks_top_level_keys() {
+        let t = trie(16);
+        for key in 0..5_000u64 {
+            t.insert(key, key);
+        }
+        let top_keys = t.top_level_keys();
+        // With 4 levels (16-bit universe), about 1/8 of keys reach the top.
+        assert!(
+            top_keys.len() > 200 && top_keys.len() < 1_600,
+            "unexpected top-level population: {}",
+            top_keys.len()
+        );
+        // Each top-level key contributes at most (universe_bits - 1) new prefixes,
+        // plus the permanent ε.
+        let prefixes = t.prefix_count();
+        assert!(prefixes > top_keys.len(), "prefixes: {prefixes}");
+        assert!(
+            prefixes <= top_keys.len() * 15 + 1,
+            "prefixes: {prefixes} for {} top keys",
+            top_keys.len()
+        );
+        // Removing everything shrinks the trie back to (almost) nothing.
+        for key in 0..5_000u64 {
+            t.remove(key);
+        }
+        assert!(t.is_empty());
+        assert_eq!(t.top_level_keys(), Vec::<u64>::new());
+        assert_eq!(t.prefix_count(), 1, "only ε remains after a full drain");
+    }
+
+    #[test]
+    fn works_on_full_64_bit_universe() {
+        let t: SkipTrie<u64> = SkipTrie::new(SkipTrieConfig::for_universe_bits(64).with_seed(3));
+        for key in [0u64, 1, u64::MAX, u64::MAX - 1, 1 << 63, (1 << 63) - 1] {
+            assert!(t.insert(key, key));
+        }
+        assert_eq!(t.predecessor(u64::MAX), Some((u64::MAX, u64::MAX)));
+        assert_eq!(t.predecessor((1 << 63) + 5), Some((1 << 63, 1 << 63)));
+        assert_eq!(t.successor(2), Some(((1 << 63) - 1, (1 << 63) - 1)));
+        assert_eq!(t.strict_successor(u64::MAX), None);
+        assert_eq!(t.len(), 6);
+    }
+
+    #[test]
+    fn reinsertion_after_removal_of_top_keys() {
+        let t = trie(16);
+        for key in (0..2_000u64).step_by(2) {
+            t.insert(key, key);
+        }
+        // Remove and re-insert everything twice to exercise trie cleanup + recycling.
+        for _ in 0..2 {
+            for key in (0..2_000u64).step_by(2) {
+                assert_eq!(t.remove(key), Some(key));
+            }
+            assert!(t.is_empty());
+            for key in (0..2_000u64).step_by(2) {
+                assert!(t.insert(key, key));
+            }
+        }
+        assert_eq!(t.len(), 1_000);
+        for key in (0..2_000u64).step_by(2) {
+            assert_eq!(t.predecessor(key + 1), Some((key, key)));
+        }
+    }
+
+    #[test]
+    fn small_universe_single_level() {
+        // universe_bits = 2 → 1 skiplist level: every key is a top-level key and the
+        // trie holds prefixes of length 0..=1.
+        let t = trie(2);
+        for key in 0..4u64 {
+            assert!(t.insert(key, key + 10));
+        }
+        assert_eq!(t.len(), 4);
+        assert_eq!(t.predecessor(3), Some((3, 13)));
+        assert_eq!(t.remove(3), Some(13));
+        assert_eq!(t.predecessor(3), Some((2, 12)));
+        assert_eq!(t.remove(0), Some(10));
+        assert_eq!(t.successor(0), Some((1, 11)));
+    }
+}

@@ -1,0 +1,171 @@
+//! Key prefixes of the x-fast trie.
+//!
+//! Keys are `universe_bits`-bit integers (stored in `u64`). The x-fast trie's hash
+//! table maps every *proper* prefix of every top-level key to a trie node. A prefix is
+//! identified by its length (`0..universe_bits`) and its bits, right-aligned. The
+//! empty prefix ε (`len == 0`) is the root of the conceptual prefix tree and is always
+//! present in the table.
+
+
+
+/// A proper prefix of a key in a `universe_bits`-bit universe.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Prefix {
+    /// Number of bits in the prefix (`0` = the empty prefix ε).
+    pub len: u8,
+    /// The prefix bits, right-aligned (0 when `len == 0`).
+    pub bits: u64,
+}
+
+impl Prefix {
+    /// The empty prefix ε.
+    pub const EMPTY: Prefix = Prefix { len: 0, bits: 0 };
+
+    /// The length-`len` prefix of `key` in a `universe_bits`-bit universe.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `len >= universe_bits` (only proper prefixes exist in the trie) or if
+    /// `universe_bits` is not in `1..=64`.
+    pub fn of(key: u64, len: u8, universe_bits: u32) -> Prefix {
+        assert!((1..=64).contains(&universe_bits), "universe_bits must be 1..=64");
+        assert!(
+            (len as u32) < universe_bits,
+            "prefix length {len} must be shorter than the key width {universe_bits}"
+        );
+        if len == 0 {
+            Prefix::EMPTY
+        } else {
+            Prefix {
+                len,
+                bits: key >> (universe_bits - len as u32),
+            }
+        }
+    }
+
+    /// True if `self` is a prefix of `key` (in a `universe_bits`-bit universe).
+    pub fn is_prefix_of(&self, key: u64, universe_bits: u32) -> bool {
+        Prefix::of(key, self.len, universe_bits) == *self
+    }
+
+    /// The child prefix `self · direction`. Only meaningful while it remains proper
+    /// (`self.len + 1 < universe_bits`) or for subtree-membership tests.
+    pub fn child(&self, direction: u8) -> Prefix {
+        debug_assert!(direction <= 1);
+        Prefix {
+            len: self.len + 1,
+            bits: (self.bits << 1) | direction as u64,
+        }
+    }
+}
+
+/// Bit `index` of `key` (0 = most significant of the `universe_bits`-bit
+/// representation). This is the paper's "direction of a key under a prefix" when
+/// `index` equals the prefix length.
+pub fn key_bit(key: u64, index: u8, universe_bits: u32) -> u8 {
+    debug_assert!((index as u32) < universe_bits);
+    ((key >> (universe_bits - 1 - index as u32)) & 1) as u8
+}
+
+/// True if `key` lies in the `direction`-subtree of `prefix`, i.e. `prefix · direction`
+/// is a prefix of `key`.
+pub fn in_subtree(prefix: Prefix, direction: u8, key: u64, universe_bits: u32) -> bool {
+    let child_len = prefix.len + 1;
+    if child_len as u32 > universe_bits {
+        return false;
+    }
+    let child_bits = (prefix.bits << 1) | direction as u64;
+    if child_len as u32 == universe_bits {
+        key == child_bits
+    } else {
+        (key >> (universe_bits - child_len as u32)) == child_bits
+    }
+}
+
+/// Length of the longest common prefix of `a` and `b` within `universe_bits` bits.
+pub fn lcp_len(a: u64, b: u64, universe_bits: u32) -> u32 {
+    if a == b {
+        return universe_bits;
+    }
+    let diff = a ^ b;
+    let highest_diff_bit = 63 - diff.leading_zeros();
+    // Bits above the highest differing bit agree; translate to prefix length.
+    (universe_bits - 1).saturating_sub(highest_diff_bit)
+}
+
+/// The largest key representable in a `universe_bits`-bit universe.
+pub fn max_key(universe_bits: u32) -> u64 {
+    if universe_bits >= 64 {
+        u64::MAX
+    } else {
+        (1u64 << universe_bits) - 1
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn prefix_of_extracts_leading_bits() {
+        let key = 0b1011_0110u64; // universe_bits = 8
+        assert_eq!(Prefix::of(key, 0, 8), Prefix::EMPTY);
+        assert_eq!(Prefix::of(key, 1, 8), Prefix { len: 1, bits: 0b1 });
+        assert_eq!(Prefix::of(key, 4, 8), Prefix { len: 4, bits: 0b1011 });
+        assert_eq!(Prefix::of(key, 7, 8), Prefix { len: 7, bits: 0b1011_011 });
+    }
+
+    #[test]
+    #[should_panic(expected = "must be shorter")]
+    fn full_length_prefix_is_rejected() {
+        let _ = Prefix::of(3, 8, 8);
+    }
+
+    #[test]
+    fn key_bit_is_msb_first() {
+        let key = 0b1000_0001u64;
+        assert_eq!(key_bit(key, 0, 8), 1);
+        assert_eq!(key_bit(key, 1, 8), 0);
+        assert_eq!(key_bit(key, 6, 8), 0);
+        assert_eq!(key_bit(key, 7, 8), 1);
+    }
+
+    #[test]
+    fn subtree_membership() {
+        let p = Prefix::of(0b1011_0000, 4, 8); // 1011
+        assert!(in_subtree(p, 0, 0b1011_0111, 8));
+        assert!(!in_subtree(p, 1, 0b1011_0111, 8));
+        assert!(in_subtree(p, 1, 0b1011_1000, 8));
+        assert!(!in_subtree(p, 0, 0b1111_0000, 8));
+        // ε's subtrees partition the universe by the top bit.
+        assert!(in_subtree(Prefix::EMPTY, 1, 0b1000_0000, 8));
+        assert!(in_subtree(Prefix::EMPTY, 0, 0b0111_1111, 8));
+    }
+
+    #[test]
+    fn prefix_is_prefix_of_and_child() {
+        let key = 0xdead_beefu64;
+        for len in 0..32u8 {
+            assert!(Prefix::of(key, len, 32).is_prefix_of(key, 32));
+        }
+        let p = Prefix::of(key, 5, 32);
+        let d = key_bit(key, 5, 32);
+        assert_eq!(p.child(d), Prefix::of(key, 6, 32));
+    }
+
+    #[test]
+    fn lcp_len_counts_shared_leading_bits() {
+        assert_eq!(lcp_len(0b1010, 0b1010, 8), 8);
+        assert_eq!(lcp_len(0b1010_0000, 0b1011_0000, 8), 3);
+        assert_eq!(lcp_len(0x8000_0000, 0x0000_0000, 32), 0);
+        assert_eq!(lcp_len(0xffff_0000, 0xffff_8000, 32), 16);
+    }
+
+    #[test]
+    fn max_key_bounds() {
+        assert_eq!(max_key(1), 1);
+        assert_eq!(max_key(8), 255);
+        assert_eq!(max_key(32), u32::MAX as u64);
+        assert_eq!(max_key(64), u64::MAX);
+    }
+}

@@ -1,0 +1,359 @@
+//! The concurrent x-fast trie (paper, Section 4).
+//!
+//! The trie is a hash table (`prefixes`, a lock-free split-ordered map) from every
+//! proper prefix of every top-level key to a [`TrieNode`]. Unlike the sequential
+//! x-fast trie, *every* trie node stores two pointers into the top level of the
+//! skiplist — `pointers[0]`, the largest key in the prefix's 0-subtree, and
+//! `pointers[1]`, the smallest key in its 1-subtree — so that a query always holds a
+//! usable pointer even when concurrent deletes empty a subtree (Section 4, "The data
+//! structure").
+//!
+//! * [`SkipTrie::lowest_ancestor`] is Algorithm 3: binary search on prefix length,
+//!   remembering the best candidate seen.
+//! * [`SkipTrie::xfast_pred`] is Algorithm 4: walk `back`/`prev` guides from the
+//!   ancestor to a top-level node with key `<= x`.
+//! * [`SkipTrie::insert_prefixes`] is Algorithm 6 lines 5–20.
+//! * [`SkipTrie::cleanup_prefixes`] is Algorithm 7 lines 5–22.
+//!
+//! Pointer swings are DCSS-conditioned on the *target node's* status word, the
+//! strengthened form of the paper's "conditioned on x remaining unmarked" (see
+//! `skiptrie-atomics` for the exact argument); the paper proves linearizability is
+//! preserved even if these guards are dropped entirely.
+
+use std::sync::atomic::AtomicU64;
+
+use crossbeam_epoch::Guard;
+use skiptrie_atomics::dcss::{cas_resolved, dcss, read_resolved, DcssError};
+use skiptrie_atomics::retire_box;
+use skiptrie_metrics::{self as metrics, Counter};
+use skiptrie_skiplist::NodeRef;
+
+use crate::prefix::{in_subtree, key_bit, Prefix};
+use crate::SkipTrie;
+
+/// A node of the x-fast trie's conceptual prefix tree.
+///
+/// `pointers[d]` holds the packed word of a top-level skiplist node: the largest key
+/// in the `prefix·0` subtree (`d == 0`) or the smallest key in the `prefix·1` subtree
+/// (`d == 1`); `0` (null) means the subtree is empty (modulo in-flight inserts). A
+/// trie node whose two pointers are both null is slated for removal from the hash
+/// table, and any operation that observes it in that state helps remove it.
+pub(crate) struct TrieNode {
+    pub(crate) pointers: [AtomicU64; 2],
+}
+
+impl TrieNode {
+    pub(crate) fn new() -> Self {
+        TrieNode {
+            pointers: [AtomicU64::new(0), AtomicU64::new(0)],
+        }
+    }
+}
+
+/// A `Copy` handle to a heap-allocated [`TrieNode`], stored as the value type of the
+/// `prefixes` hash table.
+#[derive(Clone, Copy, PartialEq, Eq)]
+pub(crate) struct TrieNodePtr(pub(crate) u64);
+
+// SAFETY: the pointer is only dereferenced while pinned; trie nodes are retired
+// through the epoch collector after being removed from the hash table.
+unsafe impl Send for TrieNodePtr {}
+unsafe impl Sync for TrieNodePtr {}
+
+impl TrieNodePtr {
+    pub(crate) fn from_box(node: Box<TrieNode>) -> Self {
+        TrieNodePtr(Box::into_raw(node) as u64)
+    }
+
+    /// # Safety
+    ///
+    /// The caller must be pinned and the node must not have been freed (it is retired
+    /// only after removal from the hash table, so holders that found it there while
+    /// pinned are protected).
+    pub(crate) unsafe fn deref<'g>(&self, _guard: &'g Guard) -> &'g TrieNode {
+        &*(self.0 as *const TrieNode)
+    }
+}
+
+impl<V> SkipTrie<V>
+where
+    V: Clone + Send + Sync + 'static,
+{
+    /// Algorithm 3: binary search on prefix length for the lowest ancestor of `key`,
+    /// returning the best top-level pointer encountered.
+    pub(crate) fn lowest_ancestor<'g>(&'g self, key: u64, guard: &'g Guard) -> NodeRef<'g, V> {
+        let b = self.universe_bits();
+        let head = self.skiplist().head_top();
+
+        // Start from the root (ε) entry, as the paper's line 4.
+        let mut ancestor: NodeRef<'g, V> = head;
+        if let Some(root_tn) = self.prefixes.get(&Prefix::EMPTY) {
+            // SAFETY: pinned; trie nodes retired only after hash-table removal.
+            let tn = unsafe { root_tn.deref(guard) };
+            let d = key_bit(key, 0, b) as usize;
+            let word = read_resolved(&tn.pointers[d], guard);
+            // SAFETY: trie pointers reference skiplist nodes kept valid by the pool.
+            if let Some(node) = unsafe { NodeRef::from_packed(word, guard) } {
+                ancestor = node;
+            }
+        }
+
+        let mut common_len: u32 = 0;
+        let mut size: u32 = b / 2;
+        while size > 0 {
+            let query_len = common_len + size;
+            if query_len >= b {
+                size /= 2;
+                continue;
+            }
+            let query = Prefix::of(key, query_len as u8, b);
+            metrics::record(Counter::HashOp);
+            if let Some(tnp) = self.prefixes.get(&query) {
+                // SAFETY: pinned, as above.
+                let tn = unsafe { tnp.deref(guard) };
+                // Remember the best pointer seen so far (paper: "the query always
+                // remembers the 'best' pointer into the linked list it has seen").
+                // Both children are inspected: at the lowest ancestor itself the
+                // subtree on the key's side is empty, and it is the *sibling* pointer
+                // that holds the key's immediate top-level neighbour.
+                for direction in 0..2 {
+                    let word = read_resolved(&tn.pointers[direction], guard);
+                    // SAFETY: as above.
+                    if let Some(candidate) = unsafe { NodeRef::from_packed(word, guard) } {
+                        if candidate.is_data() && query.is_prefix_of(candidate.key(), b) {
+                            let cand_dist = candidate.key().abs_diff(key);
+                            let anc_dist = if ancestor.is_data() {
+                                ancestor.key().abs_diff(key)
+                            } else {
+                                u64::MAX
+                            };
+                            if cand_dist <= anc_dist {
+                                ancestor = candidate;
+                            }
+                        }
+                    }
+                }
+                common_len = query_len;
+            }
+            size /= 2;
+        }
+        ancestor
+    }
+
+    /// Algorithm 4: from the lowest ancestor, walk `back` pointers (marked nodes) and
+    /// `prev` guides (unmarked nodes) until reaching a top-level node with key
+    /// `<= key`. The result is the start hint for the skiplist descent.
+    pub(crate) fn xfast_pred<'g>(&'g self, key: u64, guard: &'g Guard) -> NodeRef<'g, V> {
+        let ancestor = self.lowest_ancestor(key, guard);
+        self.skiplist().walk_to_le(key, ancestor, guard)
+    }
+
+    /// Algorithm 6 lines 5–20: publish the prefixes of a freshly inserted top-level
+    /// node, longest prefix first (bottom-up in the conceptual tree).
+    pub(crate) fn insert_prefixes(&self, key: u64, node: NodeRef<'_, V>, guard: &Guard) {
+        let b = self.universe_bits();
+        for len in (0..b as u8).rev() {
+            let p = Prefix::of(key, len, b);
+            let direction = key_bit(key, len, b) as usize;
+            loop {
+                // The paper's loop guard: stop as soon as our node starts being
+                // deleted — the deleter takes over responsibility for the trie.
+                if node.is_stopped() || node.is_marked(guard) {
+                    return;
+                }
+                match self.prefixes.get(&p) {
+                    None => {
+                        // Create a fresh trie node pointing down at our key.
+                        let tn = Box::new(TrieNode::new());
+                        tn.pointers[direction].store(node.packed(), std::sync::atomic::Ordering::SeqCst);
+                        let tnp = TrieNodePtr::from_box(tn);
+                        if self.prefixes.insert(p, tnp) {
+                            metrics::record(Counter::TrieLevelCrossed);
+                            break;
+                        }
+                        // Lost the race to create this prefix: free ours and retry.
+                        // SAFETY: never published.
+                        unsafe { drop(Box::from_raw(tnp.0 as *mut TrieNode)) };
+                    }
+                    Some(tnp) => {
+                        // SAFETY: pinned; retired only after hash-table removal.
+                        let tn = unsafe { tnp.deref(guard) };
+                        let p0 = read_resolved(&tn.pointers[0], guard);
+                        let p1 = read_resolved(&tn.pointers[1], guard);
+                        if p0 == 0 && p1 == 0 && p.len > 0 {
+                            // Slated for deletion: help remove it, then retry.
+                            if self.prefixes.remove_if(&p, |v| *v == tnp) {
+                                // SAFETY: we removed it; sole retirement owner.
+                                unsafe { retire_box(guard, tnp.0 as *mut TrieNode) };
+                            }
+                            continue;
+                        }
+                        let curr = read_resolved(&tn.pointers[direction], guard);
+                        if curr != 0 {
+                            // SAFETY: trie pointers reference pool-backed nodes.
+                            if let Some(existing) = unsafe { NodeRef::<V>::from_packed(curr, guard) } {
+                                let adequate = existing.is_data()
+                                    && if direction == 0 {
+                                        existing.key() >= key
+                                    } else {
+                                        existing.key() <= key
+                                    };
+                                if adequate {
+                                    metrics::record(Counter::TrieLevelCrossed);
+                                    break;
+                                }
+                            }
+                        }
+                        // Swing the pointer to our node, conditioned on our node not
+                        // being deleted (paper: "conditioned on x remaining unmarked").
+                        let status = node.status();
+                        if status & 1 != 0 {
+                            return; // stopped
+                        }
+                        // SAFETY: the guard word is the node's status (pool-backed).
+                        let res = unsafe {
+                            dcss(
+                                &tn.pointers[direction],
+                                curr,
+                                node.packed(),
+                                node.status_word_ptr(),
+                                status,
+                                self.mode(),
+                                guard,
+                            )
+                        };
+                        match res {
+                            Ok(()) => {
+                                metrics::record(Counter::TrieLevelCrossed);
+                                break;
+                            }
+                            Err(DcssError::GuardMismatch) => return,
+                            Err(DcssError::TargetMismatch(_)) => {
+                                metrics::record(Counter::Restart);
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    /// Algorithm 7 lines 5–22: after deleting a top-level key, make sure no trie
+    /// pointer still references it, shrinking or removing trie nodes whose subtrees
+    /// became empty. Runs top-down (shortest prefix first).
+    pub(crate) fn cleanup_prefixes(&self, key: u64, guard: &Guard) {
+        let b = self.universe_bits();
+        for len in 0..b as u8 {
+            let p = Prefix::of(key, len, b);
+            let direction = key_bit(key, len, b) as usize;
+            let Some(tnp) = self.prefixes.get(&p) else {
+                continue;
+            };
+            // SAFETY: pinned; retired only after hash-table removal.
+            let tn = unsafe { tnp.deref(guard) };
+
+            // Swing the pointer away while it still references a deleted node with
+            // our key (robust version of the paper's `while curr = node`).
+            let mut spins = 0usize;
+            loop {
+                spins += 1;
+                metrics::record(Counter::TrieLevelCrossed);
+                let curr = read_resolved(&tn.pointers[direction], guard);
+                if curr == 0 {
+                    break;
+                }
+                // SAFETY: pool-backed skiplist node.
+                let Some(curr_node) = (unsafe { NodeRef::<V>::from_packed(curr, guard) }) else {
+                    break;
+                };
+                let points_at_victim = curr_node.is_data()
+                    && curr_node.key() == key
+                    && (curr_node.is_stopped() || curr_node.is_marked(guard));
+                if !points_at_victim {
+                    break;
+                }
+                let (left, right) = self.skiplist().top_list_search(key, None, guard);
+                if direction == 0 {
+                    // pointers[0] must be the largest key in the 0-subtree: swing
+                    // backwards to `left` (or clear if the subtree has no live node).
+                    let status = left.status();
+                    if left.is_data() && status & 1 == 0 {
+                        // SAFETY: guard word is `left`'s status.
+                        let _ = unsafe {
+                            dcss(
+                                &tn.pointers[direction],
+                                curr,
+                                left.packed(),
+                                left.status_word_ptr(),
+                                status,
+                                self.mode(),
+                                guard,
+                            )
+                        };
+                    } else if left.is_head() {
+                        let _ = cas_resolved(&tn.pointers[direction], curr, 0, guard);
+                    }
+                } else {
+                    // pointers[1] must be the smallest key in the 1-subtree: make sure
+                    // the successor's prev is repaired (the paper's makeDone), then
+                    // swing forwards to `right`.
+                    self.skiplist().ensure_prev(left, right, guard);
+                    let status = right.status();
+                    if right.is_data() && status & 1 == 0 {
+                        // SAFETY: guard word is `right`'s status.
+                        let _ = unsafe {
+                            dcss(
+                                &tn.pointers[direction],
+                                curr,
+                                right.packed(),
+                                right.status_word_ptr(),
+                                status,
+                                self.mode(),
+                                guard,
+                            )
+                        };
+                    } else if right.is_tail() {
+                        let _ = cas_resolved(&tn.pointers[direction], curr, 0, guard);
+                    }
+                }
+                if spins > 128 {
+                    // The pointer keeps being re-pointed at deleted incarnations of
+                    // this key by racing operations; bail out — hints are self-healing
+                    // and linearizability does not depend on them.
+                    break;
+                }
+            }
+
+            // If the pointer's target is no longer inside the p·direction subtree,
+            // the subtree has become empty from the trie's perspective: clear it.
+            let curr = read_resolved(&tn.pointers[direction], guard);
+            if curr != 0 {
+                // SAFETY: pool-backed skiplist node.
+                if let Some(curr_node) = unsafe { NodeRef::<V>::from_packed(curr, guard) } {
+                    let in_tree =
+                        curr_node.is_data() && in_subtree(p, direction as u8, curr_node.key(), b);
+                    if !in_tree {
+                        let _ = cas_resolved(&tn.pointers[direction], curr, 0, guard);
+                    }
+                }
+            }
+
+            // If both subtrees are now empty, remove the trie node itself (the empty
+            // prefix ε is permanent).
+            if p.len > 0 {
+                let p0 = read_resolved(&tn.pointers[0], guard);
+                let p1 = read_resolved(&tn.pointers[1], guard);
+                if p0 == 0 && p1 == 0 && self.prefixes.remove_if(&p, |v| *v == tnp) {
+                    // SAFETY: we removed the entry; sole retirement owner.
+                    unsafe { retire_box(guard, tnp.0 as *mut TrieNode) };
+                }
+            }
+        }
+    }
+
+    /// Number of prefixes currently stored in the trie's hash table (statistics for
+    /// experiments F1/E5).
+    pub fn prefix_count(&self) -> usize {
+        self.prefixes.len()
+    }
+}

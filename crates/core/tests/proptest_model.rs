@@ -1,0 +1,123 @@
+//! Property-based tests for the SkipTrie: agreement with a `BTreeMap` model over
+//! arbitrary histories, for arbitrary universe widths and both DCSS modes, plus
+//! prefix-math properties used by the x-fast trie.
+
+use std::collections::BTreeMap;
+
+use proptest::prelude::*;
+use skiptrie::{key_bit, lcp_len, max_key, DcssMode, Prefix, SkipTrie, SkipTrieConfig};
+
+#[derive(Debug, Clone)]
+enum TrieOp {
+    Insert(u64),
+    Remove(u64),
+    Pred(u64),
+    Succ(u64),
+}
+
+fn op_strategy() -> impl Strategy<Value = TrieOp> {
+    prop_oneof![
+        any::<u64>().prop_map(TrieOp::Insert),
+        any::<u64>().prop_map(TrieOp::Remove),
+        any::<u64>().prop_map(TrieOp::Pred),
+        any::<u64>().prop_map(TrieOp::Succ),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn agrees_with_btreemap_for_any_universe_and_mode(
+        bits in 2u32..=64,
+        cas_only in any::<bool>(),
+        ops in proptest::collection::vec(op_strategy(), 1..250),
+    ) {
+        let mode = if cas_only { DcssMode::CasOnly } else { DcssMode::Descriptor };
+        let trie: SkipTrie<u64> = SkipTrie::new(
+            SkipTrieConfig::for_universe_bits(bits).with_mode(mode).with_seed(42),
+        );
+        let mut model: BTreeMap<u64, u64> = BTreeMap::new();
+        let clamp = max_key(bits);
+        for op in ops {
+            match op {
+                TrieOp::Insert(k) => {
+                    let k = k & clamp;
+                    let expected = !model.contains_key(&k);
+                    if expected {
+                        model.insert(k, k);
+                    }
+                    prop_assert_eq!(trie.insert(k, k), expected);
+                }
+                TrieOp::Remove(k) => {
+                    let k = k & clamp;
+                    prop_assert_eq!(trie.remove(k), model.remove(&k));
+                }
+                TrieOp::Pred(k) => {
+                    let k = k & clamp;
+                    let expected = model.range(..=k).next_back().map(|(a, b)| (*a, *b));
+                    prop_assert_eq!(trie.predecessor(k), expected);
+                }
+                TrieOp::Succ(k) => {
+                    let k = k & clamp;
+                    let expected = model.range(k..).next().map(|(a, b)| (*a, *b));
+                    prop_assert_eq!(trie.successor(k), expected);
+                }
+            }
+        }
+        prop_assert_eq!(trie.len(), model.len());
+        let expected: Vec<(u64, u64)> = model.into_iter().collect();
+        prop_assert_eq!(trie.to_vec(), expected);
+    }
+
+    /// Prefix arithmetic: prefixes of a key are prefixes, directions are consistent
+    /// with subtree membership, and lcp_len is symmetric and bounded.
+    #[test]
+    fn prefix_math_properties(key in any::<u64>(), other in any::<u64>(), bits in 2u32..=64) {
+        let key = key & max_key(bits);
+        let other = other & max_key(bits);
+        for len in 0..bits.min(16) as u8 {
+            let p = Prefix::of(key, len, bits);
+            prop_assert!(p.is_prefix_of(key, bits));
+            let d = key_bit(key, len, bits);
+            prop_assert!(
+                (len as u32 + 1) == bits
+                    || Prefix::of(key, len, bits).child(d).is_prefix_of(key, bits)
+            );
+        }
+        let l = lcp_len(key, other, bits);
+        prop_assert_eq!(l, lcp_len(other, key, bits));
+        prop_assert!(l <= bits);
+        if key == other {
+            prop_assert_eq!(l, bits);
+        } else {
+            // The keys agree on their first l bits and differ at bit l.
+            if l > 0 {
+                prop_assert_eq!(Prefix::of(key, l as u8, bits), Prefix::of(other, l as u8, bits));
+            }
+            prop_assert_ne!(key_bit(key, l as u8, bits), key_bit(other, l as u8, bits));
+        }
+    }
+
+    /// After inserting any set of keys, the top-level keys are a subset of the keys
+    /// and the prefix table never exceeds (universe_bits - 1) entries per top key + ε.
+    #[test]
+    fn trie_population_is_bounded(keys in proptest::collection::hash_set(any::<u16>(), 1..300)) {
+        let trie: SkipTrie<u16> = SkipTrie::new(SkipTrieConfig::for_universe_bits(16));
+        for &k in &keys {
+            trie.insert(k as u64, k);
+        }
+        let key_set: std::collections::HashSet<u64> = keys.iter().map(|&k| k as u64).collect();
+        let top = trie.top_level_keys();
+        for t in &top {
+            prop_assert!(key_set.contains(t));
+        }
+        prop_assert!(trie.prefix_count() <= top.len() * 15 + 1);
+        // Full drain returns the trie to its pristine state.
+        for &k in &keys {
+            prop_assert_eq!(trie.remove(k as u64), Some(k));
+        }
+        prop_assert!(trie.is_empty());
+        prop_assert_eq!(trie.prefix_count(), 1);
+    }
+}

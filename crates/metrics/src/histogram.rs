@@ -1,0 +1,231 @@
+//! A log₂-bucketed histogram for latency and size distributions.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+/// A histogram whose bucket `i` counts observations `v` with `floor(log2(v)) == i`
+/// (bucket 0 additionally holds `v == 0`).
+///
+/// This gives ~2x relative resolution over the full `u64` range with a fixed 65-slot
+/// footprint, which is plenty for the latency and spacing distributions reported in
+/// `EXPERIMENTS.md`.
+///
+/// # Examples
+///
+/// ```
+/// use skiptrie_metrics::Histogram;
+///
+/// let mut h = Histogram::new();
+/// for v in [1, 2, 3, 100, 1000] {
+///     h.record(v);
+/// }
+/// assert_eq!(h.count(), 5);
+/// assert!(h.mean() > 0.0);
+/// assert!(h.value_at_quantile(0.5) <= h.value_at_quantile(0.99));
+/// ```
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Histogram {
+    buckets: Vec<u64>,
+    count: u64,
+    sum: u128,
+    min: u64,
+    max: u64,
+}
+
+const NUM_BUCKETS: usize = 65;
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Histogram {
+    /// Creates an empty histogram.
+    pub fn new() -> Self {
+        Histogram {
+            buckets: vec![0; NUM_BUCKETS],
+            count: 0,
+            sum: 0,
+            min: u64::MAX,
+            max: 0,
+        }
+    }
+
+    fn bucket_index(value: u64) -> usize {
+        if value == 0 {
+            0
+        } else {
+            (64 - value.leading_zeros()) as usize
+        }
+    }
+
+    /// The representative (upper-bound) value for a bucket index.
+    fn bucket_upper(index: usize) -> u64 {
+        if index == 0 {
+            0
+        } else if index >= 64 {
+            u64::MAX
+        } else {
+            (1u64 << index) - 1
+        }
+    }
+
+    /// Records one observation.
+    pub fn record(&mut self, value: u64) {
+        self.buckets[Self::bucket_index(value)] += 1;
+        self.count += 1;
+        self.sum += value as u128;
+        self.min = self.min.min(value);
+        self.max = self.max.max(value);
+    }
+
+    /// Number of recorded observations.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Mean of the recorded observations (0.0 if empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// Smallest recorded value, or `None` if the histogram is empty.
+    pub fn min(&self) -> Option<u64> {
+        (self.count > 0).then_some(self.min)
+    }
+
+    /// Largest recorded value, or `None` if the histogram is empty.
+    pub fn max(&self) -> Option<u64> {
+        (self.count > 0).then_some(self.max)
+    }
+
+    /// An upper bound on the value at quantile `q` (`0.0..=1.0`), with bucket
+    /// (power-of-two) resolution. Returns 0 for an empty histogram.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `q` is not within `0.0..=1.0`.
+    pub fn value_at_quantile(&self, q: f64) -> u64 {
+        assert!((0.0..=1.0).contains(&q), "quantile must be in [0,1]");
+        if self.count == 0 {
+            return 0;
+        }
+        let target = (q * self.count as f64).ceil().max(1.0) as u64;
+        let mut seen = 0u64;
+        for (i, &c) in self.buckets.iter().enumerate() {
+            seen += c;
+            if seen >= target {
+                return Self::bucket_upper(i).min(self.max);
+            }
+        }
+        self.max
+    }
+
+    /// Merges another histogram into this one.
+    pub fn merge(&mut self, other: &Histogram) {
+        for (a, b) in self.buckets.iter_mut().zip(other.buckets.iter()) {
+            *a += b;
+        }
+        self.count += other.count;
+        self.sum += other.sum;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+
+    /// Iterates over non-empty buckets as `(upper_bound, count)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (u64, u64)> + '_ {
+        self.buckets
+            .iter()
+            .enumerate()
+            .filter(|(_, &c)| c > 0)
+            .map(|(i, &c)| (Self::bucket_upper(i), c))
+    }
+}
+
+impl fmt::Display for Histogram {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "n={} mean={:.2} min={} max={} p50<={} p99<={}",
+            self.count,
+            self.mean(),
+            self.min().unwrap_or(0),
+            self.max().unwrap_or(0),
+            self.value_at_quantile(0.5),
+            self.value_at_quantile(0.99),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_histogram() {
+        let h = Histogram::new();
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.mean(), 0.0);
+        assert_eq!(h.min(), None);
+        assert_eq!(h.max(), None);
+        assert_eq!(h.value_at_quantile(0.99), 0);
+    }
+
+    #[test]
+    fn bucket_indices_are_monotone() {
+        let values = [0u64, 1, 2, 3, 4, 7, 8, 1000, u64::MAX];
+        let mut last = 0;
+        for v in values {
+            let idx = Histogram::bucket_index(v);
+            assert!(idx >= last, "bucket index decreased for {v}");
+            last = idx;
+        }
+    }
+
+    #[test]
+    fn records_and_quantiles() {
+        let mut h = Histogram::new();
+        for v in 1..=1000u64 {
+            h.record(v);
+        }
+        assert_eq!(h.count(), 1000);
+        assert_eq!(h.min(), Some(1));
+        assert_eq!(h.max(), Some(1000));
+        let p50 = h.value_at_quantile(0.5);
+        let p99 = h.value_at_quantile(0.99);
+        assert!(p50 >= 500 / 2 && p50 <= 1023, "p50 bucket bound: {p50}");
+        assert!(p99 >= p50);
+        assert!((h.mean() - 500.5).abs() < 1.0);
+    }
+
+    #[test]
+    fn merge_combines_counts() {
+        let mut a = Histogram::new();
+        let mut b = Histogram::new();
+        a.record(5);
+        b.record(50_000);
+        a.merge(&b);
+        assert_eq!(a.count(), 2);
+        assert_eq!(a.min(), Some(5));
+        assert_eq!(a.max(), Some(50_000));
+    }
+
+    #[test]
+    #[should_panic(expected = "quantile")]
+    fn quantile_out_of_range_panics() {
+        Histogram::new().value_at_quantile(1.5);
+    }
+
+    #[test]
+    fn display_is_nonempty() {
+        let mut h = Histogram::new();
+        h.record(42);
+        assert!(h.to_string().contains("n=1"));
+    }
+}

@@ -1,0 +1,66 @@
+//! A tiny wall-clock stopwatch used by the throughput experiments.
+
+use std::time::{Duration, Instant};
+
+/// Measures elapsed wall-clock time for a benchmark phase.
+///
+/// # Examples
+///
+/// ```
+/// use skiptrie_metrics::Stopwatch;
+///
+/// let sw = Stopwatch::start();
+/// let elapsed = sw.elapsed();
+/// assert!(elapsed >= std::time::Duration::ZERO);
+/// ```
+#[derive(Debug, Clone, Copy)]
+pub struct Stopwatch {
+    start: Instant,
+}
+
+impl Stopwatch {
+    /// Starts a new stopwatch.
+    pub fn start() -> Self {
+        Stopwatch {
+            start: Instant::now(),
+        }
+    }
+
+    /// Time elapsed since the stopwatch was started.
+    pub fn elapsed(&self) -> Duration {
+        self.start.elapsed()
+    }
+
+    /// Operations per second given `ops` completed since start.
+    pub fn ops_per_second(&self, ops: u64) -> f64 {
+        crate::ops_per_second(ops, self.elapsed())
+    }
+}
+
+impl Default for Stopwatch {
+    fn default() -> Self {
+        Self::start()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn elapsed_is_monotone() {
+        let sw = Stopwatch::start();
+        let a = sw.elapsed();
+        let b = sw.elapsed();
+        assert!(b >= a);
+    }
+
+    #[test]
+    fn rate_is_positive() {
+        let sw = Stopwatch::start();
+        std::thread::sleep(Duration::from_millis(2));
+        let rate = sw.ops_per_second(100);
+        assert!(rate > 0.0);
+        assert!(rate.is_finite());
+    }
+}

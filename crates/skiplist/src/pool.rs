@@ -1,0 +1,184 @@
+//! A type-stable node pool.
+//!
+//! Skiplist nodes are never handed back to the global allocator while their structure
+//! is alive: "freeing" a node recycles it into this pool (after epoch quiescence), and
+//! allocation pops a recycled node if one is available. Two properties follow:
+//!
+//! 1. **Memory safety for DCSS helpers.** A helper completing someone else's DCSS may
+//!    dereference the descriptor's guard pointer (a node's status word) after the node
+//!    has been logically freed; because the memory is still a valid `Node`, the read is
+//!    well-defined, and the incarnation sequence number bumped by [`NodePool::recycle`]
+//!    makes the guard comparison fail, so the helper reaches the correct verdict.
+//! 2. **Defensive traversal.** Recycled nodes waiting in the pool are *poisoned*
+//!    (marked `next`, `u64::MAX` key, null guides), so any traversal that reaches one
+//!    through a stale hint sees an obviously-deleted node and falls back to a sentinel.
+//!
+//! The pool is per-structure; dropping the structure drops the pool and only then is
+//! memory returned to the allocator.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+use skiptrie_atomics::tagged;
+use skiptrie_metrics::{self as metrics, Counter};
+
+use crate::node::{Node, STATUS_SEQ_UNIT, STATUS_STOP};
+
+/// A type-stable free list of [`Node`] allocations (see module docs).
+pub(crate) struct NodePool<V> {
+    free: Mutex<Vec<*mut Node<V>>>,
+    /// Total nodes ever allocated from the system allocator by this pool.
+    allocated: AtomicUsize,
+    /// Total recycle operations (for space-accounting experiments).
+    recycled: AtomicUsize,
+}
+
+// SAFETY: the raw pointers in the free list are owned exclusively by the pool.
+unsafe impl<V: Send> Send for NodePool<V> {}
+unsafe impl<V: Send> Sync for NodePool<V> {}
+
+impl<V> NodePool<V> {
+    pub(crate) fn new() -> Self {
+        NodePool {
+            free: Mutex::new(Vec::new()),
+            allocated: AtomicUsize::new(0),
+            recycled: AtomicUsize::new(0),
+        }
+    }
+
+    /// Pops a recycled node or allocates a fresh one. The returned node is in the
+    /// poisoned state; the caller initializes every field except `status` (whose
+    /// sequence number must be preserved) before publishing it.
+    pub(crate) fn acquire(&self) -> *mut Node<V> {
+        metrics::record(Counter::NodeAllocated);
+        if let Some(ptr) = self.free.lock().expect("node pool poisoned").pop() {
+            return ptr;
+        }
+        self.allocated.fetch_add(1, Ordering::Relaxed);
+        Box::into_raw(Node::empty())
+    }
+
+    /// Recycles a node whose memory can no longer be reached by any pinned thread
+    /// (i.e. from an epoch-deferred callback, or for nodes that were never published).
+    ///
+    /// Poisons the traversal-visible fields, drops the value, clears STOP and bumps the
+    /// incarnation sequence number so stale DCSS guards referencing the old incarnation
+    /// can never match again.
+    ///
+    /// # Safety
+    ///
+    /// `ptr` must have been produced by [`NodePool::acquire`] of this pool, must not be
+    /// reachable from the structure, and must not be recycled twice.
+    pub(crate) unsafe fn recycle(&self, ptr: *mut Node<V>) {
+        metrics::record(Counter::NodeRetired);
+        let node = &*ptr;
+        // Bump the incarnation and clear STOP (single writer here: quiescent node).
+        let seq = node.status.load(Ordering::SeqCst) & !STATUS_STOP;
+        node.status.store(seq + STATUS_SEQ_UNIT, Ordering::SeqCst);
+        // Poison.
+        node.key.store(u64::MAX, Ordering::SeqCst);
+        node.next.store(tagged::with_mark(tagged::NULL), Ordering::SeqCst);
+        node.back.store(tagged::NULL, Ordering::SeqCst);
+        node.prev.store(tagged::NULL, Ordering::SeqCst);
+        node.ready.store(0, Ordering::SeqCst);
+        node.down.store(tagged::NULL, Ordering::SeqCst);
+        node.root.store(tagged::NULL, Ordering::SeqCst);
+        drop((*node.value.get()).take());
+        self.recycled.fetch_add(1, Ordering::Relaxed);
+        self.free.lock().expect("node pool poisoned").push(ptr);
+    }
+
+    /// Number of nodes obtained from the system allocator over the pool's lifetime.
+    pub(crate) fn allocated(&self) -> usize {
+        self.allocated.load(Ordering::Relaxed)
+    }
+
+    /// Number of recycle operations over the pool's lifetime.
+    pub(crate) fn recycled(&self) -> usize {
+        self.recycled.load(Ordering::Relaxed)
+    }
+
+    /// Number of nodes currently sitting in the free list.
+    pub(crate) fn free_len(&self) -> usize {
+        self.free.lock().expect("node pool poisoned").len()
+    }
+}
+
+impl<V> Drop for NodePool<V> {
+    fn drop(&mut self) {
+        let free = self.free.get_mut().expect("node pool poisoned");
+        for &ptr in free.iter() {
+            // SAFETY: pointers in the free list are exclusively owned by the pool.
+            unsafe { drop(Box::from_raw(ptr)) };
+        }
+        free.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn acquire_allocates_then_reuses() {
+        let pool: NodePool<u64> = NodePool::new();
+        let a = pool.acquire();
+        let b = pool.acquire();
+        assert_ne!(a, b);
+        assert_eq!(pool.allocated(), 2);
+        unsafe { pool.recycle(a) };
+        assert_eq!(pool.free_len(), 1);
+        let c = pool.acquire();
+        assert_eq!(c, a, "recycled node is reused");
+        assert_eq!(pool.allocated(), 2, "no new system allocation");
+        unsafe {
+            pool.recycle(b);
+            pool.recycle(c);
+        }
+    }
+
+    #[test]
+    fn recycle_bumps_sequence_and_clears_stop() {
+        let pool: NodePool<u64> = NodePool::new();
+        let ptr = pool.acquire();
+        let before = unsafe { (*ptr).status.load(Ordering::SeqCst) };
+        unsafe { (*ptr).set_stop() };
+        unsafe { pool.recycle(ptr) };
+        let after = unsafe { (*ptr).status.load(Ordering::SeqCst) };
+        assert_eq!(after & STATUS_STOP, 0, "STOP cleared");
+        assert_eq!(after, (before & !STATUS_STOP) + STATUS_SEQ_UNIT);
+    }
+
+    #[test]
+    fn recycle_drops_the_value() {
+        use std::sync::atomic::AtomicUsize;
+        use std::sync::Arc;
+
+        struct Tracked(Arc<AtomicUsize>);
+        impl Drop for Tracked {
+            fn drop(&mut self) {
+                self.0.fetch_add(1, Ordering::SeqCst);
+            }
+        }
+
+        let drops = Arc::new(AtomicUsize::new(0));
+        let pool: NodePool<Tracked> = NodePool::new();
+        let ptr = pool.acquire();
+        unsafe {
+            *(*ptr).value.get() = Some(Tracked(Arc::clone(&drops)));
+            pool.recycle(ptr);
+        }
+        assert_eq!(drops.load(Ordering::SeqCst), 1);
+    }
+
+    #[test]
+    fn drop_frees_pooled_nodes() {
+        let pool: NodePool<u64> = NodePool::new();
+        let ptrs: Vec<_> = (0..16).map(|_| pool.acquire()).collect();
+        for p in ptrs {
+            unsafe { pool.recycle(p) };
+        }
+        assert_eq!(pool.free_len(), 16);
+        drop(pool); // must not leak or double-free (asserted by miri/asan runs)
+    }
+}

@@ -1,0 +1,218 @@
+//! Level traversal: the paper's `listSearch` (Section 2), the descent that collects
+//! per-level predecessors, and the top-level guide walk used by `xFastTriePred`
+//! (Algorithm 4).
+
+use crossbeam_epoch::Guard;
+use skiptrie_atomics::dcss::{cas_resolved, read_resolved};
+use skiptrie_atomics::tagged;
+use skiptrie_metrics::{self as metrics, Counter};
+use std::sync::atomic::Ordering;
+
+use crate::node::{Node, NodeRef};
+use crate::SkipList;
+
+/// How many `back`/`prev` hops a guide walk follows before giving up and restarting
+/// from the head sentinel. The bound only matters under pathological recycling races;
+/// falling back to the head is always correct, merely slower.
+const WALK_HOP_LIMIT: usize = 256;
+/// After this many whole-search restarts, `list_search` starts over from the level's
+/// head sentinel instead of the caller's hint.
+const SEARCH_RESTART_LIMIT: usize = 3;
+
+impl<V> SkipList<V>
+where
+    V: Clone + Send + Sync + 'static,
+{
+    /// Turns a start hint into a usable traversal start for `level`: a node on that
+    /// level that is (best-effort) unmarked and has key `< x`. Falls back to the
+    /// level's head sentinel whenever the hint looks unusable.
+    fn valid_start<'g>(
+        &'g self,
+        level: u8,
+        x: u64,
+        start: &'g Node<V>,
+        attempt: usize,
+        guard: &'g Guard,
+    ) -> &'g Node<V> {
+        if attempt > SEARCH_RESTART_LIMIT {
+            return self.head(level);
+        }
+        let mut node = start;
+        let mut hops = 0usize;
+        loop {
+            if node.is_head() && node.level() == level {
+                return node;
+            }
+            // Wrong level, a tail, or a key that is not strictly smaller than the
+            // target: the hint cannot be used on this level.
+            if node.level() != level || node.is_tail() || (node.is_data() && node.key_ge(x)) {
+                return self.head(level);
+            }
+            let next = read_resolved(&node.next, guard);
+            if !tagged::is_marked(next) {
+                return node;
+            }
+            // The hint is logically deleted: retreat along its back pointer.
+            metrics::record(Counter::BackPointerFollowed);
+            let back = node.back.load(Ordering::SeqCst);
+            hops += 1;
+            if tagged::is_null(back) || hops > WALK_HOP_LIMIT {
+                return self.head(level);
+            }
+            // SAFETY: back pointers reference nodes of this structure; the pool keeps
+            // the memory valid and poisoned fields route us to the head above.
+            node = unsafe { &*tagged::unpack(back) };
+        }
+    }
+
+    /// The paper's `listSearch(x, start)` on one level: returns `(left, right)` such
+    /// that `left.key < x <= right.key`, both were unmarked when observed, and
+    /// `left.next == right` held at some point during the call. Marked nodes
+    /// encountered along the way are physically unlinked.
+    pub(crate) fn list_search<'g>(
+        &'g self,
+        level: u8,
+        x: u64,
+        start: &'g Node<V>,
+        guard: &'g Guard,
+    ) -> (&'g Node<V>, &'g Node<V>) {
+        let mut start_node = start;
+        let mut attempt = 0usize;
+        'restart: loop {
+            attempt += 1;
+            let left_start = self.valid_start(level, x, start_node, attempt, guard);
+            let mut left = left_start;
+            let left_next = read_resolved(&left.next, guard);
+            if tagged::is_marked(left_next) {
+                // The start became marked between validation and the read; retry (the
+                // validator will follow its back pointer or reset to the head).
+                metrics::record(Counter::Restart);
+                start_node = left;
+                continue 'restart;
+            }
+            let mut curr_word = tagged::untagged(left_next);
+            loop {
+                metrics::record(Counter::PtrRead);
+                if tagged::is_null(curr_word) {
+                    // Defensive: levels are tail-terminated, so a null successor means
+                    // we wandered onto poisoned memory via a stale hint.
+                    metrics::record(Counter::Restart);
+                    start_node = self.head(level);
+                    continue 'restart;
+                }
+                // SAFETY: node memory is type-stable (pool) and reached while pinned.
+                let curr: &Node<V> = unsafe { &*tagged::unpack(curr_word) };
+                let curr_next = read_resolved(&curr.next, guard);
+                if tagged::is_marked(curr_next) {
+                    let succ = tagged::untagged(curr_next);
+                    if tagged::is_null(succ) {
+                        // Poisoned (pooled) node reached through a stale link; never
+                        // splice a null into the list — restart from the head.
+                        metrics::record(Counter::Restart);
+                        start_node = self.head(level);
+                        continue 'restart;
+                    }
+                    // Physically unlink the logically deleted node.
+                    metrics::record(Counter::MarkedNodeSkipped);
+                    match cas_resolved(&left.next, curr_word, succ, guard) {
+                        Ok(()) => {
+                            curr_word = succ;
+                            continue;
+                        }
+                        Err(_) => {
+                            metrics::record(Counter::Restart);
+                            start_node = left;
+                            continue 'restart;
+                        }
+                    }
+                }
+                if curr.key_ge(x) {
+                    return (left, curr);
+                }
+                left = curr;
+                curr_word = tagged::untagged(curr_next);
+            }
+        }
+    }
+
+    /// Descends from `start_top` (a top-level node with key `< x`, or any usable hint)
+    /// collecting the `(left, right)` bracket of `x` on every level, top to bottom.
+    /// Index `i` of the returned vector is level `i`.
+    pub(crate) fn find_preds<'g>(
+        &'g self,
+        x: u64,
+        start_top: &'g Node<V>,
+        guard: &'g Guard,
+    ) -> Vec<(&'g Node<V>, &'g Node<V>)> {
+        let levels = self.levels();
+        let mut brackets: Vec<Option<(&Node<V>, &Node<V>)>> = vec![None; levels as usize];
+        let mut start = start_top;
+        for level in (0..levels).rev() {
+            let (left, right) = self.list_search(level, x, start, guard);
+            brackets[level as usize] = Some((left, right));
+            if level > 0 {
+                let down = left.down.load(Ordering::SeqCst);
+                start = if tagged::is_null(down) {
+                    self.head(level - 1)
+                } else {
+                    // SAFETY: `down` pointers reference the same tower one level
+                    // below; lower levels are retired only after upper ones, so the
+                    // standard epoch argument protects the dereference.
+                    unsafe { &*tagged::unpack(down) }
+                };
+            }
+        }
+        brackets.into_iter().map(|b| b.expect("all levels visited")).collect()
+    }
+
+    /// The walk of Algorithm 4 (`xFastTriePred`): starting from a (possibly marked,
+    /// possibly stale) top-level hint, follow `back` pointers of marked nodes and
+    /// `prev` guides of unmarked nodes until reaching a node whose key is `<= key`,
+    /// falling back to the head sentinel if the walk looks unproductive.
+    pub fn walk_to_le<'g>(&'g self, key: u64, start: NodeRef<'g, V>, guard: &'g Guard) -> NodeRef<'g, V> {
+        let top = self.top_level();
+        let mut curr: &Node<V> = start.node;
+        let mut hops = 0usize;
+        loop {
+            if curr.is_head() {
+                return NodeRef::new(self.head(top));
+            }
+            if curr.level() != top || curr.is_tail() {
+                // Stale hint (recycled node now living at another level, or poisoned
+                // pooled memory): restart from the sentinel.
+                return NodeRef::new(self.head(top));
+            }
+            if curr.key_value() <= key {
+                return NodeRef::new(curr);
+            }
+            let hop = if curr.is_marked(guard) {
+                metrics::record(Counter::BackPointerFollowed);
+                curr.back.load(Ordering::SeqCst)
+            } else {
+                metrics::record(Counter::PrevPointerFollowed);
+                read_resolved(&curr.prev, guard)
+            };
+            hops += 1;
+            if tagged::is_null(hop) || hops > WALK_HOP_LIMIT {
+                return NodeRef::new(self.head(top));
+            }
+            // SAFETY: guides reference nodes of this structure; pool keeps them valid.
+            curr = unsafe { &*tagged::unpack(hop) };
+        }
+    }
+
+    /// `listSearch` on the top level, exposed for the x-fast trie's delete-side
+    /// pointer swings (Algorithm 7 lines 12–17). Returns `(left, right)` bracketing
+    /// `key`.
+    pub fn top_list_search<'g>(
+        &'g self,
+        key: u64,
+        start: Option<NodeRef<'g, V>>,
+        guard: &'g Guard,
+    ) -> (NodeRef<'g, V>, NodeRef<'g, V>) {
+        let top = self.top_level();
+        let start_node = start.map(|r| r.node).unwrap_or_else(|| self.head(top));
+        let (l, r) = self.list_search(top, key, start_node, guard);
+        (NodeRef::new(l), NodeRef::new(r))
+    }
+}

@@ -1,0 +1,177 @@
+//! Property-based and concurrent stress tests for the truncated skiplist.
+
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+use proptest::prelude::*;
+use skiptrie_skiplist::{SkipList, SkipListConfig};
+
+#[derive(Debug, Clone)]
+enum ListOp {
+    Insert(u32),
+    Remove(u32),
+    Pred(u32),
+    Succ(u32),
+    Get(u32),
+}
+
+fn op_strategy() -> impl Strategy<Value = ListOp> {
+    prop_oneof![
+        any::<u32>().prop_map(ListOp::Insert),
+        any::<u32>().prop_map(ListOp::Remove),
+        any::<u32>().prop_map(ListOp::Pred),
+        any::<u32>().prop_map(ListOp::Succ),
+        any::<u32>().prop_map(ListOp::Get),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Arbitrary single-threaded histories agree with a BTreeMap model for any level
+    /// count from 1 (a plain lock-free list) to 6 (a 64-bit-universe SkipTrie substrate).
+    #[test]
+    fn agrees_with_btreemap(
+        levels in 1u8..=6,
+        ops in proptest::collection::vec(op_strategy(), 1..300),
+    ) {
+        let list: SkipList<u32> = SkipList::new(SkipListConfig {
+            levels,
+            ..SkipListConfig::for_universe_bits(32)
+        });
+        let mut model: BTreeMap<u64, u32> = BTreeMap::new();
+        for op in ops {
+            match op {
+                ListOp::Insert(k) => {
+                    let k64 = k as u64;
+                    let expected = !model.contains_key(&k64);
+                    if expected {
+                        model.insert(k64, k);
+                    }
+                    prop_assert_eq!(list.insert(k64, k), expected);
+                }
+                ListOp::Remove(k) => {
+                    prop_assert_eq!(list.remove(k as u64), model.remove(&(k as u64)));
+                }
+                ListOp::Pred(k) => {
+                    let expected = model.range(..=(k as u64)).next_back().map(|(a, b)| (*a, *b));
+                    prop_assert_eq!(list.predecessor(k as u64), expected);
+                }
+                ListOp::Succ(k) => {
+                    let expected = model.range((k as u64)..).next().map(|(a, b)| (*a, *b));
+                    prop_assert_eq!(list.successor(k as u64), expected);
+                }
+                ListOp::Get(k) => {
+                    prop_assert_eq!(list.get(k as u64), model.get(&(k as u64)).copied());
+                }
+            }
+        }
+        prop_assert_eq!(list.len(), model.len());
+        let expected: Vec<(u64, u32)> = model.into_iter().collect();
+        prop_assert_eq!(list.to_vec(), expected);
+    }
+
+    /// Level populations are always monotonically non-increasing with height and the
+    /// snapshot is sorted — for any insertion order.
+    #[test]
+    fn structural_invariants(keys in proptest::collection::hash_set(any::<u16>(), 1..500)) {
+        let list: SkipList<u16> = SkipList::new(SkipListConfig::for_universe_bits(16));
+        for &k in &keys {
+            prop_assert!(list.insert(k as u64, k));
+        }
+        let lengths = list.level_lengths();
+        prop_assert_eq!(lengths[0], keys.len());
+        for w in lengths.windows(2) {
+            prop_assert!(w[1] <= w[0]);
+        }
+        let snapshot = list.keys();
+        prop_assert!(snapshot.windows(2).all(|w| w[0] < w[1]));
+        prop_assert_eq!(snapshot.len(), keys.len());
+    }
+}
+
+/// Concurrent smoke stress: racing inserts and removes over a shared small key range,
+/// then a deterministic drain — run as a plain test so it is exercised on every
+/// `cargo test` invocation.
+#[test]
+fn concurrent_churn_stress() {
+    let list: Arc<SkipList<u64>> = Arc::new(SkipList::new(SkipListConfig::for_universe_bits(32)));
+    let threads = 8u64;
+    std::thread::scope(|scope| {
+        for t in 0..threads {
+            let list = Arc::clone(&list);
+            scope.spawn(move || {
+                let mut state = t + 1;
+                for i in 0..30_000u64 {
+                    state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                    let key = state % 2_048;
+                    if i % 2 == 0 {
+                        list.insert(key, key);
+                    } else {
+                        list.remove(key);
+                    }
+                }
+            });
+        }
+    });
+    // Quiescent invariants.
+    let keys = list.keys();
+    assert!(keys.windows(2).all(|w| w[0] < w[1]));
+    assert_eq!(keys.len(), list.len());
+    for &k in &keys {
+        assert_eq!(list.get(k), Some(k));
+    }
+    // Drain.
+    for k in keys {
+        assert_eq!(list.remove(k), Some(k));
+    }
+    assert!(list.is_empty());
+    assert_eq!(list.level_lengths().iter().sum::<usize>(), 0);
+}
+
+/// Concurrent readers never see values that were never inserted and predecessor never
+/// exceeds the query, even while writers churn.
+#[test]
+fn concurrent_readers_and_writers() {
+    let list: Arc<SkipList<u64>> = Arc::new(SkipList::new(SkipListConfig::for_universe_bits(24)));
+    for k in (0..1u64 << 16).step_by(64) {
+        list.insert(k, k + 1);
+    }
+    std::thread::scope(|scope| {
+        for t in 0..3u64 {
+            let list = Arc::clone(&list);
+            scope.spawn(move || {
+                let mut state = 0xabc + t;
+                for _ in 0..50_000 {
+                    state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+                    let key = state % (1 << 16);
+                    if key % 64 != 0 {
+                        if state % 2 == 0 {
+                            list.insert(key, key + 1);
+                        } else {
+                            list.remove(key);
+                        }
+                    }
+                }
+            });
+        }
+        for _ in 0..3 {
+            let list = Arc::clone(&list);
+            scope.spawn(move || {
+                let mut state = 0xdefu64;
+                for _ in 0..50_000 {
+                    state = state.wrapping_mul(6364136223846793005).wrapping_add(7);
+                    let q = state % (1 << 16);
+                    if let Some((k, v)) = list.predecessor(q) {
+                        assert!(k <= q);
+                        assert_eq!(v, k + 1, "value always key+1 in this test");
+                        // A stable anchor at floor(q/64)*64 always exists.
+                        assert!(k >= (q / 64) * 64);
+                    } else {
+                        panic!("anchor keys guarantee a predecessor for every query");
+                    }
+                }
+            });
+        }
+    });
+}

@@ -1,0 +1,39 @@
+//! A lock-free, resizable hash table based on **split-ordered lists**
+//! (Shalev & Shavit, "Split-ordered lists: Lock-free extensible hash tables").
+//!
+//! The SkipTrie stores the prefixes of its x-fast trie in exactly such a table
+//! (paper, Section 1: "For the hash table we use Split-Ordered Hashing \[19\], a
+//! resizable lock-free hash table that supports all operations in expected O(1)
+//! steps"), and additionally requires one extra operation,
+//! [`SplitOrderedMap::remove_if`], the paper's `compareAndDelete(p, n)`: remove the
+//! entry for `p` only if it still maps to trie node `n`.
+//!
+//! # How split-ordering works
+//!
+//! All items live in a single lock-free sorted linked list (a Harris-style list with
+//! logical deletion marks). The sort key is the *bit-reversed* hash: recursively
+//! splitting a bucket in two then corresponds to a contiguous split of the list, so
+//! the table can double its bucket count without moving a single item. Each bucket is
+//! a lazily-created *dummy* node that points into the list at the position where that
+//! bucket's items begin; a lookup hashes the key, finds (or initializes) the bucket's
+//! dummy, and scans a short expected-`O(1)` run of the list.
+//!
+//! # Examples
+//!
+//! ```
+//! use skiptrie_splitorder::SplitOrderedMap;
+//!
+//! let map: SplitOrderedMap<u64, u64> = SplitOrderedMap::new();
+//! assert!(map.insert(7, 700));
+//! assert!(!map.insert(7, 701), "insert is insert-if-absent");
+//! assert_eq!(map.get(&7), Some(700));
+//! assert!(map.remove_if(&7, |v| *v == 700));
+//! assert_eq!(map.get(&7), None);
+//! ```
+
+#![warn(missing_docs)]
+
+mod list;
+mod map;
+
+pub use map::SplitOrderedMap;

@@ -1,0 +1,549 @@
+//! The split-ordered hash map proper: a lazily-initialized, doubling bucket directory
+//! over the single lock-free list of [`crate::list`].
+
+use std::collections::hash_map::DefaultHasher;
+use std::hash::{Hash, Hasher};
+use std::sync::atomic::{AtomicPtr, AtomicU64, AtomicUsize, Ordering};
+
+use crossbeam_epoch::{self as epoch, Guard};
+use skiptrie_atomics::{retire_box, tagged};
+use skiptrie_metrics::{self as metrics, Counter};
+
+use crate::list::{self, ListNode};
+
+/// Buckets per directory segment (segments are allocated lazily).
+const SEGMENT_BITS: usize = 12;
+const SEGMENT_SIZE: usize = 1 << SEGMENT_BITS;
+/// Maximum number of segments; the table stops growing past
+/// `MAX_SEGMENTS * SEGMENT_SIZE` buckets (lookups stay correct, just with longer
+/// expected chains).
+const MAX_SEGMENTS: usize = 1 << 12;
+/// The table doubles once the average chain length exceeds this.
+const LOAD_FACTOR: usize = 3;
+
+type Segment = [AtomicU64; SEGMENT_SIZE];
+
+/// A lock-free, linearizable, resizable hash map with *insert-if-absent* semantics.
+///
+/// This is the `prefixes` table of the concurrent x-fast trie (paper, Section 4), but
+/// it is fully generic and reusable on its own. See the crate-level documentation for
+/// the split-ordering idea.
+///
+/// `K` must be `Ord` (used only to totally order same-hash collisions inside the
+/// list) in addition to the usual `Hash + Eq`. Values are returned by clone; use
+/// `Copy` types (the SkipTrie stores raw trie-node pointers) when reads are hot.
+pub struct SplitOrderedMap<K, V> {
+    /// Directory of lazily allocated segments; each bucket entry is a tagged pointer
+    /// to that bucket's dummy list node (null = uninitialized bucket).
+    directory: Box<[AtomicPtr<Segment>]>,
+    /// Current number of buckets in use (always a power of two).
+    size: AtomicUsize,
+    /// Number of regular (non-dummy) items.
+    count: AtomicUsize,
+    /// Dummy node of bucket 0 — the head of the entire list.
+    head: *const ListNode<K, V>,
+}
+
+// SAFETY: all shared mutation goes through atomics; nodes are managed via epoch
+// reclamation. `K`/`V` cross threads inside nodes.
+unsafe impl<K: Send + Sync, V: Send + Sync> Send for SplitOrderedMap<K, V> {}
+unsafe impl<K: Send + Sync, V: Send + Sync> Sync for SplitOrderedMap<K, V> {}
+
+impl<K, V> Default for SplitOrderedMap<K, V>
+where
+    K: Hash + Eq + Ord + Clone + Send + Sync + 'static,
+    V: Clone + Send + Sync + 'static,
+{
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+fn hash_key<K: Hash>(key: &K) -> u64 {
+    let mut hasher = DefaultHasher::new();
+    key.hash(&mut hasher);
+    hasher.finish()
+}
+
+/// Split-order key of a regular item: reversed hash with the lowest bit set, so it
+/// sorts strictly between its bucket's dummy and the next bucket's dummy.
+fn regular_so_key(hash: u64) -> u64 {
+    hash.reverse_bits() | 1
+}
+
+/// Split-order key of a bucket's dummy node.
+fn dummy_so_key(bucket: u64) -> u64 {
+    bucket.reverse_bits()
+}
+
+/// The "parent" bucket from which a new bucket is split off: the index with its most
+/// significant set bit cleared.
+fn parent_bucket(bucket: u64) -> u64 {
+    debug_assert!(bucket > 0);
+    let msb = 63 - bucket.leading_zeros();
+    bucket & !(1u64 << msb)
+}
+
+impl<K, V> SplitOrderedMap<K, V>
+where
+    K: Hash + Eq + Ord + Clone + Send + Sync + 'static,
+    V: Clone + Send + Sync + 'static,
+{
+    /// Creates an empty map with a single bucket.
+    pub fn new() -> Self {
+        let directory: Box<[AtomicPtr<Segment>]> = (0..MAX_SEGMENTS)
+            .map(|_| AtomicPtr::new(std::ptr::null_mut()))
+            .collect();
+        let head = Box::into_raw(ListNode::<K, V>::new_dummy(dummy_so_key(0)));
+        let map = SplitOrderedMap {
+            directory,
+            size: AtomicUsize::new(1),
+            count: AtomicUsize::new(0),
+            head,
+        };
+        map.set_bucket_entry(0, head);
+        map
+    }
+
+    /// Number of items currently in the map (linearizable only in quiescent states).
+    pub fn len(&self) -> usize {
+        self.count.load(Ordering::SeqCst)
+    }
+
+    /// True if the map holds no items (quiescently accurate).
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    fn segment(&self, index: usize) -> &Segment {
+        let seg_idx = index >> SEGMENT_BITS;
+        assert!(seg_idx < MAX_SEGMENTS, "bucket index out of range");
+        let ptr = self.directory[seg_idx].load(Ordering::SeqCst);
+        if !ptr.is_null() {
+            // SAFETY: segments are never freed while the map is alive.
+            return unsafe { &*ptr };
+        }
+        // Allocate a zeroed segment and race to install it.
+        let fresh: Box<Segment> = Box::new(std::array::from_fn(|_| AtomicU64::new(0)));
+        let fresh_ptr = Box::into_raw(fresh);
+        match self.directory[seg_idx].compare_exchange(
+            std::ptr::null_mut(),
+            fresh_ptr,
+            Ordering::SeqCst,
+            Ordering::SeqCst,
+        ) {
+            Ok(_) => unsafe { &*fresh_ptr },
+            Err(existing) => {
+                // Lost the race: free ours, use theirs.
+                unsafe { drop(Box::from_raw(fresh_ptr)) };
+                unsafe { &*existing }
+            }
+        }
+    }
+
+    fn bucket_entry(&self, bucket: u64) -> &AtomicU64 {
+        let index = bucket as usize;
+        &self.segment(index)[index & (SEGMENT_SIZE - 1)]
+    }
+
+    fn set_bucket_entry(&self, bucket: u64, dummy: *const ListNode<K, V>) {
+        self.bucket_entry(bucket)
+            .store(tagged::pack(dummy), Ordering::SeqCst);
+    }
+
+    /// Returns the dummy node for `bucket`, initializing it (and, recursively, its
+    /// parent buckets) if necessary.
+    fn get_bucket(&self, bucket: u64, guard: &Guard) -> *const ListNode<K, V> {
+        let entry = self.bucket_entry(bucket);
+        let word = entry.load(Ordering::SeqCst);
+        if !tagged::is_null(word) {
+            return tagged::unpack(word);
+        }
+        self.initialize_bucket(bucket, guard)
+    }
+
+    fn initialize_bucket(&self, bucket: u64, guard: &Guard) -> *const ListNode<K, V> {
+        debug_assert!(bucket > 0, "bucket 0 is initialized at construction");
+        let parent = parent_bucket(bucket);
+        let parent_entry = self.bucket_entry(parent).load(Ordering::SeqCst);
+        let parent_dummy: *const ListNode<K, V> = if tagged::is_null(parent_entry) {
+            self.initialize_bucket(parent, guard)
+        } else {
+            tagged::unpack(parent_entry)
+        };
+
+        // Insert (or find) the dummy for this bucket, starting from the parent dummy.
+        let so = dummy_so_key(bucket);
+        let dummy = ListNode::<K, V>::new_dummy(so);
+        // SAFETY: parent_dummy is a live dummy node; dummies are never removed.
+        let dummy_ptr = match unsafe { list::insert_at(parent_dummy, dummy, guard) } {
+            Ok(ptr) => ptr,
+            Err(_rejected) => {
+                // A dummy with this split-order key already exists; find it.
+                // SAFETY: as above.
+                let res = unsafe { list::find::<K, V>(parent_dummy, so, None, guard) };
+                debug_assert!(res.found);
+                tagged::unpack(res.curr_word)
+            }
+        };
+        let entry = self.bucket_entry(bucket);
+        let _ = entry.compare_exchange(
+            tagged::NULL,
+            tagged::pack(dummy_ptr),
+            Ordering::SeqCst,
+            Ordering::SeqCst,
+        );
+        // Whether we won or lost, the entry now points at the unique dummy for `so`.
+        tagged::unpack(entry.load(Ordering::SeqCst))
+    }
+
+    fn bucket_for_hash(&self, hash: u64) -> u64 {
+        hash & (self.size.load(Ordering::SeqCst) as u64 - 1)
+    }
+
+    /// Inserts `key -> value` if `key` is absent. Returns `true` if the insertion took
+    /// place, `false` if the key was already present (the existing value is kept).
+    pub fn insert(&self, key: K, value: V) -> bool {
+        metrics::record(Counter::HashOp);
+        let guard = epoch::pin();
+        let hash = hash_key(&key);
+        let so = regular_so_key(hash);
+        let bucket = self.bucket_for_hash(hash);
+        let dummy = self.get_bucket(bucket, &guard);
+        let node = ListNode::new_regular(so, key, value);
+        // SAFETY: `dummy` is a live dummy node of this map's list.
+        match unsafe { list::insert_at(dummy, node, &guard) } {
+            Ok(_) => {
+                let count = self.count.fetch_add(1, Ordering::SeqCst) + 1;
+                self.maybe_grow(count);
+                true
+            }
+            Err(_rejected) => false,
+        }
+    }
+
+    fn maybe_grow(&self, count: usize) {
+        let size = self.size.load(Ordering::SeqCst);
+        if count > size * LOAD_FACTOR && size < MAX_SEGMENTS * SEGMENT_SIZE {
+            // Doubling is a single CAS; items never move thanks to split-ordering.
+            let _ = self
+                .size
+                .compare_exchange(size, size * 2, Ordering::SeqCst, Ordering::SeqCst);
+        }
+    }
+
+    /// Returns a clone of the value mapped to `key`, if present.
+    pub fn get(&self, key: &K) -> Option<V> {
+        metrics::record(Counter::HashOp);
+        let guard = epoch::pin();
+        let hash = hash_key(key);
+        let so = regular_so_key(hash);
+        let bucket = self.bucket_for_hash(hash);
+        let dummy = self.get_bucket(bucket, &guard);
+        // SAFETY: `dummy` is a live dummy node of this map's list.
+        let res = unsafe { list::find(dummy, so, Some(key), &guard) };
+        if !res.found {
+            return None;
+        }
+        // SAFETY: found nodes are protected by the pin.
+        let node = unsafe { &*tagged::unpack::<ListNode<K, V>>(res.curr_word) };
+        node.value.clone()
+    }
+
+    /// True if `key` is present.
+    pub fn contains_key(&self, key: &K) -> bool {
+        self.get(key).is_some()
+    }
+
+    /// Removes `key` unconditionally. Returns the removed value, or `None` if absent.
+    pub fn remove(&self, key: &K) -> Option<V> {
+        self.remove_with(key, |_| true)
+    }
+
+    /// The paper's `compareAndDelete`: removes `key` only if `predicate` holds for the
+    /// currently mapped value (checked atomically with the removal, since values are
+    /// immutable per entry). Returns `true` if this call removed the entry.
+    pub fn remove_if(&self, key: &K, predicate: impl Fn(&V) -> bool) -> bool {
+        self.remove_with(key, predicate).is_some()
+    }
+
+    fn remove_with(&self, key: &K, predicate: impl Fn(&V) -> bool) -> Option<V> {
+        metrics::record(Counter::HashOp);
+        let guard = epoch::pin();
+        let hash = hash_key(key);
+        let so = regular_so_key(hash);
+        let bucket = self.bucket_for_hash(hash);
+        let dummy = self.get_bucket(bucket, &guard);
+        loop {
+            // SAFETY: `dummy` is a live dummy node of this map's list.
+            let res = unsafe { list::find(dummy, so, Some(key), &guard) };
+            if !res.found {
+                return None;
+            }
+            // SAFETY: protected by the pin.
+            let node = unsafe { &*tagged::unpack::<ListNode<K, V>>(res.curr_word) };
+            let value = node.value.as_ref().expect("regular nodes carry a value");
+            if !predicate(value) {
+                return None;
+            }
+            // Logically delete: set the mark on the victim's own next word.
+            let next = node.next.load(Ordering::SeqCst);
+            if tagged::is_marked(next) {
+                // Someone else is deleting it concurrently; as far as this call is
+                // concerned the key is (being) removed by them.
+                return None;
+            }
+            metrics::record(Counter::CasAttempt);
+            if node
+                .next
+                .compare_exchange(next, tagged::with_mark(next), Ordering::SeqCst, Ordering::SeqCst)
+                .is_err()
+            {
+                metrics::record(Counter::CasFailure);
+                continue; // next changed (insertion after us, or a racing delete); retry
+            }
+            let removed = value.clone();
+            // Physically unlink: try the quick CAS; on failure a fresh find() is
+            // guaranteed to complete the unlink (or observe it already done).
+            metrics::record(Counter::CasAttempt);
+            if res
+                .prev_link
+                .compare_exchange(res.curr_word, tagged::untagged(next), Ordering::SeqCst, Ordering::SeqCst)
+                .is_err()
+            {
+                metrics::record(Counter::CasFailure);
+                // SAFETY: as above.
+                let _ = unsafe { list::find(dummy, so, Some(key), &guard) };
+            }
+            self.count.fetch_sub(1, Ordering::SeqCst);
+            // We won the mark, so we own retirement.
+            // SAFETY: the node is unlinked and will not be retired by anyone else.
+            unsafe {
+                let victim = tagged::unpack::<ListNode<K, V>>(res.curr_word) as *mut ListNode<K, V>;
+                retire_box(&guard, victim);
+            }
+            return Some(removed);
+        }
+    }
+
+    /// Calls `f` for every `(key, value)` currently reachable. Intended for tests,
+    /// debugging and drop-time accounting; it is *not* a linearizable snapshot.
+    pub fn for_each(&self, mut f: impl FnMut(&K, &V)) {
+        let guard = epoch::pin();
+        let _ = &guard;
+        let mut cur = unsafe { (*self.head).next.load(Ordering::SeqCst) };
+        while !tagged::is_null(cur) {
+            // SAFETY: protected by the pin; traversal only follows live links.
+            let node = unsafe { &*tagged::unpack::<ListNode<K, V>>(cur) };
+            let next = node.next.load(Ordering::SeqCst);
+            if !tagged::is_marked(next) && !node.is_dummy() {
+                if let (Some(k), Some(v)) = (node.key.as_ref(), node.value.as_ref()) {
+                    f(k, v);
+                }
+            }
+            cur = tagged::untagged(next);
+        }
+    }
+}
+
+impl<K, V> Drop for SplitOrderedMap<K, V> {
+    fn drop(&mut self) {
+        // Exclusive access: free every list node (dummies included) and every segment.
+        unsafe {
+            let mut cur: *mut ListNode<K, V> = self.head as *mut _;
+            while !cur.is_null() {
+                let node = Box::from_raw(cur);
+                let next = node.next.load(Ordering::SeqCst);
+                cur = tagged::unpack::<ListNode<K, V>>(next) as *mut _;
+            }
+            for slot in self.directory.iter() {
+                let seg = slot.load(Ordering::SeqCst);
+                if !seg.is_null() {
+                    drop(Box::from_raw(seg));
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashMap;
+    use std::sync::Arc;
+
+    #[test]
+    fn so_key_helpers() {
+        assert_eq!(dummy_so_key(0), 0);
+        assert_eq!(parent_bucket(1), 0);
+        assert_eq!(parent_bucket(5), 1);
+        assert_eq!(parent_bucket(6), 2);
+        assert_eq!(parent_bucket(8), 0);
+        // Regular keys are odd after reversal, dummies even.
+        assert_eq!(regular_so_key(0) & 1, 1);
+        assert_eq!(dummy_so_key(3) & 1, 0);
+        // Ordering property: a bucket's dummy sorts before its items.
+        let h = 0xdead_beef_u64;
+        assert!(dummy_so_key(h & 7) < regular_so_key(h) || (h & 7) != h % 8);
+    }
+
+    #[test]
+    fn insert_get_remove_roundtrip() {
+        let map: SplitOrderedMap<u64, String> = SplitOrderedMap::new();
+        assert!(map.is_empty());
+        assert!(map.insert(1, "one".to_string()));
+        assert!(map.insert(2, "two".to_string()));
+        assert!(!map.insert(1, "uno".to_string()));
+        assert_eq!(map.len(), 2);
+        assert_eq!(map.get(&1).as_deref(), Some("one"));
+        assert_eq!(map.get(&3), None);
+        assert_eq!(map.remove(&1).as_deref(), Some("one"));
+        assert_eq!(map.get(&1), None);
+        assert_eq!(map.remove(&1), None);
+        assert_eq!(map.len(), 1);
+    }
+
+    #[test]
+    fn remove_if_checks_the_value() {
+        let map: SplitOrderedMap<u64, u64> = SplitOrderedMap::new();
+        map.insert(10, 100);
+        assert!(!map.remove_if(&10, |v| *v == 999));
+        assert_eq!(map.get(&10), Some(100));
+        assert!(map.remove_if(&10, |v| *v == 100));
+        assert_eq!(map.get(&10), None);
+        assert!(!map.remove_if(&11, |_| true));
+    }
+
+    #[test]
+    fn grows_past_many_items_and_stays_correct() {
+        let map: SplitOrderedMap<u64, u64> = SplitOrderedMap::new();
+        let n = 10_000u64;
+        for i in 0..n {
+            assert!(map.insert(i, i * 2));
+        }
+        assert_eq!(map.len(), n as usize);
+        assert!(map.size.load(Ordering::SeqCst) > 1, "table must have grown");
+        for i in 0..n {
+            assert_eq!(map.get(&i), Some(i * 2), "key {i}");
+        }
+        for i in (0..n).step_by(2) {
+            assert_eq!(map.remove(&i), Some(i * 2));
+        }
+        for i in 0..n {
+            let expected = if i % 2 == 0 { None } else { Some(i * 2) };
+            assert_eq!(map.get(&i), expected);
+        }
+        assert_eq!(map.len(), (n / 2) as usize);
+    }
+
+    #[test]
+    fn string_keys_work() {
+        let map: SplitOrderedMap<String, u64> = SplitOrderedMap::new();
+        for i in 0..500u64 {
+            assert!(map.insert(format!("key-{i}"), i));
+        }
+        for i in 0..500u64 {
+            assert_eq!(map.get(&format!("key-{i}")), Some(i));
+        }
+        assert_eq!(map.get(&"missing".to_string()), None);
+    }
+
+    #[test]
+    fn for_each_visits_live_entries() {
+        let map: SplitOrderedMap<u64, u64> = SplitOrderedMap::new();
+        for i in 0..100 {
+            map.insert(i, i);
+        }
+        for i in 0..50 {
+            map.remove(&i);
+        }
+        let mut collected = HashMap::new();
+        map.for_each(|k, v| {
+            collected.insert(*k, *v);
+        });
+        assert_eq!(collected.len(), 50);
+        assert!(collected.keys().all(|k| *k >= 50));
+    }
+
+    #[test]
+    fn concurrent_disjoint_inserts_all_land() {
+        let map = Arc::new(SplitOrderedMap::<u64, u64>::new());
+        let threads = 8;
+        let per_thread = 2_000u64;
+        let handles: Vec<_> = (0..threads)
+            .map(|t| {
+                let map = Arc::clone(&map);
+                std::thread::spawn(move || {
+                    for i in 0..per_thread {
+                        let key = t as u64 * per_thread + i;
+                        assert!(map.insert(key, key + 1));
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(map.len(), (threads as u64 * per_thread) as usize);
+        for key in 0..threads as u64 * per_thread {
+            assert_eq!(map.get(&key), Some(key + 1));
+        }
+    }
+
+    #[test]
+    fn concurrent_same_key_insert_races_have_one_winner() {
+        let map = Arc::new(SplitOrderedMap::<u64, u64>::new());
+        let threads = 8;
+        let keys = 200u64;
+        let handles: Vec<_> = (0..threads)
+            .map(|t| {
+                let map = Arc::clone(&map);
+                std::thread::spawn(move || {
+                    let mut wins = 0u64;
+                    for k in 0..keys {
+                        if map.insert(k, t as u64) {
+                            wins += 1;
+                        }
+                    }
+                    wins
+                })
+            })
+            .collect();
+        let total_wins: u64 = handles.into_iter().map(|h| h.join().unwrap()).sum();
+        assert_eq!(total_wins, keys, "each key must be inserted exactly once");
+        assert_eq!(map.len(), keys as usize);
+    }
+
+    #[test]
+    fn concurrent_insert_remove_churn_is_consistent() {
+        let map = Arc::new(SplitOrderedMap::<u64, u64>::new());
+        let threads = 8usize;
+        let iters = 3_000u64;
+        let handles: Vec<_> = (0..threads)
+            .map(|t| {
+                let map = Arc::clone(&map);
+                std::thread::spawn(move || {
+                    let mut net = 0i64;
+                    for i in 0..iters {
+                        // Each thread works on its own key range so the net count is
+                        // exactly reconstructible.
+                        let key = (t as u64) << 32 | (i % 64);
+                        if i % 2 == 0 {
+                            if map.insert(key, i) {
+                                net += 1;
+                            }
+                        } else if map.remove(&key).is_some() {
+                            net -= 1;
+                        }
+                    }
+                    net
+                })
+            })
+            .collect();
+        let net_total: i64 = handles.into_iter().map(|h| h.join().unwrap()).sum();
+        assert_eq!(map.len() as i64, net_total);
+        let mut live = 0;
+        map.for_each(|_, _| live += 1);
+        assert_eq!(live as i64, net_total);
+    }
+}

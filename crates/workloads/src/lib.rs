@@ -1,0 +1,337 @@
+//! Deterministic workload generation for the SkipTrie experiments.
+//!
+//! Every experiment in `EXPERIMENTS.md` is driven by a [`WorkloadSpec`]: a key
+//! distribution ([`KeyDist`]), an operation mix ([`OpMix`]), a prefill size and a
+//! per-thread operation count, all derived deterministically from a seed so that runs
+//! are reproducible and every structure under comparison sees exactly the same
+//! operation streams.
+
+#![warn(missing_docs)]
+
+mod rng;
+mod zipf;
+
+pub use rng::SplitMix64;
+pub use zipf::Zipf;
+
+use serde::{Deserialize, Serialize};
+
+/// How keys are drawn from the universe.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum KeyDist {
+    /// Uniformly random keys over the full `universe_bits`-bit universe.
+    Uniform,
+    /// Zipf-distributed ranks mapped over a window of `hot_range` keys — models a
+    /// skewed, contended working set.
+    Zipfian {
+        /// Number of distinct keys in the skewed window.
+        hot_range: u64,
+        /// Skew parameter `theta` (0 = uniform, 0.99 = heavily skewed).
+        theta: f64,
+    },
+    /// Keys drawn from `runs` dense runs of consecutive integers spread over the
+    /// universe — models clustered keys (timestamps, sequential IDs).
+    Clustered {
+        /// Number of dense runs.
+        runs: u64,
+        /// Length of each run.
+        run_len: u64,
+    },
+    /// Uniform keys restricted to a small window of `range` consecutive values —
+    /// the high-contention workload of experiment E4.
+    HotRange {
+        /// Width of the hot window.
+        range: u64,
+    },
+}
+
+impl KeyDist {
+    /// Draws a key from the distribution within a `universe_bits`-bit universe.
+    pub fn sample(&self, rng: &mut SplitMix64, zipf: Option<&Zipf>, universe_bits: u32) -> u64 {
+        let max = if universe_bits >= 64 {
+            u64::MAX
+        } else {
+            (1u64 << universe_bits) - 1
+        };
+        match *self {
+            KeyDist::Uniform => rng.next() & max,
+            KeyDist::Zipfian { hot_range, .. } => {
+                let rank = zipf.expect("zipf sampler prepared").sample(rng);
+                // Spread ranks over the universe so neighbouring ranks are not
+                // neighbouring keys (keeps the trie exercised).
+                (rank.wrapping_mul(0x9E37_79B9_7F4A_7C15) % hot_range.max(1)) & max
+            }
+            KeyDist::Clustered { runs, run_len } => {
+                let run = rng.next() % runs.max(1);
+                let offset = rng.next() % run_len.max(1);
+                let run_base = (run.wrapping_mul(0xD1B5_4A32_D192_ED03)) & max;
+                run_base.saturating_add(offset) & max
+            }
+            KeyDist::HotRange { range } => rng.next() % range.max(1),
+        }
+    }
+
+    /// Prepares the auxiliary Zipf sampler if this distribution needs one.
+    pub fn prepare(&self) -> Option<Zipf> {
+        match *self {
+            KeyDist::Zipfian { hot_range, theta } => Some(Zipf::new(hot_range.max(1), theta)),
+            _ => None,
+        }
+    }
+}
+
+/// Relative frequencies of the three operations, in percent (must sum to 100).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct OpMix {
+    /// Percentage of predecessor queries.
+    pub predecessor_pct: u8,
+    /// Percentage of insertions.
+    pub insert_pct: u8,
+    /// Percentage of removals.
+    pub remove_pct: u8,
+}
+
+impl OpMix {
+    /// 90% predecessor / 9% insert / 1% remove — the read-heavy mix of experiment E7.
+    pub const READ_HEAVY: OpMix = OpMix {
+        predecessor_pct: 90,
+        insert_pct: 9,
+        remove_pct: 1,
+    };
+    /// 50% predecessor / 25% insert / 25% remove — the update-heavy mix of E7.
+    pub const UPDATE_HEAVY: OpMix = OpMix {
+        predecessor_pct: 50,
+        insert_pct: 25,
+        remove_pct: 25,
+    };
+    /// 100% predecessor queries (E1/E2 step-count measurements).
+    pub const READ_ONLY: OpMix = OpMix {
+        predecessor_pct: 100,
+        insert_pct: 0,
+        remove_pct: 0,
+    };
+    /// 50% insert / 50% remove churn (E3 amortized-update measurements).
+    pub const CHURN: OpMix = OpMix {
+        predecessor_pct: 0,
+        insert_pct: 50,
+        remove_pct: 50,
+    };
+
+    /// Validates that the percentages sum to 100.
+    pub fn is_valid(&self) -> bool {
+        self.predecessor_pct as u16 + self.insert_pct as u16 + self.remove_pct as u16 == 100
+    }
+
+    fn pick(&self, roll: u64) -> OpKind {
+        let r = (roll % 100) as u8;
+        if r < self.predecessor_pct {
+            OpKind::Predecessor
+        } else if r < self.predecessor_pct + self.insert_pct {
+            OpKind::Insert
+        } else {
+            OpKind::Remove
+        }
+    }
+}
+
+/// One operation of a generated stream.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Op {
+    /// Insert the key (value = key).
+    Insert(u64),
+    /// Remove the key.
+    Remove(u64),
+    /// Predecessor query for the key.
+    Predecessor(u64),
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum OpKind {
+    Insert,
+    Remove,
+    Predecessor,
+}
+
+/// A complete, reproducible experiment workload.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct WorkloadSpec {
+    /// Width of the key universe in bits.
+    pub universe_bits: u32,
+    /// Number of keys inserted before measurement starts.
+    pub prefill: usize,
+    /// Operations generated per thread.
+    pub ops_per_thread: usize,
+    /// Number of worker threads.
+    pub threads: usize,
+    /// Key distribution.
+    pub dist: KeyDist,
+    /// Operation mix.
+    pub mix: OpMix,
+    /// Master seed; thread `i` derives its stream from `seed + i + 1`.
+    pub seed: u64,
+}
+
+impl WorkloadSpec {
+    /// A convenient single-threaded read-only spec used by the step-count experiments.
+    pub fn read_only(universe_bits: u32, prefill: usize, queries: usize, seed: u64) -> Self {
+        WorkloadSpec {
+            universe_bits,
+            prefill,
+            ops_per_thread: queries,
+            threads: 1,
+            dist: KeyDist::Uniform,
+            mix: OpMix::READ_ONLY,
+            seed,
+        }
+    }
+
+    /// The keys inserted during the prefill phase (deterministic, duplicate-free).
+    pub fn prefill_keys(&self) -> Vec<u64> {
+        let mut rng = SplitMix64::new(self.seed ^ 0xbeef_cafe_f00d_0001);
+        let zipf = self.dist.prepare();
+        let mut keys = Vec::with_capacity(self.prefill);
+        let mut seen = std::collections::HashSet::with_capacity(self.prefill * 2);
+        while keys.len() < self.prefill {
+            let k = self.dist.sample(&mut rng, zipf.as_ref(), self.universe_bits);
+            if seen.insert(k) {
+                keys.push(k);
+            }
+        }
+        keys
+    }
+
+    /// The operation stream for thread `thread` (deterministic).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `thread >= self.threads` or the operation mix is invalid.
+    pub fn thread_ops(&self, thread: usize) -> Vec<Op> {
+        assert!(thread < self.threads, "thread index out of range");
+        assert!(self.mix.is_valid(), "operation mix must sum to 100");
+        let mut rng = SplitMix64::new(self.seed.wrapping_add(thread as u64 + 1));
+        let zipf = self.dist.prepare();
+        (0..self.ops_per_thread)
+            .map(|_| {
+                let kind = self.mix.pick(rng.next());
+                let key = self.dist.sample(&mut rng, zipf.as_ref(), self.universe_bits);
+                match kind {
+                    OpKind::Insert => Op::Insert(key),
+                    OpKind::Remove => Op::Remove(key),
+                    OpKind::Predecessor => Op::Predecessor(key),
+                }
+            })
+            .collect()
+    }
+
+    /// Total number of generated operations across all threads.
+    pub fn total_ops(&self) -> usize {
+        self.ops_per_thread * self.threads
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn op_mixes_are_valid() {
+        for mix in [OpMix::READ_HEAVY, OpMix::UPDATE_HEAVY, OpMix::READ_ONLY, OpMix::CHURN] {
+            assert!(mix.is_valid());
+        }
+        assert!(!OpMix {
+            predecessor_pct: 50,
+            insert_pct: 10,
+            remove_pct: 10
+        }
+        .is_valid());
+    }
+
+    #[test]
+    fn mix_pick_respects_ratios() {
+        let mix = OpMix::READ_HEAVY;
+        let mut rng = SplitMix64::new(1);
+        let mut counts = [0usize; 3];
+        for _ in 0..100_000 {
+            match mix.pick(rng.next()) {
+                OpKind::Predecessor => counts[0] += 1,
+                OpKind::Insert => counts[1] += 1,
+                OpKind::Remove => counts[2] += 1,
+            }
+        }
+        let pred_frac = counts[0] as f64 / 100_000.0;
+        assert!((0.88..0.92).contains(&pred_frac), "{pred_frac}");
+    }
+
+    #[test]
+    fn workload_is_deterministic_and_per_thread_distinct() {
+        let spec = WorkloadSpec {
+            universe_bits: 32,
+            prefill: 100,
+            ops_per_thread: 500,
+            threads: 4,
+            dist: KeyDist::Uniform,
+            mix: OpMix::UPDATE_HEAVY,
+            seed: 42,
+        };
+        assert_eq!(spec.thread_ops(0), spec.thread_ops(0));
+        assert_ne!(spec.thread_ops(0), spec.thread_ops(1));
+        assert_eq!(spec.prefill_keys(), spec.prefill_keys());
+        assert_eq!(spec.prefill_keys().len(), 100);
+        assert_eq!(spec.total_ops(), 2_000);
+    }
+
+    #[test]
+    fn prefill_keys_are_unique_and_in_universe() {
+        let spec = WorkloadSpec {
+            universe_bits: 16,
+            prefill: 5_000,
+            ops_per_thread: 0,
+            threads: 1,
+            dist: KeyDist::Uniform,
+            mix: OpMix::READ_ONLY,
+            seed: 7,
+        };
+        let keys = spec.prefill_keys();
+        let unique: std::collections::HashSet<_> = keys.iter().collect();
+        assert_eq!(unique.len(), keys.len());
+        assert!(keys.iter().all(|k| *k < (1 << 16)));
+    }
+
+    #[test]
+    fn distributions_stay_in_universe() {
+        let mut rng = SplitMix64::new(3);
+        for dist in [
+            KeyDist::Uniform,
+            KeyDist::Zipfian {
+                hot_range: 1_000,
+                theta: 0.99,
+            },
+            KeyDist::Clustered { runs: 10, run_len: 100 },
+            KeyDist::HotRange { range: 64 },
+        ] {
+            let zipf = dist.prepare();
+            for _ in 0..10_000 {
+                let k = dist.sample(&mut rng, zipf.as_ref(), 20);
+                assert!(k < (1 << 20), "{dist:?} produced out-of-universe key {k}");
+            }
+        }
+    }
+
+    #[test]
+    fn hot_range_is_actually_hot() {
+        let dist = KeyDist::HotRange { range: 8 };
+        let mut rng = SplitMix64::new(9);
+        let mut seen = std::collections::HashSet::new();
+        for _ in 0..1_000 {
+            seen.insert(dist.sample(&mut rng, None, 32));
+        }
+        assert!(seen.len() <= 8);
+    }
+
+    #[test]
+    #[should_panic(expected = "thread index out of range")]
+    fn thread_index_is_validated() {
+        let spec = WorkloadSpec::read_only(32, 0, 10, 1);
+        let _ = spec.thread_ops(5);
+    }
+}

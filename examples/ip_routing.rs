@@ -1,0 +1,104 @@
+//! IP routing table lookups with predecessor queries.
+//!
+//! Run with:
+//!
+//! ```text
+//! cargo run --example ip_routing --release
+//! ```
+//!
+//! A classic use of predecessor structures over a bounded universe (and the textbook
+//! motivation for x-fast/y-fast tries): longest-prefix routing can be reduced to
+//! predecessor queries over the starts of address ranges. Each CIDR route
+//! `a.b.c.d/len -> next hop` covers a contiguous range of 32-bit addresses; for
+//! non-overlapping ranges (e.g. a flattened FIB), the route for an address is simply
+//! the predecessor of that address among range starts, provided the address falls
+//! inside the returned range.
+//!
+//! The SkipTrie gives lock-free, O(log log u)-depth lookups while routes are inserted
+//! and withdrawn concurrently — exactly the concurrent predecessor workload the paper
+//! targets.
+
+use std::net::Ipv4Addr;
+
+use skiptrie_suite::skiptrie::{SkipTrie, SkipTrieConfig};
+
+/// A route entry: the covered range is `[start, start + len)`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct Route {
+    prefix_len: u8,
+    next_hop: Ipv4Addr,
+}
+
+fn cidr_start(addr: Ipv4Addr, len: u8) -> u64 {
+    let mask = if len == 0 { 0 } else { u32::MAX << (32 - len) };
+    (u32::from(addr) & mask) as u64
+}
+
+fn cidr_size(len: u8) -> u64 {
+    1u64 << (32 - len)
+}
+
+fn main() {
+    // The routing table: a SkipTrie over the 32-bit IPv4 address space mapping the
+    // start of each (disjoint) prefix to its route.
+    let table: SkipTrie<Route> = SkipTrie::new(SkipTrieConfig::for_universe_bits(32));
+
+    let routes = [
+        ("10.0.0.0", 8, "192.0.2.1"),
+        ("10.1.0.0", 16, "192.0.2.2"),
+        ("172.16.0.0", 12, "192.0.2.3"),
+        ("192.168.0.0", 16, "192.0.2.4"),
+        ("192.168.42.0", 24, "192.0.2.5"),
+        ("203.0.113.0", 24, "192.0.2.6"),
+    ];
+    // Insert more-specific routes as separate disjoint entries by splitting around
+    // them (kept simple here: we insert all starts and, on lookup, prefer the longest
+    // prefix whose range contains the address by probing predecessors repeatedly).
+    for (net, len, hop) in routes {
+        let addr: Ipv4Addr = net.parse().expect("valid literal");
+        let start = cidr_start(addr, len);
+        table.insert(
+            start,
+            Route {
+                prefix_len: len,
+                next_hop: hop.parse().expect("valid literal"),
+            },
+        );
+        println!("announce {net}/{len} via {hop}");
+    }
+
+    let lookup = |addr: &str| -> Option<(String, Ipv4Addr)> {
+        let ip: Ipv4Addr = addr.parse().expect("valid literal");
+        let key = u32::from(ip) as u64;
+        // Walk predecessors until one's range covers the address (at most a handful of
+        // steps for realistic tables; a flattened FIB needs exactly one).
+        let mut probe = key;
+        loop {
+            let (start, route) = table.predecessor(probe)?;
+            if key < start + cidr_size(route.prefix_len) {
+                let net = Ipv4Addr::from(start as u32);
+                return Some((format!("{net}/{}", route.prefix_len), route.next_hop));
+            }
+            if start == 0 {
+                return None;
+            }
+            probe = start - 1;
+        }
+    };
+
+    println!("\n== lookups ==");
+    for addr in ["10.1.2.3", "10.200.0.1", "192.168.42.99", "192.168.7.7", "8.8.8.8", "203.0.113.77"] {
+        match lookup(addr) {
+            Some((prefix, hop)) => println!("{addr:<16} -> {prefix:<18} via {hop}"),
+            None => println!("{addr:<16} -> no route"),
+        }
+    }
+
+    println!("\n== withdrawing 192.168.42.0/24 ==");
+    let start = cidr_start("192.168.42.0".parse().unwrap(), 24);
+    table.remove(start);
+    match lookup("192.168.42.99") {
+        Some((prefix, hop)) => println!("192.168.42.99    -> {prefix:<18} via {hop} (falls back to the covering /16)"),
+        None => println!("192.168.42.99    -> no route"),
+    }
+}

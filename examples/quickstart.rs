@@ -1,0 +1,51 @@
+//! Quickstart: the SkipTrie as an ordered concurrent map.
+//!
+//! Run with:
+//!
+//! ```text
+//! cargo run --example quickstart --release
+//! ```
+//!
+//! Demonstrates the basic API (insert / get / predecessor / successor / remove), the
+//! configuration of the key universe, and a peek at the internal structure the paper
+//! describes (truncated skiplist levels + x-fast trie population).
+
+use skiptrie_suite::skiptrie::{SkipTrie, SkipTrieConfig};
+
+fn main() {
+    // A SkipTrie over 32-bit keys: u = 2^32, so the skiplist has log log u = 5 levels
+    // and roughly one key in log u = 32 is indexed by the x-fast trie.
+    let trie: SkipTrie<&'static str> = SkipTrie::new(SkipTrieConfig::for_universe_bits(32));
+
+    println!("== inserting a few keys ==");
+    for (key, name) in [(10_u64, "ten"), (1_000, "one thousand"), (1_000_000, "one million")] {
+        let fresh = trie.insert(key, name);
+        println!("insert {key:>9} -> {name:<14} (new: {fresh})");
+    }
+    assert!(!trie.insert(10, "duplicate"), "duplicate inserts are rejected");
+
+    println!("\n== point and predecessor queries ==");
+    println!("get(1000)            = {:?}", trie.get(1_000));
+    println!("predecessor(999_999) = {:?}", trie.predecessor(999_999));
+    println!("predecessor(10)      = {:?}", trie.predecessor(10));
+    println!("strict_pred(10)      = {:?}", trie.strict_predecessor(10));
+    println!("successor(11)        = {:?}", trie.successor(11));
+    println!("successor(2_000_000) = {:?}", trie.successor(2_000_000));
+
+    println!("\n== removal ==");
+    println!("remove(1000)         = {:?}", trie.remove(1_000));
+    println!("predecessor(999_999) = {:?}", trie.predecessor(999_999));
+
+    // Populate a larger set to see the probabilistic structure of the paper's Fig. 1.
+    println!("\n== structure after 100_000 inserts ==");
+    for k in 0..100_000u64 {
+        trie.insert(k * 41_913 % (1 << 32), "bulk");
+    }
+    let levels = trie.level_lengths();
+    for (level, count) in levels.iter().enumerate() {
+        println!("skiplist level {level}: {count} nodes");
+    }
+    println!("top-level keys (indexed in the x-fast trie): {}", trie.top_level_keys().len());
+    println!("x-fast trie prefixes: {}", trie.prefix_count());
+    println!("total keys: {}", trie.len());
+}

@@ -1,0 +1,13 @@
+//! Umbrella crate for the SkipTrie reproduction workspace.
+//!
+//! This crate exists to host the runnable [examples](https://doc.rust-lang.org/cargo/reference/cargo-targets.html#examples)
+//! and the cross-crate integration tests in `/tests`. It simply re-exports the
+//! member crates so that examples and tests can use a single import root.
+
+pub use skiptrie;
+pub use skiptrie_atomics as atomics;
+pub use skiptrie_baselines as baselines;
+pub use skiptrie_metrics as metrics;
+pub use skiptrie_skiplist as skiplist;
+pub use skiptrie_splitorder as splitorder;
+pub use skiptrie_workloads as workloads;

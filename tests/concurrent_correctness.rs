@@ -1,0 +1,211 @@
+//! Cross-crate integration tests: concurrent correctness of the SkipTrie under
+//! adversarial interleavings.
+//!
+//! These tests exercise the full composition (truncated skiplist + doubly-linked top
+//! level + split-ordered hash table + x-fast trie) from many threads and check
+//! linearizability-observable invariants: per-key insert/remove winners are unique,
+//! predecessor answers are never wrong with respect to keys that are stably present,
+//! and the structure converges to exactly the expected contents at quiescence.
+
+use std::collections::BTreeSet;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use skiptrie_suite::skiptrie::{DcssMode, SkipTrie, SkipTrieConfig};
+use skiptrie_suite::workloads::SplitMix64;
+
+/// Each key is inserted by exactly one thread even when every thread races to insert
+/// the same key set (the linearization point of insert is unique).
+#[test]
+fn racing_inserts_have_unique_winners() {
+    let trie: Arc<SkipTrie<u64>> = Arc::new(SkipTrie::new(SkipTrieConfig::for_universe_bits(24)));
+    let threads = 8u64;
+    let keys = 4_000u64;
+    let wins = Arc::new(AtomicU64::new(0));
+    std::thread::scope(|scope| {
+        for t in 0..threads {
+            let trie = Arc::clone(&trie);
+            let wins = Arc::clone(&wins);
+            scope.spawn(move || {
+                for k in 0..keys {
+                    if trie.insert(k, t) {
+                        wins.fetch_add(1, Ordering::Relaxed);
+                    }
+                }
+            });
+        }
+    });
+    assert_eq!(wins.load(Ordering::Relaxed), keys);
+    assert_eq!(trie.len(), keys as usize);
+    for k in 0..keys {
+        assert!(trie.contains(k), "key {k} must be present");
+    }
+}
+
+/// Each present key is removed by exactly one thread when every thread races to
+/// remove the same key set.
+#[test]
+fn racing_removes_have_unique_winners() {
+    let trie: Arc<SkipTrie<u64>> = Arc::new(SkipTrie::new(SkipTrieConfig::for_universe_bits(24)));
+    let keys = 4_000u64;
+    for k in 0..keys {
+        trie.insert(k, k);
+    }
+    let removed = Arc::new(AtomicU64::new(0));
+    std::thread::scope(|scope| {
+        for _ in 0..8 {
+            let trie = Arc::clone(&trie);
+            let removed = Arc::clone(&removed);
+            scope.spawn(move || {
+                for k in 0..keys {
+                    if trie.remove(k).is_some() {
+                        removed.fetch_add(1, Ordering::Relaxed);
+                    }
+                }
+            });
+        }
+    });
+    assert_eq!(removed.load(Ordering::Relaxed), keys);
+    assert!(trie.is_empty());
+    assert_eq!(trie.keys(), Vec::<u64>::new());
+}
+
+/// Disjoint per-thread key ranges: after the run the contents are exactly the union of
+/// what each thread decided to leave in place (deterministic per-thread streams).
+#[test]
+fn disjoint_churn_converges_to_expected_contents() {
+    // 64-bit universe: per-thread key ranges are disjoint via the top 32 bits.
+    let trie: Arc<SkipTrie<u64>> = Arc::new(SkipTrie::new(SkipTrieConfig::for_universe_bits(64)));
+    let threads = 8u64;
+    let per_thread_ops = 20_000u64;
+    let mut expected = BTreeSet::new();
+    // Precompute each thread's final state with the same deterministic stream the
+    // thread will execute.
+    for t in 0..threads {
+        let mut rng = SplitMix64::new(t + 1);
+        let mut local = BTreeSet::new();
+        for _ in 0..per_thread_ops {
+            let key = (t << 32) | (rng.next() % 5_000);
+            if rng.next() % 2 == 0 {
+                local.insert(key);
+            } else {
+                local.remove(&key);
+            }
+        }
+        expected.extend(local);
+    }
+    std::thread::scope(|scope| {
+        for t in 0..threads {
+            let trie = Arc::clone(&trie);
+            scope.spawn(move || {
+                let mut rng = SplitMix64::new(t + 1);
+                for _ in 0..per_thread_ops {
+                    let key = (t << 32) | (rng.next() % 5_000);
+                    if rng.next() % 2 == 0 {
+                        trie.insert(key, key);
+                    } else {
+                        trie.remove(key);
+                    }
+                }
+            });
+        }
+    });
+    let final_keys: Vec<u64> = trie.keys();
+    let expected_keys: Vec<u64> = expected.into_iter().collect();
+    assert_eq!(final_keys, expected_keys);
+    assert_eq!(trie.len(), final_keys.len());
+}
+
+/// Readers running against writers never observe an impossible answer: a predecessor
+/// result must be `<= query`, must be a key that was inserted at some point, and must
+/// never skip over a *stable* key (one inserted before the readers started and never
+/// removed).
+#[test]
+fn predecessor_queries_respect_stable_keys_under_churn() {
+    let trie: Arc<SkipTrie<u64>> = Arc::new(SkipTrie::new(SkipTrieConfig::for_universe_bits(32)));
+    // Stable keys at multiples of 1000 (never touched by writers).
+    let stable_stride = 1_000u64;
+    let stable_max = 2_000_000u64;
+    for k in (0..stable_max).step_by(stable_stride as usize) {
+        trie.insert(k, k);
+    }
+    std::thread::scope(|scope| {
+        // Writers churn keys that are NOT multiples of 1000.
+        for t in 0..4u64 {
+            let trie = Arc::clone(&trie);
+            scope.spawn(move || {
+                let mut rng = SplitMix64::new(0xbad + t);
+                for _ in 0..100_000 {
+                    let mut key = rng.next() % stable_max;
+                    if key % stable_stride == 0 {
+                        key += 1;
+                    }
+                    if rng.next() % 2 == 0 {
+                        trie.insert(key, key);
+                    } else {
+                        trie.remove(key);
+                    }
+                }
+            });
+        }
+        // Readers check the stable-key floor property.
+        for r in 0..3u64 {
+            let trie = Arc::clone(&trie);
+            scope.spawn(move || {
+                let mut rng = SplitMix64::new(0x5ead + r);
+                for _ in 0..100_000 {
+                    let q = rng.next() % stable_max;
+                    let floor_stable = (q / stable_stride) * stable_stride;
+                    match trie.predecessor(q) {
+                        Some((k, _)) => {
+                            assert!(k <= q, "predecessor {k} exceeds query {q}");
+                            assert!(
+                                k >= floor_stable,
+                                "predecessor {k} skipped stable key {floor_stable} (query {q})"
+                            );
+                        }
+                        None => panic!("a stable key <= {q} always exists"),
+                    }
+                }
+            });
+        }
+    });
+}
+
+/// The CAS-fallback mode (the paper's "it is permissible to fall back to CAS") stays
+/// correct under the same concurrent churn.
+#[test]
+fn cas_fallback_mode_is_correct_under_churn() {
+    let trie: Arc<SkipTrie<u64>> = Arc::new(SkipTrie::new(
+        SkipTrieConfig::for_universe_bits(24).with_mode(DcssMode::CasOnly),
+    ));
+    let threads = 6u64;
+    std::thread::scope(|scope| {
+        for t in 0..threads {
+            let trie = Arc::clone(&trie);
+            scope.spawn(move || {
+                let mut rng = SplitMix64::new(t + 100);
+                for _ in 0..30_000 {
+                    let key = (t << 20) | (rng.next() % 3_000);
+                    match rng.next() % 3 {
+                        0 => {
+                            trie.insert(key, key);
+                        }
+                        1 => {
+                            trie.remove(key);
+                        }
+                        _ => {
+                            if let Some((k, _)) = trie.predecessor(key) {
+                                assert!(k <= key);
+                            }
+                        }
+                    }
+                }
+            });
+        }
+    });
+    // Quiescent sanity: snapshot is sorted and duplicate-free.
+    let keys = trie.keys();
+    assert!(keys.windows(2).all(|w| w[0] < w[1]));
+    assert_eq!(trie.len(), keys.len());
+}
