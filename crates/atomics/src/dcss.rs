@@ -130,9 +130,9 @@ unsafe fn help(target: &AtomicU64, desc_word: u64, _epoch: &Guard) {
         } else {
             FAILED
         };
-        let _ = desc
-            .outcome
-            .compare_exchange(UNDECIDED, proposal, Ordering::AcqRel, Ordering::Acquire);
+        let _ =
+            desc.outcome
+                .compare_exchange(UNDECIDED, proposal, Ordering::AcqRel, Ordering::Acquire);
     }
     let decided = desc.outcome.load(Ordering::Acquire);
     debug_assert_ne!(decided, UNDECIDED);
@@ -261,12 +261,7 @@ pub unsafe fn dcss(
 /// Returns `Ok(())` on success and `Err(resolved_actual)` on failure. Used for
 /// unconditional swings (e.g. physically unlinking a marked node) so that they compose
 /// correctly with concurrent DCSS operations on the same word.
-pub fn cas_resolved(
-    target: &AtomicU64,
-    expected: u64,
-    new: u64,
-    epoch: &Guard,
-) -> Result<(), u64> {
+pub fn cas_resolved(target: &AtomicU64, expected: u64, new: u64, epoch: &Guard) -> Result<(), u64> {
     metrics::record(Counter::CasAttempt);
     match target.compare_exchange(expected, new, Ordering::SeqCst, Ordering::SeqCst) {
         Ok(_) => Ok(()),
@@ -367,7 +362,15 @@ mod tests {
                         let cur = read_resolved(&target, &g);
                         let next = cur + 4; // keep tag bits clear
                         let res = unsafe {
-                            dcss(&target, cur, next, &*guard_word as *const _, 0, DcssMode::Descriptor, &g)
+                            dcss(
+                                &target,
+                                cur,
+                                next,
+                                &*guard_word as *const _,
+                                0,
+                                DcssMode::Descriptor,
+                                &g,
+                            )
                         };
                         if res.is_ok() {
                             applied += 1;
@@ -416,7 +419,15 @@ mod tests {
                         let g = pin();
                         let cur = read_resolved(&target, &g);
                         let res = unsafe {
-                            dcss(&target, cur, cur + 4, &*guard_word as *const _, 0, DcssMode::CasOnly, &g)
+                            dcss(
+                                &target,
+                                cur,
+                                cur + 4,
+                                &*guard_word as *const _,
+                                0,
+                                DcssMode::CasOnly,
+                                &g,
+                            )
                         };
                         if res.is_ok() {
                             applied += 1;

@@ -34,7 +34,11 @@ pub const TAG_MASK: u64 = MARK_BIT | DESC_BIT;
 #[inline]
 pub fn pack<T>(ptr: *const T) -> u64 {
     let raw = ptr as u64;
-    debug_assert_eq!(raw & TAG_MASK, 0, "pointer not sufficiently aligned for tagging");
+    debug_assert_eq!(
+        raw & TAG_MASK,
+        0,
+        "pointer not sufficiently aligned for tagging"
+    );
     raw
 }
 
@@ -126,7 +130,10 @@ mod tests {
     #[test]
     fn null_word_properties() {
         assert!(is_null(NULL));
-        assert!(is_null(with_mark(NULL)), "marked null still has null pointer");
+        assert!(
+            is_null(with_mark(NULL)),
+            "marked null still has null pointer"
+        );
         assert_eq!(unpack::<u8>(NULL), std::ptr::null());
     }
 
@@ -162,7 +169,10 @@ mod tests {
         use std::sync::atomic::Ordering;
         let boxed = Box::new(7u64);
         let a = atomic_from_ptr(&*boxed as *const u64);
-        assert_eq!(unpack::<u64>(a.load(Ordering::SeqCst)), &*boxed as *const u64);
+        assert_eq!(
+            unpack::<u64>(a.load(Ordering::SeqCst)),
+            &*boxed as *const u64
+        );
         let n = atomic_null();
         assert!(is_null(n.load(Ordering::SeqCst)));
     }

@@ -35,11 +35,11 @@ impl<V: Clone> LockedBTreeMap<V> {
     /// Inserts `key -> value`; returns `true` if the key was absent.
     pub fn insert(&self, key: u64, value: V) -> bool {
         let mut map = self.inner.write();
-        if map.contains_key(&key) {
-            false
-        } else {
-            map.insert(key, value);
+        if let std::collections::btree_map::Entry::Vacant(e) = map.entry(key) {
+            e.insert(value);
             true
+        } else {
+            false
         }
     }
 
@@ -88,7 +88,11 @@ impl<V: Clone> LockedBTreeMap<V> {
 
     /// Snapshot of the contents in key order.
     pub fn to_vec(&self) -> Vec<(u64, V)> {
-        self.inner.read().iter().map(|(k, v)| (*k, v.clone())).collect()
+        self.inner
+            .read()
+            .iter()
+            .map(|(k, v)| (*k, v.clone()))
+            .collect()
     }
 }
 

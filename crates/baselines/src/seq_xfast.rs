@@ -217,7 +217,7 @@ impl<V: Clone> SeqXFastTrie<V> {
         let b = self.universe_bits;
         let (mut lo, mut hi) = (0u32, b - 1); // lengths with presence known / unknown
         while lo < hi {
-            let mid = (lo + hi + 1) / 2;
+            let mid = (lo + hi).div_ceil(2);
             let bits = self.prefix_bits(key, mid as u8);
             if self.prefixes.contains_key(&(mid as u8, bits)) {
                 lo = mid;
@@ -232,7 +232,7 @@ impl<V: Clone> SeqXFastTrie<V> {
         if direction == 1 {
             // Key descends right but the right subtree is empty below this point: the
             // predecessor is the maximum of the left sibling subtree.
-            if child_len as u32 == b {
+            if child_len == b {
                 let leaf_key = child_bits(0);
                 if self.leaves.contains_key(&leaf_key) {
                     return Some(leaf_key);
@@ -241,22 +241,27 @@ impl<V: Clone> SeqXFastTrie<V> {
                 return Some(d.max);
             }
             // Left sibling empty too: fall back to the subtree's own minimum's prev.
-            let subtree = self.prefixes.get(&(len as u8, self.prefix_bits(key, len as u8)))?;
+            let subtree = self
+                .prefixes
+                .get(&(len as u8, self.prefix_bits(key, len as u8)))?;
             self.leaves.get(&subtree.min).and_then(|l| l.prev)
         } else {
             // Key descends left but the left subtree is empty: the successor is the
             // minimum of the right sibling subtree; the predecessor is its `prev`.
-            let succ = if child_len as u32 == b {
+            let succ = if child_len == b {
                 let leaf_key = child_bits(1);
                 self.leaves.contains_key(&leaf_key).then_some(leaf_key)
             } else {
-                self.prefixes.get(&(child_len as u8, child_bits(1))).map(|d| d.min)
+                self.prefixes
+                    .get(&(child_len as u8, child_bits(1)))
+                    .map(|d| d.min)
             };
             match succ {
                 Some(s) => self.leaves.get(&s).and_then(|l| l.prev),
                 None => {
-                    let subtree =
-                        self.prefixes.get(&(len as u8, self.prefix_bits(key, len as u8)))?;
+                    let subtree = self
+                        .prefixes
+                        .get(&(len as u8, self.prefix_bits(key, len as u8)))?;
                     self.leaves.get(&subtree.min).and_then(|l| l.prev)
                 }
             }
@@ -279,11 +284,17 @@ impl<V: Clone> SeqXFastTrie<V> {
         match self.predecessor_key(key) {
             Some(p) => {
                 let next = self.leaves.get(&p).expect("leaf exists").next?;
-                Some((next, self.leaves.get(&next).expect("leaf exists").value.clone()))
+                Some((
+                    next,
+                    self.leaves.get(&next).expect("leaf exists").value.clone(),
+                ))
             }
             None => {
                 let min = self.min_key()?;
-                Some((min, self.leaves.get(&min).expect("leaf exists").value.clone()))
+                Some((
+                    min,
+                    self.leaves.get(&min).expect("leaf exists").value.clone(),
+                ))
             }
         }
     }

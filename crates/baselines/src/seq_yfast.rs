@@ -198,14 +198,20 @@ impl<V: Clone> SeqYFastTrie<V> {
             let small = self.buckets.remove(&rep).expect("bucket exists");
             self.reps.remove(rep);
             self.merges += 1;
-            let target = self.buckets.get_mut(&prev_rep).expect("predecessor bucket exists");
+            let target = self
+                .buckets
+                .get_mut(&prev_rep)
+                .expect("predecessor bucket exists");
             target.extend(small);
             if target.len() > self.bucket_max() {
                 self.split_bucket(prev_rep);
             }
         } else if let Some(next_rep) = self.buckets.range(rep + 1..).next().map(|(r, _)| *r) {
             // Leftmost bucket: absorb the successor bucket, keeping our representative.
-            let other = self.buckets.remove(&next_rep).expect("successor bucket exists");
+            let other = self
+                .buckets
+                .remove(&next_rep)
+                .expect("successor bucket exists");
             self.reps.remove(next_rep);
             self.merges += 1;
             let target = self.buckets.get_mut(&rep).expect("bucket exists");
@@ -247,7 +253,11 @@ impl<V: Clone> SeqYFastTrie<V> {
     /// The smallest key `>= key` and its value.
     pub fn successor(&self, key: u64) -> Option<(u64, V)> {
         let start_rep = self.bucket_rep_for(key)?;
-        if let Some((k, v)) = self.buckets.get(&start_rep).and_then(|b| b.range(key..).next()) {
+        if let Some((k, v)) = self
+            .buckets
+            .get(&start_rep)
+            .and_then(|b| b.range(key..).next())
+        {
             return Some((*k, v.clone()));
         }
         for (_, bucket) in self.buckets.range(start_rep..).skip(1) {
@@ -306,7 +316,10 @@ mod tests {
             trie.insert(k, k);
         }
         let (buckets, splits, _) = trie.rebalance_stats();
-        assert!(buckets > 10, "2000 sequential keys must split into many buckets");
+        assert!(
+            buckets > 10,
+            "2000 sequential keys must split into many buckets"
+        );
         assert!(splits >= buckets - 1);
         for k in 0..2_000u64 {
             assert_eq!(trie.remove(k), Some(k));

@@ -18,7 +18,9 @@ fn yfast_xfast_and_btreemap_agree_on_random_history() {
         match next() % 4 {
             0 | 1 => {
                 let fresh = !model.contains_key(&key);
-                if fresh { model.insert(key, key + 7); }
+                if fresh {
+                    model.insert(key, key + 7);
+                }
                 let gotx = xf.insert(key, key + 7);
                 assert_eq!(gotx, fresh, "xfast insert {key} at step {step}");
                 let got = trie.insert(key, key + 7);
@@ -28,7 +30,11 @@ fn yfast_xfast_and_btreemap_agree_on_random_history() {
                 let expected = model.remove(&key);
                 let gotx = xf.remove(key);
                 assert_eq!(gotx, expected, "xfast remove {key} at step {step}");
-                assert_eq!(trie.remove(key), expected, "yfast remove {key} at step {step}");
+                assert_eq!(
+                    trie.remove(key),
+                    expected,
+                    "yfast remove {key} at step {step}"
+                );
             }
             _ => {
                 let pred = model.range(..=key).next_back().map(|(k, v)| (*k, *v));
@@ -37,7 +43,12 @@ fn yfast_xfast_and_btreemap_agree_on_random_history() {
                 let got = trie.predecessor(key);
                 if got != pred {
                     eprintln!("step {step}: yfast pred({key}) = {got:?}, expected {pred:?}");
-                    eprintln!("model around: {:?}", model.range(key.saturating_sub(300)..=key+5).collect::<Vec<_>>());
+                    eprintln!(
+                        "model around: {:?}",
+                        model
+                            .range(key.saturating_sub(300)..=key + 5)
+                            .collect::<Vec<_>>()
+                    );
                     eprintln!("buckets: {:?}", trie.bucket_layout());
                     eprintln!("stats: {:?}", trie.rebalance_stats());
                     panic!("divergence");

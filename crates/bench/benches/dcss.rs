@@ -17,7 +17,12 @@ fn bench_primitive(c: &mut Criterion) {
     group.bench_function("plain_cas", |b| {
         b.iter(|| {
             let cur = target.load(Ordering::SeqCst);
-            let _ = target.compare_exchange(cur, cur.wrapping_add(8), Ordering::SeqCst, Ordering::SeqCst);
+            let _ = target.compare_exchange(
+                cur,
+                cur.wrapping_add(8),
+                Ordering::SeqCst,
+                Ordering::SeqCst,
+            );
         })
     });
 
@@ -64,7 +69,10 @@ fn bench_primitive(c: &mut Criterion) {
 
 fn bench_structure_modes(c: &mut Criterion) {
     let mut group = c.benchmark_group("skiptrie_update_by_dcss_mode");
-    for (name, mode) in [("descriptor", DcssMode::Descriptor), ("cas_fallback", DcssMode::CasOnly)] {
+    for (name, mode) in [
+        ("descriptor", DcssMode::Descriptor),
+        ("cas_fallback", DcssMode::CasOnly),
+    ] {
         let trie = SkipTrie::new(SkipTrieConfig::for_universe_bits(32).with_mode(mode));
         let mut rng = SplitMix64::new(3);
         for _ in 0..50_000 {

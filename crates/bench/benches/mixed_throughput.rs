@@ -23,7 +23,10 @@ fn run_batch<M: ConcurrentPredecessorMap + ?Sized>(map: &M, streams: &[Vec<Op>])
 }
 
 fn bench_mix(c: &mut Criterion, group_name: &str, mix: OpMix) {
-    let threads = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4).min(8);
+    let threads = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(4)
+        .min(8);
     let spec = WorkloadSpec {
         universe_bits: 32,
         prefill: 100_000,
@@ -48,15 +51,19 @@ fn bench_mix(c: &mut Criterion, group_name: &str, mix: OpMix) {
 
     let skiplist: FullSkipList<u64> = FullSkipList::new();
     prefill(&skiplist, &keys);
-    group.bench_with_input(BenchmarkId::new("lockfree-skiplist", threads), &threads, |b, _| {
-        b.iter(|| run_batch(&skiplist, &streams))
-    });
+    group.bench_with_input(
+        BenchmarkId::new("lockfree-skiplist", threads),
+        &threads,
+        |b, _| b.iter(|| run_batch(&skiplist, &streams)),
+    );
 
     let btree: LockedBTreeMap<u64> = LockedBTreeMap::new();
     prefill(&btree, &keys);
-    group.bench_with_input(BenchmarkId::new("locked-btreemap", threads), &threads, |b, _| {
-        b.iter(|| run_batch(&btree, &streams))
-    });
+    group.bench_with_input(
+        BenchmarkId::new("locked-btreemap", threads),
+        &threads,
+        |b, _| b.iter(|| run_batch(&btree, &streams)),
+    );
     group.finish();
 }
 

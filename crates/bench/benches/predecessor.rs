@@ -8,7 +8,11 @@ use skiptrie_baselines::{FullSkipList, LockedBTreeMap};
 use skiptrie_workloads::SplitMix64;
 
 fn prefill_keys(m: usize, bits: u32, seed: u64) -> Vec<u64> {
-    let mask = if bits >= 64 { u64::MAX } else { (1 << bits) - 1 };
+    let mask = if bits >= 64 {
+        u64::MAX
+    } else {
+        (1 << bits) - 1
+    };
     let mut rng = SplitMix64::new(seed);
     let mut set = std::collections::HashSet::new();
     while set.len() < m {
@@ -56,7 +60,11 @@ fn bench_vs_universe(c: &mut Criterion) {
         for &k in &keys {
             trie.insert(k, k);
         }
-        let mask = if bits >= 64 { u64::MAX } else { (1 << bits) - 1 };
+        let mask = if bits >= 64 {
+            u64::MAX
+        } else {
+            (1 << bits) - 1
+        };
         let mut rng = SplitMix64::new(9);
         group.bench_with_input(BenchmarkId::new("skiptrie", bits), &bits, |b, _| {
             b.iter(|| trie.predecessor(rng.next() & mask))

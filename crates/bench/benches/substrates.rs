@@ -41,16 +41,22 @@ fn bench_truncated_skiplist(c: &mut Criterion) {
     let mut group = c.benchmark_group("truncated_skiplist");
     for &bits in &[16u32, 32, 64] {
         let list: SkipList<u64> = SkipList::new(SkipListConfig::for_universe_bits(bits));
-        let mask = if bits >= 64 { u64::MAX } else { (1 << bits) - 1 };
+        let mask = if bits >= 64 {
+            u64::MAX
+        } else {
+            (1 << bits) - 1
+        };
         let mut rng = SplitMix64::new(8);
         for _ in 0..50_000 {
             let k = rng.next() & mask;
             list.insert(k, k);
         }
         let mut rng = SplitMix64::new(9);
-        group.bench_with_input(BenchmarkId::new("predecessor_from_head", bits), &bits, |b, _| {
-            b.iter(|| list.predecessor(rng.next() & mask))
-        });
+        group.bench_with_input(
+            BenchmarkId::new("predecessor_from_head", bits),
+            &bits,
+            |b, _| b.iter(|| list.predecessor(rng.next() & mask)),
+        );
     }
     group.finish();
 }

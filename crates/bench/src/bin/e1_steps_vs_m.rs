@@ -78,7 +78,5 @@ fn main() {
         ],
         &rows,
     );
-    println!(
-        "expectation: skiptrie steps stay ~flat in m; skiplist steps grow ~with log2(m)."
-    );
+    println!("expectation: skiptrie steps stay ~flat in m; skiplist steps grow ~with log2(m).");
 }

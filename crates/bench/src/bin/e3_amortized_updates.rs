@@ -21,7 +21,10 @@ use skiptrie_workloads::{KeyDist, Op, OpMix, WorkloadSpec};
 fn main() {
     const UNIVERSE_BITS: u32 = 32;
     let churn_ops = scaled(60_000);
-    let sizes: Vec<usize> = [2_000usize, 20_000, 100_000].iter().map(|&m| scaled(m)).collect();
+    let sizes: Vec<usize> = [2_000usize, 20_000, 100_000]
+        .iter()
+        .map(|&m| scaled(m))
+        .collect();
 
     let mut rows = Vec::new();
     for &m in &sizes {

@@ -42,9 +42,18 @@ fn run_case(name: &str, dist: KeyDist, rows: &mut Vec<Vec<String>>) {
             format!("{:.2e}", result.ops_per_sec),
             format!("{:.2}", per_op(result.steps.traversal_steps())),
             format!("{:.3}", per_op(result.steps.contention_steps())),
-            format!("{:.3}", per_op(result.steps.get(metrics::Counter::CasFailure))),
-            format!("{:.3}", per_op(result.steps.get(metrics::Counter::DcssFailure))),
-            format!("{:.3}", per_op(result.steps.get(metrics::Counter::DcssHelp))),
+            format!(
+                "{:.3}",
+                per_op(result.steps.get(metrics::Counter::CasFailure))
+            ),
+            format!(
+                "{:.3}",
+                per_op(result.steps.get(metrics::Counter::DcssFailure))
+            ),
+            format!(
+                "{:.3}",
+                per_op(result.steps.get(metrics::Counter::DcssHelp))
+            ),
         ]);
     }
 }
@@ -52,7 +61,11 @@ fn run_case(name: &str, dist: KeyDist, rows: &mut Vec<Vec<String>>) {
 fn main() {
     let mut rows = Vec::new();
     run_case("uniform(2^32)", KeyDist::Uniform, &mut rows);
-    run_case("hot-range(1024)", KeyDist::HotRange { range: 1024 }, &mut rows);
+    run_case(
+        "hot-range(1024)",
+        KeyDist::HotRange { range: 1024 },
+        &mut rows,
+    );
     run_case("hot-range(64)", KeyDist::HotRange { range: 64 }, &mut rows);
 
     print_table(

@@ -31,9 +31,8 @@ fn main() {
                 mix: OpMix::UPDATE_HEAVY,
                 seed: 0xE6,
             };
-            let trie = SkipTrie::new(
-                SkipTrieConfig::for_universe_bits(UNIVERSE_BITS).with_mode(mode),
-            );
+            let trie =
+                SkipTrie::new(SkipTrieConfig::for_universe_bits(UNIVERSE_BITS).with_mode(mode));
             prefill(&trie, &spec.prefill_keys());
             metrics::set_enabled(true);
             let result = run_throughput(&trie, &spec);
@@ -43,10 +42,22 @@ fn main() {
                 format!("{mode:?}"),
                 threads.to_string(),
                 format!("{:.2e}", result.ops_per_sec),
-                format!("{:.3}", per_op(result.steps.get(metrics::Counter::DcssAttempt))),
-                format!("{:.3}", per_op(result.steps.get(metrics::Counter::DcssFailure))),
-                format!("{:.3}", per_op(result.steps.get(metrics::Counter::DcssHelp))),
-                format!("{:.3}", per_op(result.steps.get(metrics::Counter::CasFailure))),
+                format!(
+                    "{:.3}",
+                    per_op(result.steps.get(metrics::Counter::DcssAttempt))
+                ),
+                format!(
+                    "{:.3}",
+                    per_op(result.steps.get(metrics::Counter::DcssFailure))
+                ),
+                format!(
+                    "{:.3}",
+                    per_op(result.steps.get(metrics::Counter::DcssHelp))
+                ),
+                format!(
+                    "{:.3}",
+                    per_op(result.steps.get(metrics::Counter::CasFailure))
+                ),
                 format!("{:.2}", per_op(result.steps.traversal_steps())),
             ]);
         }

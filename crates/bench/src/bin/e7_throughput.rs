@@ -12,7 +12,9 @@
 
 use skiptrie::{SkipTrie, SkipTrieConfig};
 use skiptrie_baselines::{FullSkipList, LockedBTreeMap};
-use skiptrie_bench::{prefill, print_table, run_throughput, scaled, thread_sweep, ConcurrentPredecessorMap};
+use skiptrie_bench::{
+    prefill, print_table, run_throughput, scaled, thread_sweep, ConcurrentPredecessorMap,
+};
 use skiptrie_workloads::{KeyDist, OpMix, WorkloadSpec};
 
 fn run_structure(
@@ -35,7 +37,10 @@ fn run_structure(
 fn main() {
     const UNIVERSE_BITS: u32 = 32;
     let mut rows = Vec::new();
-    for (mix_name, mix) in [("read-heavy 90/9/1", OpMix::READ_HEAVY), ("update-heavy 50/25/25", OpMix::UPDATE_HEAVY)] {
+    for (mix_name, mix) in [
+        ("read-heavy 90/9/1", OpMix::READ_HEAVY),
+        ("update-heavy 50/25/25", OpMix::UPDATE_HEAVY),
+    ] {
         for threads in thread_sweep() {
             let spec = WorkloadSpec {
                 universe_bits: UNIVERSE_BITS,

@@ -79,7 +79,10 @@ fn main() {
         &["trie_prefixes", "prefixes_per_top_key", "universe_bits"],
         &[vec![
             trie.prefix_count().to_string(),
-            format!("{:.1}", trie.prefix_count() as f64 / top_keys.len().max(1) as f64),
+            format!(
+                "{:.1}",
+                trie.prefix_count() as f64 / top_keys.len().max(1) as f64
+            ),
             UNIVERSE_BITS.to_string(),
         ]],
     );

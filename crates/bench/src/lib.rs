@@ -42,6 +42,10 @@ pub trait ConcurrentPredecessorMap: Send + Sync {
     fn successor(&self, key: u64) -> Option<(u64, u64)>;
     /// Number of keys stored.
     fn len(&self) -> usize;
+    /// True if no keys are stored.
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
 }
 
 impl ConcurrentPredecessorMap for SkipTrie<u64> {
@@ -251,7 +255,9 @@ pub fn max_threads() -> usize {
             return n.max(1);
         }
     }
-    std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4)
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(4)
 }
 
 /// A scale factor for experiment sizes (`SKIPTRIE_SCALE`, default 1.0) so the full
@@ -327,7 +333,10 @@ mod tests {
         let report = measure_steps(&trie, &ops);
         assert_eq!(report.ops, 500);
         assert!(report.traversal_steps_per_op > 1.0);
-        assert!(report.hash_ops_per_op >= 1.0, "LowestAncestor probes the table");
+        assert!(
+            report.hash_ops_per_op >= 1.0,
+            "LowestAncestor probes the table"
+        );
         // Note: metrics are process-wide, and other tests in this binary may run
         // concurrently, so we do not assert that update counters stayed at zero here.
         assert!(report.update_steps_per_op >= 0.0);

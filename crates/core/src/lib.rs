@@ -161,7 +161,10 @@ where
         );
         let prefixes = SplitOrderedMap::new();
         // The empty prefix ε is permanent (Algorithm 3 line 4 starts from it).
-        prefixes.insert(Prefix::EMPTY, TrieNodePtr::from_box(Box::new(TrieNode::new())));
+        prefixes.insert(
+            Prefix::EMPTY,
+            TrieNodePtr::from_box(Box::new(TrieNode::new())),
+        );
         SkipTrie {
             config,
             skiplist,

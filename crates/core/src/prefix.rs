@@ -6,8 +6,6 @@
 //! empty prefix ε (`len == 0`) is the root of the conceptual prefix tree and is always
 //! present in the table.
 
-
-
 /// A proper prefix of a key in a `universe_bits`-bit universe.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct Prefix {
@@ -28,7 +26,10 @@ impl Prefix {
     /// Panics if `len >= universe_bits` (only proper prefixes exist in the trie) or if
     /// `universe_bits` is not in `1..=64`.
     pub fn of(key: u64, len: u8, universe_bits: u32) -> Prefix {
-        assert!((1..=64).contains(&universe_bits), "universe_bits must be 1..=64");
+        assert!(
+            (1..=64).contains(&universe_bits),
+            "universe_bits must be 1..=64"
+        );
         assert!(
             (len as u32) < universe_bits,
             "prefix length {len} must be shorter than the key width {universe_bits}"
@@ -111,8 +112,20 @@ mod tests {
         let key = 0b1011_0110u64; // universe_bits = 8
         assert_eq!(Prefix::of(key, 0, 8), Prefix::EMPTY);
         assert_eq!(Prefix::of(key, 1, 8), Prefix { len: 1, bits: 0b1 });
-        assert_eq!(Prefix::of(key, 4, 8), Prefix { len: 4, bits: 0b1011 });
-        assert_eq!(Prefix::of(key, 7, 8), Prefix { len: 7, bits: 0b1011_011 });
+        assert_eq!(
+            Prefix::of(key, 4, 8),
+            Prefix {
+                len: 4,
+                bits: 0b1011
+            }
+        );
+        assert_eq!(
+            Prefix::of(key, 7, 8),
+            Prefix {
+                len: 7,
+                bits: 0b101_1011
+            }
+        );
     }
 
     #[test]

@@ -165,7 +165,8 @@ where
                     None => {
                         // Create a fresh trie node pointing down at our key.
                         let tn = Box::new(TrieNode::new());
-                        tn.pointers[direction].store(node.packed(), std::sync::atomic::Ordering::SeqCst);
+                        tn.pointers[direction]
+                            .store(node.packed(), std::sync::atomic::Ordering::SeqCst);
                         let tnp = TrieNodePtr::from_box(tn);
                         if self.prefixes.insert(p, tnp) {
                             metrics::record(Counter::TrieLevelCrossed);
@@ -191,7 +192,9 @@ where
                         let curr = read_resolved(&tn.pointers[direction], guard);
                         if curr != 0 {
                             // SAFETY: trie pointers reference pool-backed nodes.
-                            if let Some(existing) = unsafe { NodeRef::<V>::from_packed(curr, guard) } {
+                            if let Some(existing) =
+                                unsafe { NodeRef::<V>::from_packed(curr, guard) }
+                            {
                                 let adequate = existing.is_data()
                                     && if direction == 0 {
                                         existing.key() >= key

@@ -199,7 +199,7 @@ mod tests {
         assert_eq!(h.max(), Some(1000));
         let p50 = h.value_at_quantile(0.5);
         let p99 = h.value_at_quantile(0.99);
-        assert!(p50 >= 500 / 2 && p50 <= 1023, "p50 bucket bound: {p50}");
+        assert!((500 / 2..=1023).contains(&p50), "p50 bucket bound: {p50}");
         assert!(p99 >= p50);
         assert!((h.mean() - 500.5).abs() < 1.0);
     }

@@ -171,7 +171,10 @@ where
     /// Panics if `config.levels` is 0 or greater than 32.
     pub fn new(config: SkipListConfig) -> Self {
         assert!(config.levels >= 1, "a skiplist needs at least one level");
-        assert!(config.levels <= 32, "more than 32 levels is never useful for u64 keys");
+        assert!(
+            config.levels <= 32,
+            "more than 32 levels is never useful for u64 keys"
+        );
         let pool = Arc::new(NodePool::new());
         let levels = config.levels as usize;
         let mut heads: Vec<*const Node<V>> = Vec::with_capacity(levels);
@@ -182,11 +185,17 @@ where
             unsafe {
                 init_sentinel(&*head, NodeKind::Head, level as u8, config.levels - 1);
                 init_sentinel(&*tail, NodeKind::Tail, level as u8, config.levels - 1);
-                (*head).next.store(tagged::pack(tail as *const Node<V>), Ordering::SeqCst);
+                (*head)
+                    .next
+                    .store(tagged::pack(tail as *const Node<V>), Ordering::SeqCst);
                 (*tail).next.store(tagged::NULL, Ordering::SeqCst);
                 if level > 0 {
-                    (*head).down.store(tagged::pack(heads[level - 1]), Ordering::SeqCst);
-                    (*tail).down.store(tagged::pack(tails[level - 1]), Ordering::SeqCst);
+                    (*head)
+                        .down
+                        .store(tagged::pack(heads[level - 1]), Ordering::SeqCst);
+                    (*tail)
+                        .down
+                        .store(tagged::pack(tails[level - 1]), Ordering::SeqCst);
                 }
             }
             heads.push(head as *const Node<V>);
@@ -381,7 +390,11 @@ where
     /// `(nodes_allocated, nodes_recycled, nodes_pooled)` — allocator traffic of the
     /// type-stable pool, used by the space experiment (E5).
     pub fn allocation_stats(&self) -> (usize, usize, usize) {
-        (self.pool.allocated(), self.pool.recycled(), self.pool.free_len())
+        (
+            self.pool.allocated(),
+            self.pool.recycled(),
+            self.pool.free_len(),
+        )
     }
 
     /// Approximate bytes resident for nodes (live + pooled), used by experiment E5.
@@ -398,7 +411,8 @@ fn init_sentinel<V>(node: &Node<V>, kind: NodeKind, level: u8, orig_height: u8) 
         },
         Ordering::SeqCst,
     );
-    node.meta.store(pack_meta(kind, level, orig_height), Ordering::SeqCst);
+    node.meta
+        .store(pack_meta(kind, level, orig_height), Ordering::SeqCst);
     node.back.store(tagged::NULL, Ordering::SeqCst);
     node.prev.store(tagged::NULL, Ordering::SeqCst);
     node.ready.store(1, Ordering::SeqCst);

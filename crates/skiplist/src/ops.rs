@@ -69,7 +69,10 @@ where
         unsafe {
             let n = &*ptr;
             n.key.store(key, Ordering::SeqCst);
-            n.meta.store(pack_meta(NodeKind::Data, level, orig_height), Ordering::SeqCst);
+            n.meta.store(
+                pack_meta(NodeKind::Data, level, orig_height),
+                Ordering::SeqCst,
+            );
             n.back.store(tagged::NULL, Ordering::SeqCst);
             n.prev.store(tagged::NULL, Ordering::SeqCst);
             n.ready.store(0, Ordering::SeqCst);
@@ -381,7 +384,8 @@ where
             // Record a back hint pointing at the current predecessor before marking,
             // so traversals stranded on this node can retreat (Section 2).
             let (left, _right) = self.list_search(level, node.key_value(), self.head(level), guard);
-            node.back.store(tagged::pack(left as *const Node<V>), Ordering::SeqCst);
+            node.back
+                .store(tagged::pack(left as *const Node<V>), Ordering::SeqCst);
             match cas_resolved(&node.next, next, tagged::with_mark(next), guard) {
                 Ok(()) => break,
                 Err(_) => {
@@ -540,7 +544,9 @@ mod tests {
         // A deterministic pseudo-random operation sequence.
         let mut state = 0x1234_5678_u64;
         let mut next = || {
-            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             state
         };
         for _ in 0..4_000 {
@@ -638,7 +644,10 @@ mod tests {
         }
         let guard = list.pin();
         let top_keys = list.top_level_keys();
-        assert!(top_keys.len() > 1, "need at least two top nodes for this test");
+        assert!(
+            top_keys.len() > 1,
+            "need at least two top nodes for this test"
+        );
         // Walk the top level and check that each node's prev guide points to a node
         // with a strictly smaller key (or the head) once the structure is quiescent.
         let (_, mut node) = list.top_list_search(0, None, &guard);
@@ -669,8 +678,9 @@ mod tests {
         let mut saw_top = false;
         for key in 0..2_000u64 {
             let guard = list.pin();
-            if let InsertOutcome::Inserted { top_node: Some(top) } =
-                list.insert_from(key, key, None, &guard)
+            if let InsertOutcome::Inserted {
+                top_node: Some(top),
+            } = list.insert_from(key, key, None, &guard)
             {
                 assert_eq!(top.key(), key);
                 assert_eq!(top.level(), list.top_level());
@@ -678,7 +688,10 @@ mod tests {
                 saw_top = true;
             }
         }
-        assert!(saw_top, "roughly 1/16 of 2000 inserts should reach the top level");
+        assert!(
+            saw_top,
+            "roughly 1/16 of 2000 inserts should reach the top level"
+        );
     }
 
     #[test]

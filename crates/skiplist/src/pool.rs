@@ -77,7 +77,8 @@ impl<V> NodePool<V> {
         node.status.store(seq + STATUS_SEQ_UNIT, Ordering::SeqCst);
         // Poison.
         node.key.store(u64::MAX, Ordering::SeqCst);
-        node.next.store(tagged::with_mark(tagged::NULL), Ordering::SeqCst);
+        node.next
+            .store(tagged::with_mark(tagged::NULL), Ordering::SeqCst);
         node.back.store(tagged::NULL, Ordering::SeqCst);
         node.prev.store(tagged::NULL, Ordering::SeqCst);
         node.ready.store(0, Ordering::SeqCst);

@@ -162,14 +162,22 @@ where
                 };
             }
         }
-        brackets.into_iter().map(|b| b.expect("all levels visited")).collect()
+        brackets
+            .into_iter()
+            .map(|b| b.expect("all levels visited"))
+            .collect()
     }
 
     /// The walk of Algorithm 4 (`xFastTriePred`): starting from a (possibly marked,
     /// possibly stale) top-level hint, follow `back` pointers of marked nodes and
     /// `prev` guides of unmarked nodes until reaching a node whose key is `<= key`,
     /// falling back to the head sentinel if the walk looks unproductive.
-    pub fn walk_to_le<'g>(&'g self, key: u64, start: NodeRef<'g, V>, guard: &'g Guard) -> NodeRef<'g, V> {
+    pub fn walk_to_le<'g>(
+        &'g self,
+        key: u64,
+        start: NodeRef<'g, V>,
+        guard: &'g Guard,
+    ) -> NodeRef<'g, V> {
         let top = self.top_level();
         let mut curr: &Node<V> = start.node;
         let mut hops = 0usize;

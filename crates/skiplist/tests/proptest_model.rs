@@ -103,7 +103,9 @@ fn concurrent_churn_stress() {
             scope.spawn(move || {
                 let mut state = t + 1;
                 for i in 0..30_000u64 {
-                    state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                    state = state
+                        .wrapping_mul(6364136223846793005)
+                        .wrapping_add(1442695040888963407);
                     let key = state % 2_048;
                     if i % 2 == 0 {
                         list.insert(key, key);

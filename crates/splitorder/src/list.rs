@@ -70,12 +70,14 @@ fn node_cmp<K: Ord>(
     target_so: u64,
     target_key: Option<&K>,
 ) -> std::cmp::Ordering {
-    node_so.cmp(&target_so).then_with(|| match (node_key, target_key) {
-        (None, None) => std::cmp::Ordering::Equal,
-        (None, Some(_)) => std::cmp::Ordering::Less,
-        (Some(_), None) => std::cmp::Ordering::Greater,
-        (Some(a), Some(b)) => a.cmp(b),
-    })
+    node_so
+        .cmp(&target_so)
+        .then_with(|| match (node_key, target_key) {
+            (None, None) => std::cmp::Ordering::Equal,
+            (None, Some(_)) => std::cmp::Ordering::Less,
+            (Some(_), None) => std::cmp::Ordering::Greater,
+            (Some(a), Some(b)) => a.cmp(b),
+        })
 }
 
 /// Walks the list starting at `start` (a dummy node) until it reaches the first node
@@ -116,8 +118,12 @@ pub(crate) unsafe fn find<'g, K: Ord, V>(
                 metrics::record(Counter::MarkedNodeSkipped);
                 metrics::record(Counter::CasAttempt);
                 let succ = tagged::untagged(curr_next);
-                match prev_link.compare_exchange(curr_word, succ, Ordering::SeqCst, Ordering::SeqCst)
-                {
+                match prev_link.compare_exchange(
+                    curr_word,
+                    succ,
+                    Ordering::SeqCst,
+                    Ordering::SeqCst,
+                ) {
                     Ok(_) => {
                         // We unlinked it; the thread that *marked* it owns retirement,
                         // except for removals helped by traversals, where the marker
@@ -215,8 +221,14 @@ mod tests {
             node_cmp::<u64>(4, &Some(9), 4, None),
             std::cmp::Ordering::Greater
         );
-        assert_eq!(node_cmp::<u64>(4, &Some(9), 4, Some(&9)), std::cmp::Ordering::Equal);
-        assert_eq!(node_cmp::<u64>(3, &Some(9), 4, Some(&1)), std::cmp::Ordering::Less);
+        assert_eq!(
+            node_cmp::<u64>(4, &Some(9), 4, Some(&9)),
+            std::cmp::Ordering::Equal
+        );
+        assert_eq!(
+            node_cmp::<u64>(3, &Some(9), 4, Some(&1)),
+            std::cmp::Ordering::Less
+        );
     }
 
     #[test]
@@ -226,7 +238,9 @@ mod tests {
         unsafe {
             for so in [9u64, 3, 7, 5] {
                 let node = ListNode::new_regular(so, so, so * 10);
-                insert_at(head, node, &guard).map_err(|_| "duplicate").unwrap();
+                insert_at(head, node, &guard)
+                    .map_err(|_| "duplicate")
+                    .unwrap();
             }
             // Duplicate insert fails.
             let dup = ListNode::new_regular(7, 7, 70);
@@ -250,7 +264,9 @@ mod tests {
             // Clean up.
             let mut cur = (*head).next.load(Ordering::SeqCst);
             while !tagged::is_null(cur) {
-                let n = Box::from_raw(tagged::unpack::<ListNode<u64, u64>>(cur) as *mut ListNode<u64, u64>);
+                let n = Box::from_raw(
+                    tagged::unpack::<ListNode<u64, u64>>(cur) as *mut ListNode<u64, u64>
+                );
                 cur = n.next.load(Ordering::SeqCst);
             }
             drop(Box::from_raw(head));
@@ -262,13 +278,21 @@ mod tests {
         let head = Box::into_raw(new_dummy_head());
         let guard = epoch::pin();
         unsafe {
-            let a = insert_at(head, ListNode::new_regular(3, 3u64, 30u64), &guard).map_err(|_| "duplicate").unwrap();
-            let _b = insert_at(head, ListNode::new_regular(5, 5u64, 50u64), &guard).map_err(|_| "duplicate").unwrap();
+            let a = insert_at(head, ListNode::new_regular(3, 3u64, 30u64), &guard)
+                .map_err(|_| "duplicate")
+                .unwrap();
+            let _b = insert_at(head, ListNode::new_regular(5, 5u64, 50u64), &guard)
+                .map_err(|_| "duplicate")
+                .unwrap();
             // Mark node a (so_key 3) for deletion by setting the mark bit on its next.
             let a_next = (*a).next.load(Ordering::SeqCst);
-            (*a)
-                .next
-                .compare_exchange(a_next, tagged::with_mark(a_next), Ordering::SeqCst, Ordering::SeqCst)
+            (*a).next
+                .compare_exchange(
+                    a_next,
+                    tagged::with_mark(a_next),
+                    Ordering::SeqCst,
+                    Ordering::SeqCst,
+                )
                 .unwrap();
             // A find for so_key 5 must step over (and unlink) the marked node.
             let res = find(head, 5, Some(&5), &guard);
@@ -281,7 +305,9 @@ mod tests {
             drop(Box::from_raw(a as *mut ListNode<u64, u64>));
             let mut cur = (*head).next.load(Ordering::SeqCst);
             while !tagged::is_null(cur) {
-                let n = Box::from_raw(tagged::unpack::<ListNode<u64, u64>>(cur) as *mut ListNode<u64, u64>);
+                let n = Box::from_raw(
+                    tagged::unpack::<ListNode<u64, u64>>(cur) as *mut ListNode<u64, u64>
+                );
                 cur = n.next.load(Ordering::SeqCst);
             }
             drop(Box::from_raw(head));

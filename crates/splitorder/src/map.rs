@@ -296,7 +296,12 @@ where
             metrics::record(Counter::CasAttempt);
             if node
                 .next
-                .compare_exchange(next, tagged::with_mark(next), Ordering::SeqCst, Ordering::SeqCst)
+                .compare_exchange(
+                    next,
+                    tagged::with_mark(next),
+                    Ordering::SeqCst,
+                    Ordering::SeqCst,
+                )
                 .is_err()
             {
                 metrics::record(Counter::CasFailure);
@@ -308,7 +313,12 @@ where
             metrics::record(Counter::CasAttempt);
             if res
                 .prev_link
-                .compare_exchange(res.curr_word, tagged::untagged(next), Ordering::SeqCst, Ordering::SeqCst)
+                .compare_exchange(
+                    res.curr_word,
+                    tagged::untagged(next),
+                    Ordering::SeqCst,
+                    Ordering::SeqCst,
+                )
                 .is_err()
             {
                 metrics::record(Counter::CasFailure);

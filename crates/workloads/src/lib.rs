@@ -192,7 +192,9 @@ impl WorkloadSpec {
         let mut keys = Vec::with_capacity(self.prefill);
         let mut seen = std::collections::HashSet::with_capacity(self.prefill * 2);
         while keys.len() < self.prefill {
-            let k = self.dist.sample(&mut rng, zipf.as_ref(), self.universe_bits);
+            let k = self
+                .dist
+                .sample(&mut rng, zipf.as_ref(), self.universe_bits);
             if seen.insert(k) {
                 keys.push(k);
             }
@@ -213,7 +215,9 @@ impl WorkloadSpec {
         (0..self.ops_per_thread)
             .map(|_| {
                 let kind = self.mix.pick(rng.next());
-                let key = self.dist.sample(&mut rng, zipf.as_ref(), self.universe_bits);
+                let key = self
+                    .dist
+                    .sample(&mut rng, zipf.as_ref(), self.universe_bits);
                 match kind {
                     OpKind::Insert => Op::Insert(key),
                     OpKind::Remove => Op::Remove(key),
@@ -235,7 +239,12 @@ mod tests {
 
     #[test]
     fn op_mixes_are_valid() {
-        for mix in [OpMix::READ_HEAVY, OpMix::UPDATE_HEAVY, OpMix::READ_ONLY, OpMix::CHURN] {
+        for mix in [
+            OpMix::READ_HEAVY,
+            OpMix::UPDATE_HEAVY,
+            OpMix::READ_ONLY,
+            OpMix::CHURN,
+        ] {
             assert!(mix.is_valid());
         }
         assert!(!OpMix {
@@ -306,7 +315,10 @@ mod tests {
                 hot_range: 1_000,
                 theta: 0.99,
             },
-            KeyDist::Clustered { runs: 10, run_len: 100 },
+            KeyDist::Clustered {
+                runs: 10,
+                run_len: 100,
+            },
             KeyDist::HotRange { range: 64 },
         ] {
             let zipf = dist.prepare();

@@ -123,7 +123,10 @@ mod tests {
             }
         }
         let frac = low as f64 / total as f64;
-        assert!(frac > 0.4, "top 1% of ranks should receive >40% of mass, got {frac}");
+        assert!(
+            frac > 0.4,
+            "top 1% of ranks should receive >40% of mass, got {frac}"
+        );
     }
 
     #[test]

@@ -105,5 +105,8 @@ fn main() {
     });
 
     assert!(scheduler.is_empty(), "every scheduled event was dispatched");
-    println!("scheduler drained; structure is empty: {}", scheduler.is_empty());
+    println!(
+        "scheduler drained; structure is empty: {}",
+        scheduler.is_empty()
+    );
 }

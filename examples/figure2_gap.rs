@@ -37,7 +37,7 @@ fn main() {
     let burst_len = 200_000u64;
 
     metrics::set_enabled(true);
-    let (during, after) = std::thread::scope(|scope| {
+    let during = std::thread::scope(|scope| {
         for w in 0..writers {
             let trie = &trie;
             scope.spawn(move || {
@@ -76,7 +76,7 @@ fn main() {
         let during = query(100_000, 0xF16);
         burst_running.store(false, Ordering::Relaxed);
         // The scope joins the writers here; afterwards every fixPrev has completed.
-        (during, ())
+        during
     });
     let after_stats = {
         let mut state = 0xAF7E2u64;
@@ -95,7 +95,6 @@ fn main() {
         )
     };
     metrics::set_enabled(false);
-    let _ = after;
 
     println!("== Figure 2: transient top-level gaps ==");
     println!("phase             prev_hops/query  back_hops/query  marked_skips/query");

@@ -87,7 +87,14 @@ fn main() {
     };
 
     println!("\n== lookups ==");
-    for addr in ["10.1.2.3", "10.200.0.1", "192.168.42.99", "192.168.7.7", "8.8.8.8", "203.0.113.77"] {
+    for addr in [
+        "10.1.2.3",
+        "10.200.0.1",
+        "192.168.42.99",
+        "192.168.7.7",
+        "8.8.8.8",
+        "203.0.113.77",
+    ] {
         match lookup(addr) {
             Some((prefix, hop)) => println!("{addr:<16} -> {prefix:<18} via {hop}"),
             None => println!("{addr:<16} -> no route"),
@@ -98,7 +105,9 @@ fn main() {
     let start = cidr_start("192.168.42.0".parse().unwrap(), 24);
     table.remove(start);
     match lookup("192.168.42.99") {
-        Some((prefix, hop)) => println!("192.168.42.99    -> {prefix:<18} via {hop} (falls back to the covering /16)"),
+        Some((prefix, hop)) => {
+            println!("192.168.42.99    -> {prefix:<18} via {hop} (falls back to the covering /16)")
+        }
         None => println!("192.168.42.99    -> no route"),
     }
 }

@@ -18,11 +18,18 @@ fn main() {
     let trie: SkipTrie<&'static str> = SkipTrie::new(SkipTrieConfig::for_universe_bits(32));
 
     println!("== inserting a few keys ==");
-    for (key, name) in [(10_u64, "ten"), (1_000, "one thousand"), (1_000_000, "one million")] {
+    for (key, name) in [
+        (10_u64, "ten"),
+        (1_000, "one thousand"),
+        (1_000_000, "one million"),
+    ] {
         let fresh = trie.insert(key, name);
         println!("insert {key:>9} -> {name:<14} (new: {fresh})");
     }
-    assert!(!trie.insert(10, "duplicate"), "duplicate inserts are rejected");
+    assert!(
+        !trie.insert(10, "duplicate"),
+        "duplicate inserts are rejected"
+    );
 
     println!("\n== point and predecessor queries ==");
     println!("get(1000)            = {:?}", trie.get(1_000));
@@ -45,7 +52,10 @@ fn main() {
     for (level, count) in levels.iter().enumerate() {
         println!("skiplist level {level}: {count} nodes");
     }
-    println!("top-level keys (indexed in the x-fast trie): {}", trie.top_level_keys().len());
+    println!(
+        "top-level keys (indexed in the x-fast trie): {}",
+        trie.top_level_keys().len()
+    );
     println!("x-fast trie prefixes: {}", trie.prefix_count());
     println!("total keys: {}", trie.len());
 }

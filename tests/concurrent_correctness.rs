@@ -86,7 +86,7 @@ fn disjoint_churn_converges_to_expected_contents() {
         let mut local = BTreeSet::new();
         for _ in 0..per_thread_ops {
             let key = (t << 32) | (rng.next() % 5_000);
-            if rng.next() % 2 == 0 {
+            if rng.next().is_multiple_of(2) {
                 local.insert(key);
             } else {
                 local.remove(&key);
@@ -101,7 +101,7 @@ fn disjoint_churn_converges_to_expected_contents() {
                 let mut rng = SplitMix64::new(t + 1);
                 for _ in 0..per_thread_ops {
                     let key = (t << 32) | (rng.next() % 5_000);
-                    if rng.next() % 2 == 0 {
+                    if rng.next().is_multiple_of(2) {
                         trie.insert(key, key);
                     } else {
                         trie.remove(key);
@@ -137,10 +137,10 @@ fn predecessor_queries_respect_stable_keys_under_churn() {
                 let mut rng = SplitMix64::new(0xbad + t);
                 for _ in 0..100_000 {
                     let mut key = rng.next() % stable_max;
-                    if key % stable_stride == 0 {
+                    if key.is_multiple_of(stable_stride) {
                         key += 1;
                     }
-                    if rng.next() % 2 == 0 {
+                    if rng.next().is_multiple_of(2) {
                         trie.insert(key, key);
                     } else {
                         trie.remove(key);

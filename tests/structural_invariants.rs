@@ -31,9 +31,9 @@ fn level_densities_and_trie_population_match_expectation() {
 
     let lengths = trie.level_lengths();
     assert_eq!(lengths[0] as u64, m);
-    for level in 1..lengths.len() {
+    for (level, &length) in lengths.iter().enumerate().skip(1) {
         let expected = m as f64 / 2f64.powi(level as i32);
-        let actual = lengths[level] as f64;
+        let actual = length as f64;
         assert!(
             actual > expected * 0.7 && actual < expected * 1.4,
             "level {level}: {actual} nodes, expected ≈ {expected}"
@@ -41,7 +41,10 @@ fn level_densities_and_trie_population_match_expectation() {
     }
     let top = *lengths.last().unwrap();
     let prefixes = trie.prefix_count();
-    assert!(prefixes >= top, "every top key contributes at least one prefix");
+    assert!(
+        prefixes >= top,
+        "every top key contributes at least one prefix"
+    );
     assert!(
         prefixes <= top * (bits as usize - 1) + 1,
         "prefixes ({prefixes}) bounded by top keys ({top}) × (log u − 1)"
@@ -90,7 +93,7 @@ fn quiescent_state_is_consistent_after_concurrent_churn() {
                 let mut rng = SplitMix64::new(t * 7 + 1);
                 for _ in 0..40_000 {
                     let key = rng.next() % (1 << 20);
-                    if rng.next() % 2 == 0 {
+                    if rng.next().is_multiple_of(2) {
                         trie.insert(key, key);
                     } else {
                         trie.remove(key);
@@ -101,7 +104,10 @@ fn quiescent_state_is_consistent_after_concurrent_churn() {
     });
 
     let keys = trie.keys();
-    assert!(keys.windows(2).all(|w| w[0] < w[1]), "snapshot sorted, no duplicates");
+    assert!(
+        keys.windows(2).all(|w| w[0] < w[1]),
+        "snapshot sorted, no duplicates"
+    );
     assert_eq!(keys.len(), trie.len());
     let key_set: std::collections::HashSet<u64> = keys.iter().copied().collect();
     for top_key in trie.top_level_keys() {
@@ -118,7 +124,11 @@ fn quiescent_state_is_consistent_after_concurrent_churn() {
     assert!(trie.is_empty());
     assert_eq!(trie.level_lengths().iter().sum::<usize>(), 0);
     assert_eq!(trie.top_level_keys(), Vec::<u64>::new());
-    assert_eq!(trie.prefix_count(), 1, "only the permanent ε prefix survives a drain");
+    assert_eq!(
+        trie.prefix_count(),
+        1,
+        "only the permanent ε prefix survives a drain"
+    );
 }
 
 /// The step-count instrumentation shows the headline separation even at modest sizes:

@@ -1,0 +1,134 @@
+//! Smoke test for the umbrella crate: every re-export under `skiptrie_suite` is
+//! touched end-to-end — the DCSS primitive, the split-ordered map, the truncated
+//! skiplist, the SkipTrie itself (driven by a small concurrent insert/predecessor
+//! workload), a baseline cross-check, the metrics recorder, and the workload RNG.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use skiptrie_suite::atomics::dcss::{dcss, DcssError, DcssMode};
+use skiptrie_suite::baselines::LockedBTreeMap;
+use skiptrie_suite::metrics::{self, Counter};
+use skiptrie_suite::skiplist::{SkipList, SkipListConfig};
+use skiptrie_suite::skiptrie::{SkipTrie, SkipTrieConfig};
+use skiptrie_suite::splitorder::SplitOrderedMap;
+use skiptrie_suite::workloads::SplitMix64;
+
+#[test]
+fn atomics_reexport_dcss_roundtrip() {
+    let target = AtomicU64::new(8);
+    let guard_word = AtomicU64::new(0);
+    let epoch_guard = skiptrie_suite::atomics::pin();
+    // SAFETY: `guard_word` lives on this frame and outlives every descriptor use.
+    unsafe {
+        dcss(
+            &target,
+            8,
+            16,
+            &guard_word,
+            0,
+            DcssMode::Descriptor,
+            &epoch_guard,
+        )
+        .unwrap();
+    }
+    assert_eq!(target.load(Ordering::SeqCst), 16);
+    guard_word.store(1, Ordering::SeqCst);
+    let err = unsafe {
+        dcss(
+            &target,
+            16,
+            24,
+            &guard_word,
+            0,
+            DcssMode::Descriptor,
+            &epoch_guard,
+        )
+    };
+    assert_eq!(err, Err(DcssError::GuardMismatch));
+}
+
+#[test]
+fn splitorder_reexport_basic_map() {
+    let map: SplitOrderedMap<u64, u64> = SplitOrderedMap::new();
+    for k in 0..500u64 {
+        assert!(map.insert(k, k * 2));
+    }
+    assert_eq!(map.get(&123), Some(246));
+    assert!(map.remove_if(&123, |v| *v == 246));
+    assert_eq!(map.get(&123), None);
+    assert_eq!(map.len(), 499);
+}
+
+#[test]
+fn skiplist_reexport_ordered_ops() {
+    let list: SkipList<u64> = SkipList::new(SkipListConfig::for_universe_bits(16));
+    for k in (0..1_000u64).step_by(3) {
+        assert!(list.insert(k, k));
+    }
+    assert_eq!(list.predecessor(500), Some((498, 498)));
+    assert_eq!(list.successor(500), Some((501, 501)));
+}
+
+/// The headline path: a small concurrent insert/predecessor workload through the
+/// umbrella `skiptrie` re-export, with metrics recording on, cross-checked against
+/// the locked-BTreeMap baseline at quiescence.
+#[test]
+fn concurrent_insert_predecessor_workload() {
+    metrics::set_enabled(true);
+    let before = metrics::snapshot();
+
+    let universe_bits = 20;
+    let trie: Arc<SkipTrie<u64>> = Arc::new(SkipTrie::new(SkipTrieConfig::for_universe_bits(
+        universe_bits,
+    )));
+    let oracle: Arc<LockedBTreeMap<u64>> = Arc::new(LockedBTreeMap::new());
+    let threads = 4u64;
+    let ops_per_thread = 8_000u64;
+    let mask = (1u64 << universe_bits) - 1;
+
+    std::thread::scope(|scope| {
+        for t in 0..threads {
+            let trie = Arc::clone(&trie);
+            let oracle = Arc::clone(&oracle);
+            scope.spawn(move || {
+                // Disjoint key slices so the oracle needs no cross-thread ordering.
+                let mut rng = SplitMix64::new(0xace0_ba5e ^ t);
+                for i in 0..ops_per_thread {
+                    let key = ((rng.next() & mask) & !0x3) | t;
+                    match i % 4 {
+                        0 | 1 => {
+                            let a = trie.insert(key, key + 1);
+                            let b = oracle.insert(key, key + 1);
+                            assert_eq!(a, b, "insert winners agree for disjoint slices");
+                        }
+                        2 => {
+                            assert_eq!(trie.remove(key), oracle.remove(key));
+                        }
+                        _ => {
+                            // Concurrent predecessor: can't compare against the racing
+                            // oracle, but the answer must respect the query bound.
+                            if let Some((k, v)) = trie.predecessor(key) {
+                                assert!(k <= key);
+                                assert_eq!(v, k + 1);
+                            }
+                        }
+                    }
+                }
+            });
+        }
+    });
+
+    // Quiescent agreement with the baseline, via the umbrella re-exports only.
+    let snapshot = trie.to_vec();
+    assert_eq!(snapshot.len(), trie.len());
+    assert_eq!(trie.len(), oracle.len());
+    for &(k, v) in &snapshot {
+        assert_eq!(oracle.predecessor(k), Some((k, v)));
+        assert_eq!(trie.predecessor(k), Some((k, v)));
+    }
+
+    // The workload must have actually exercised the lock-free machinery.
+    let delta = metrics::snapshot().since(&before);
+    assert!(delta.get(Counter::PtrRead) > 0, "step counting is live");
+}

@@ -1,0 +1,333 @@
+//! A minimal, self-contained epoch-based memory reclamation scheme exposing the
+//! subset of the `crossbeam-epoch` API this workspace uses: [`pin`], [`Guard`],
+//! [`Guard::defer_unchecked`], and [`Guard::flush`].
+//!
+//! This crate is vendored because the build environment has no access to a crates.io
+//! registry. It is a from-scratch implementation of the classic three-epoch scheme
+//! (Fraser 2004), not a copy of crossbeam's source:
+//!
+//! * A global epoch counter advances only when every *pinned* thread has observed the
+//!   current epoch.
+//! * [`pin`] publishes the calling thread's epoch in a per-thread slot registered in a
+//!   global participant list; [`Guard`]s nest.
+//! * [`Guard::defer_unchecked`] stamps a deferred closure with the global epoch `e` at
+//!   retirement time; the closure runs once the global epoch reaches `e + 2`, at which
+//!   point every thread that was pinned when the object was unlinked has since
+//!   unpinned, so no live reference can remain.
+//!
+//! The implementation favours obvious correctness over throughput: the participant
+//! list and garbage bag are guarded by plain mutexes, and all atomics use `SeqCst`.
+//! The per-operation fast path (`pin`/unpin) is still mutex-free.
+
+#![warn(missing_docs)]
+
+use std::cell::Cell;
+use std::marker::PhantomData;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, LazyLock, Mutex};
+
+/// Sentinel meaning "this participant is not currently pinned".
+const INACTIVE: usize = usize::MAX;
+
+/// How many deferred closures may accumulate before an unpin triggers collection.
+const COLLECT_THRESHOLD: usize = 256;
+
+/// A deferred destruction closure stamped with the epoch at retirement time.
+struct Deferred {
+    epoch: usize,
+    call: Box<dyn FnOnce()>,
+}
+
+// SAFETY: deferred closures are only ever executed by the collector, exactly once,
+// after the epoch protocol has proven no other thread can observe the data they free.
+// `defer_unchecked` is `unsafe` precisely so the caller vouches for cross-thread use.
+unsafe impl Send for Deferred {}
+
+/// Per-thread participant record; lives in the global registry while the thread does.
+struct Participant {
+    /// The epoch this thread is pinned in, or [`INACTIVE`].
+    epoch: AtomicUsize,
+}
+
+struct Global {
+    epoch: AtomicUsize,
+    participants: Mutex<Vec<Arc<Participant>>>,
+    garbage: Mutex<Vec<Deferred>>,
+}
+
+static GLOBAL: LazyLock<Global> = LazyLock::new(|| Global {
+    epoch: AtomicUsize::new(0),
+    participants: Mutex::new(Vec::new()),
+    garbage: Mutex::new(Vec::new()),
+});
+
+impl Global {
+    /// Advances the global epoch if every pinned participant has observed it.
+    /// Returns the (possibly unchanged) global epoch.
+    fn try_advance(&self) -> usize {
+        let global = self.epoch.load(Ordering::SeqCst);
+        let participants = self.participants.lock().unwrap();
+        for p in participants.iter() {
+            let e = p.epoch.load(Ordering::SeqCst);
+            if e != INACTIVE && e != global {
+                return global;
+            }
+        }
+        drop(participants);
+        // A concurrent advance may have won; either way the epoch only moves forward.
+        let _ = self
+            .epoch
+            .compare_exchange(global, global + 1, Ordering::SeqCst, Ordering::SeqCst);
+        self.epoch.load(Ordering::SeqCst)
+    }
+
+    /// Runs every deferred closure whose epoch is at least two behind the global one.
+    fn collect(&self) {
+        let global = self.try_advance();
+        let ready: Vec<Deferred> = {
+            let mut garbage = self.garbage.lock().unwrap();
+            let mut ready = Vec::new();
+            let mut i = 0;
+            while i < garbage.len() {
+                if garbage[i].epoch + 2 <= global {
+                    ready.push(garbage.swap_remove(i));
+                } else {
+                    i += 1;
+                }
+            }
+            ready
+        };
+        // Run outside the lock: a closure may itself defer more garbage.
+        for d in ready {
+            (d.call)();
+        }
+    }
+}
+
+struct LocalHandle {
+    participant: Arc<Participant>,
+    pin_depth: Cell<usize>,
+    unpins_since_collect: Cell<usize>,
+}
+
+impl LocalHandle {
+    fn register() -> LocalHandle {
+        let participant = Arc::new(Participant {
+            epoch: AtomicUsize::new(INACTIVE),
+        });
+        GLOBAL
+            .participants
+            .lock()
+            .unwrap()
+            .push(Arc::clone(&participant));
+        LocalHandle {
+            participant,
+            pin_depth: Cell::new(0),
+            unpins_since_collect: Cell::new(0),
+        }
+    }
+}
+
+impl Drop for LocalHandle {
+    fn drop(&mut self) {
+        // A leaked (mem::forget) guard would leave the slot active and stall
+        // reclamation forever; clearing it here is safe because the thread is gone.
+        self.participant.epoch.store(INACTIVE, Ordering::SeqCst);
+        let mut participants = GLOBAL.participants.lock().unwrap();
+        participants.retain(|p| !Arc::ptr_eq(p, &self.participant));
+    }
+}
+
+thread_local! {
+    static LOCAL: LocalHandle = LocalHandle::register();
+}
+
+/// Pins the current thread, preventing any object retired from now on from being
+/// reclaimed until the returned [`Guard`] is dropped. Pins nest.
+pub fn pin() -> Guard {
+    LOCAL.with(|local| {
+        let depth = local.pin_depth.get();
+        local.pin_depth.set(depth + 1);
+        if depth == 0 {
+            // Publish the epoch we are entering; loop until the published value
+            // matches the global epoch so a stale announcement cannot linger.
+            loop {
+                let e = GLOBAL.epoch.load(Ordering::SeqCst);
+                local.participant.epoch.store(e, Ordering::SeqCst);
+                if GLOBAL.epoch.load(Ordering::SeqCst) == e {
+                    break;
+                }
+            }
+        }
+    });
+    Guard {
+        _not_send: PhantomData,
+    }
+}
+
+/// A pinned-thread token; objects retired while any guard exists anywhere are only
+/// reclaimed once the epoch protocol proves no pinned thread can still reach them.
+pub struct Guard {
+    /// Guards reference thread-local state and must not cross threads.
+    _not_send: PhantomData<*mut ()>,
+}
+
+impl Guard {
+    /// Defers a closure until no thread pinned at (or before) the current epoch can
+    /// still hold a reference to the data it frees.
+    ///
+    /// # Safety
+    ///
+    /// The caller must guarantee the closure is safe to run on another thread at any
+    /// later time — in particular that the data it frees has already been unlinked
+    /// from every shared structure, and is freed at most once.
+    pub unsafe fn defer_unchecked<F, R>(&self, f: F)
+    where
+        F: FnOnce() -> R,
+    {
+        let epoch = GLOBAL.epoch.load(Ordering::SeqCst);
+        let call: Box<dyn FnOnce() + '_> = Box::new(move || {
+            let _ = f();
+        });
+        // SAFETY: erasing the closure's lifetime is exactly the contract the caller
+        // accepted: everything it captures must stay valid until the epoch protocol
+        // runs it (crossbeam's `defer_unchecked` has the same obligation).
+        let call: Box<dyn FnOnce() + 'static> =
+            unsafe { std::mem::transmute::<Box<dyn FnOnce() + '_>, Box<dyn FnOnce()>>(call) };
+        let mut garbage = GLOBAL.garbage.lock().unwrap();
+        garbage.push(Deferred { epoch, call });
+    }
+
+    /// Attempts to advance the epoch and run any deferred closures that became safe.
+    pub fn flush(&self) {
+        GLOBAL.collect();
+    }
+
+    /// Unpins and immediately re-pins the thread, allowing the epoch to advance past
+    /// any value this guard was holding back.
+    pub fn repin(&mut self) {
+        LOCAL.with(|local| {
+            if local.pin_depth.get() == 1 {
+                loop {
+                    let e = GLOBAL.epoch.load(Ordering::SeqCst);
+                    local.participant.epoch.store(e, Ordering::SeqCst);
+                    if GLOBAL.epoch.load(Ordering::SeqCst) == e {
+                        break;
+                    }
+                }
+            }
+        });
+    }
+}
+
+impl Drop for Guard {
+    fn drop(&mut self) {
+        // `try_with`: the guard may be dropped during thread-local teardown, after
+        // LOCAL itself was destroyed (its Drop already marked the slot inactive).
+        let _ = LOCAL.try_with(|local| {
+            let depth = local.pin_depth.get();
+            debug_assert!(depth > 0, "guard dropped while not pinned");
+            local.pin_depth.set(depth - 1);
+            if depth == 1 {
+                local.participant.epoch.store(INACTIVE, Ordering::SeqCst);
+                let unpins = local.unpins_since_collect.get() + 1;
+                if unpins >= 64 || GLOBAL.garbage.lock().unwrap().len() >= COLLECT_THRESHOLD {
+                    local.unpins_since_collect.set(0);
+                    GLOBAL.collect();
+                } else {
+                    local.unpins_since_collect.set(unpins);
+                }
+            }
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicUsize;
+
+    #[test]
+    fn deferred_runs_after_epoch_advances() {
+        static RAN: AtomicUsize = AtomicUsize::new(0);
+        {
+            let g = pin();
+            unsafe { g.defer_unchecked(|| RAN.fetch_add(1, Ordering::SeqCst)) };
+        }
+        for _ in 0..8 {
+            let g = pin();
+            g.flush();
+        }
+        assert_eq!(RAN.load(Ordering::SeqCst), 1);
+    }
+
+    #[test]
+    fn pinned_thread_blocks_reclamation() {
+        let freed = Arc::new(AtomicUsize::new(0));
+        let outer = pin();
+        {
+            let f = Arc::clone(&freed);
+            let g = pin();
+            unsafe { g.defer_unchecked(move || f.fetch_add(1, Ordering::SeqCst)) };
+        }
+        // While `outer` is pinned in the retirement epoch the closure must not run,
+        // no matter how hard another thread flushes.
+        let f = Arc::clone(&freed);
+        std::thread::spawn(move || {
+            for _ in 0..32 {
+                let g = pin();
+                g.flush();
+            }
+            assert_eq!(f.load(Ordering::SeqCst), 0);
+        })
+        .join()
+        .unwrap();
+        drop(outer);
+        for _ in 0..8 {
+            let g = pin();
+            g.flush();
+        }
+        assert_eq!(freed.load(Ordering::SeqCst), 1);
+    }
+
+    #[test]
+    fn nested_pins() {
+        let a = pin();
+        let b = pin();
+        drop(a);
+        drop(b);
+        let c = pin();
+        c.flush();
+    }
+
+    #[test]
+    fn concurrent_churn() {
+        let dropped = Arc::new(AtomicUsize::new(0));
+        let threads = 8;
+        let per_thread = 500;
+        std::thread::scope(|scope| {
+            for _ in 0..threads {
+                let dropped = Arc::clone(&dropped);
+                scope.spawn(move || {
+                    for _ in 0..per_thread {
+                        let g = pin();
+                        let d = Arc::clone(&dropped);
+                        let boxed = Box::into_raw(Box::new(41u64));
+                        unsafe {
+                            g.defer_unchecked(move || {
+                                drop(Box::from_raw(boxed));
+                                d.fetch_add(1, Ordering::SeqCst);
+                            });
+                        }
+                        drop(g);
+                    }
+                });
+            }
+        });
+        for _ in 0..64 {
+            let g = pin();
+            g.flush();
+        }
+        assert_eq!(dropped.load(Ordering::SeqCst), threads * per_thread);
+    }
+}

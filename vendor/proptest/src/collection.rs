@@ -1,0 +1,136 @@
+//! Collection strategies: `vec` and `hash_set` over a size range.
+
+use std::collections::HashSet;
+use std::hash::Hash;
+use std::ops::{Range, RangeInclusive};
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+
+/// Inclusive size bounds for collection strategies (subset of
+/// `proptest::collection::SizeRange`).
+#[derive(Debug, Clone, Copy)]
+pub struct SizeRange {
+    min: usize,
+    max: usize,
+}
+
+impl From<Range<usize>> for SizeRange {
+    fn from(r: Range<usize>) -> SizeRange {
+        assert!(r.start < r.end, "empty size range");
+        SizeRange {
+            min: r.start,
+            max: r.end - 1,
+        }
+    }
+}
+
+impl From<RangeInclusive<usize>> for SizeRange {
+    fn from(r: RangeInclusive<usize>) -> SizeRange {
+        assert!(r.start() <= r.end(), "empty size range");
+        SizeRange {
+            min: *r.start(),
+            max: *r.end(),
+        }
+    }
+}
+
+impl From<usize> for SizeRange {
+    fn from(n: usize) -> SizeRange {
+        SizeRange { min: n, max: n }
+    }
+}
+
+/// Strategy for `Vec<S::Value>` with a length drawn from `size`.
+pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+    VecStrategy {
+        element,
+        size: size.into(),
+    }
+}
+
+/// Output of [`vec`].
+#[derive(Debug, Clone)]
+pub struct VecStrategy<S> {
+    element: S,
+    size: SizeRange,
+}
+
+impl<S: Strategy> Strategy for VecStrategy<S> {
+    type Value = Vec<S::Value>;
+    fn new_value(&self, rng: &mut TestRng) -> Vec<S::Value> {
+        let len = rng.range_u64(self.size.min as u64, self.size.max as u64) as usize;
+        (0..len).map(|_| self.element.new_value(rng)).collect()
+    }
+}
+
+/// Strategy for `HashSet<S::Value>` with a target size drawn from `size`.
+///
+/// Like the real proptest, the set may come out smaller than the drawn size if the
+/// element domain is too small to furnish enough distinct values; a bounded number of
+/// redraws keeps generation total.
+pub fn hash_set<S>(element: S, size: impl Into<SizeRange>) -> HashSetStrategy<S>
+where
+    S: Strategy,
+    S::Value: Hash + Eq,
+{
+    HashSetStrategy {
+        element,
+        size: size.into(),
+    }
+}
+
+/// Output of [`hash_set`].
+#[derive(Debug, Clone)]
+pub struct HashSetStrategy<S> {
+    element: S,
+    size: SizeRange,
+}
+
+impl<S> Strategy for HashSetStrategy<S>
+where
+    S: Strategy,
+    S::Value: Hash + Eq,
+{
+    type Value = HashSet<S::Value>;
+    fn new_value(&self, rng: &mut TestRng) -> HashSet<S::Value> {
+        let target = rng.range_u64(self.size.min as u64, self.size.max as u64) as usize;
+        let mut set = HashSet::with_capacity(target);
+        let mut attempts = 0usize;
+        while set.len() < target && attempts < target.saturating_mul(16).max(64) {
+            set.insert(self.element.new_value(rng));
+            attempts += 1;
+        }
+        // Never return fewer than the minimum while distinct values keep appearing.
+        while set.len() < self.size.min && attempts < 1_000_000 {
+            set.insert(self.element.new_value(rng));
+            attempts += 1;
+        }
+        set
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::strategy::any;
+
+    #[test]
+    fn vec_respects_size_bounds() {
+        let s = vec(any::<u32>(), 3..10);
+        let mut rng = TestRng::for_test("vec_respects_size_bounds");
+        for _ in 0..200 {
+            let v = s.new_value(&mut rng);
+            assert!((3..10).contains(&v.len()), "len {}", v.len());
+        }
+    }
+
+    #[test]
+    fn hash_set_reaches_min_size() {
+        let s = hash_set(any::<u16>(), 1..500);
+        let mut rng = TestRng::for_test("hash_set_reaches_min_size");
+        for _ in 0..100 {
+            assert!(!s.new_value(&mut rng).is_empty());
+        }
+    }
+}

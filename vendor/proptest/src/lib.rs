@@ -1,0 +1,107 @@
+//! Vendored minimal property-testing harness exposing the subset of the `proptest`
+//! API this workspace uses: [`prelude::Strategy`] with `prop_map`, [`prelude::any`],
+//! integer-range and tuple strategies, [`collection::vec`] / [`collection::hash_set`],
+//! the [`prop_oneof!`] union macro, `ProptestConfig::with_cases`, and the
+//! [`proptest!`] test macro with `prop_assert*` assertions.
+//!
+//! It is a deliberately small re-implementation for an offline build environment, not
+//! a copy of proptest's source. Differences from the real crate:
+//!
+//! * **No shrinking.** A failing case panics with the generated values in the assert
+//!   message (every model test here formats the inputs), but is not minimized.
+//! * **Deterministic seeding.** Each test derives its RNG seed from the test name, so
+//!   failures reproduce exactly across runs; set `PROPTEST_SEED` to vary it.
+//! * `prop_assert*` delegate to the panicking `assert*` macros instead of returning
+//!   `Result`, which is observationally equivalent under the test harness.
+
+#![warn(missing_docs)]
+
+pub mod collection;
+pub mod strategy;
+pub mod test_runner;
+
+/// The glob-importable surface mirroring `proptest::prelude`.
+pub mod prelude {
+    pub use crate::strategy::{any, Arbitrary, BoxedStrategy, Strategy};
+    pub use crate::test_runner::ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest};
+}
+
+/// Asserts a condition inside a `proptest!` body (panics on failure; no shrinking).
+#[macro_export]
+macro_rules! prop_assert {
+    ($($args:tt)*) => { assert!($($args)*) };
+}
+
+/// Asserts equality inside a `proptest!` body (panics on failure; no shrinking).
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($args:tt)*) => { assert_eq!($($args)*) };
+}
+
+/// Asserts inequality inside a `proptest!` body (panics on failure; no shrinking).
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($args:tt)*) => { assert_ne!($($args)*) };
+}
+
+/// Uniform choice between strategies producing the same value type.
+///
+/// Weights (`N => strategy`) are not supported by this vendored subset.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strategy:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $($crate::strategy::Strategy::boxed($strategy)),+
+        ])
+    };
+}
+
+/// Declares property tests: each `#[test] fn name(pat in strategy, ...) { .. }` runs
+/// `ProptestConfig::cases` times with freshly generated inputs.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::__proptest_cases!(($config) $($rest)*);
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_cases!(($crate::test_runner::ProptestConfig::default()) $($rest)*);
+    };
+}
+
+/// Internal expansion helper for [`proptest!`]; not part of the public API.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_cases {
+    (($config:expr)) => {};
+    // `#[test]` is captured by the meta repetition (alongside doc comments) and
+    // re-emitted verbatim on the generated zero-argument wrapper.
+    (($config:expr)
+        $(#[$meta:meta])*
+        fn $name:ident($($arg:ident in $strategy:expr),+ $(,)?) $body:block
+        $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let config = $config;
+            let mut rng = $crate::test_runner::TestRng::for_test(stringify!($name));
+            for case in 0..config.cases {
+                let run = || {
+                    $(let $arg = $crate::strategy::Strategy::new_value(&$strategy, &mut rng);)+
+                    $body
+                };
+                let outcome = ::std::panic::catch_unwind(::std::panic::AssertUnwindSafe(run));
+                if let Err(payload) = outcome {
+                    eprintln!(
+                        "proptest: case {}/{} of `{}` failed (vendored runner: no shrinking)",
+                        case + 1,
+                        config.cases,
+                        stringify!($name),
+                    );
+                    ::std::panic::resume_unwind(payload);
+                }
+            }
+        }
+        $crate::__proptest_cases!(($config) $($rest)*);
+    };
+}

@@ -1,0 +1,71 @@
+//! Test configuration and the deterministic RNG driving value generation.
+
+/// Subset of `proptest::test_runner::ProptestConfig`: only `cases` is honoured.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of generated input cases per property.
+    pub cases: u32,
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 256 }
+    }
+}
+
+impl ProptestConfig {
+    /// A config running `cases` cases per property.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+/// SplitMix64 generator; deterministic per test name so failures reproduce.
+#[derive(Debug, Clone)]
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    /// Seeds from the test name (FNV-1a) xor the optional `PROPTEST_SEED` env var.
+    pub fn for_test(name: &str) -> TestRng {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in name.bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        let env_seed = std::env::var("PROPTEST_SEED")
+            .ok()
+            .and_then(|s| s.parse::<u64>().ok())
+            .unwrap_or(0);
+        TestRng {
+            state: h ^ env_seed,
+        }
+    }
+
+    /// Next raw 64-bit value.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform value in `[lo, hi]` (inclusive); `lo <= hi` required.
+    pub fn range_u64(&mut self, lo: u64, hi: u64) -> u64 {
+        debug_assert!(lo <= hi);
+        let span = hi - lo;
+        if span == u64::MAX {
+            return self.next_u64();
+        }
+        // Modulo bias is irrelevant for test-input generation.
+        lo + self.next_u64() % (span + 1)
+    }
+
+    /// Uniform `usize` in `[lo, hi)`; `lo < hi` required.
+    pub fn range_usize(&mut self, lo: usize, hi: usize) -> usize {
+        debug_assert!(lo < hi);
+        self.range_u64(lo as u64, (hi - 1) as u64) as usize
+    }
+}

@@ -1,0 +1,17 @@
+//! Vendored no-op subset of `serde` for offline builds.
+//!
+//! The workspace only uses `#[derive(Serialize, Deserialize)]` as forward-looking
+//! annotations — nothing serializes yet — so this stub provides the two trait names
+//! and inert derive macros that expand to nothing. When the build environment gains
+//! registry access, deleting `vendor/` and the `[patch]`-free path deps restores the
+//! real crate with no source changes.
+
+#![warn(missing_docs)]
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker stand-in for `serde::Serialize`; carries no methods in this stub.
+pub trait Serialize {}
+
+/// Marker stand-in for `serde::Deserialize`; carries no methods in this stub.
+pub trait Deserialize<'de> {}

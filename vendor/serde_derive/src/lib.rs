@@ -1,0 +1,16 @@
+//! Inert `#[derive(Serialize)]` / `#[derive(Deserialize)]` macros: they accept the
+//! input and emit no code, so the annotations compile without the real serde.
+
+use proc_macro::TokenStream;
+
+/// No-op derive for `Serialize`.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// No-op derive for `Deserialize`.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
