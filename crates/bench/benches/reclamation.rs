@@ -1,0 +1,94 @@
+//! Wall-clock benches for the epoch-reclamation hot path.
+//!
+//! Complements the `e8_reclamation` experiment bin with per-operation latencies:
+//! bare pin/unpin, a defer batch, a full flush cycle, and an update-heavy skiplist
+//! churn where every remove routes node recycling through the reclamation layer.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use skiptrie_skiplist::{SkipList, SkipListConfig};
+use skiptrie_workloads::harness::Workload;
+
+/// A single pin/unpin round trip — the toll every operation pays.
+fn bench_pin_unpin(c: &mut Criterion) {
+    let mut group = c.benchmark_group("reclamation/pin_unpin");
+    group.throughput(Throughput::Elements(1));
+    group.bench_function("single_thread", |b| {
+        b.iter(|| criterion::black_box(skiptrie_atomics::pin()));
+    });
+    group.finish();
+}
+
+/// One guard deferring a batch of boxed drops — the update-path defer cost.
+fn bench_defer_batch(c: &mut Criterion) {
+    const BATCH: usize = 64;
+    let mut group = c.benchmark_group("reclamation/defer");
+    group.throughput(Throughput::Elements(BATCH as u64));
+    group.bench_function(BenchmarkId::new("boxed_drops", BATCH), |b| {
+        b.iter(|| {
+            let guard = skiptrie_atomics::pin();
+            for _ in 0..BATCH {
+                let ptr = Box::into_raw(Box::new(0u64));
+                // SAFETY: freshly allocated, unpublished, retired exactly once.
+                unsafe { skiptrie_atomics::retire_box(&guard, ptr) };
+            }
+        });
+    });
+    group.finish();
+}
+
+/// Pin + flush: epoch advance attempt plus collection of anything ready.
+fn bench_flush_cycle(c: &mut Criterion) {
+    let mut group = c.benchmark_group("reclamation/flush");
+    group.throughput(Throughput::Elements(1));
+    group.bench_function("pin_flush", |b| {
+        b.iter(|| {
+            let guard = skiptrie_atomics::pin();
+            guard.flush();
+        });
+    });
+    group.finish();
+}
+
+/// Multi-threaded insert/remove churn on the truncated skiplist: every remove defers
+/// a recycle closure, so reclamation dominates once the structure is warm.
+fn bench_skiplist_churn(c: &mut Criterion) {
+    let mut group = c.benchmark_group("reclamation/skiplist_churn");
+    for threads in [1usize, 4] {
+        const OPS_PER_THREAD: usize = 2_000;
+        group.throughput(Throughput::Elements((threads * OPS_PER_THREAD) as u64));
+        group.bench_with_input(
+            BenchmarkId::new("threads", threads),
+            &threads,
+            |b, &threads| {
+                let list: SkipList<u64> = SkipList::new(SkipListConfig::for_universe_bits(32));
+                for k in 0..4_096u64 {
+                    list.insert(k, k);
+                }
+                b.iter(|| {
+                    Workload::new(0xbece)
+                        .workers(threads, |mut ctx| {
+                            for _ in 0..OPS_PER_THREAD {
+                                let key = ctx.rng.next() % 4_096;
+                                if ctx.rng.next() % 2 == 0 {
+                                    list.insert(key, key);
+                                } else {
+                                    list.remove(key);
+                                }
+                            }
+                        })
+                        .run();
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_pin_unpin,
+    bench_defer_batch,
+    bench_flush_cycle,
+    bench_skiplist_churn
+);
+criterion_main!(benches);

@@ -1,0 +1,109 @@
+//! Experiment E8 — memory-reclamation hot-path throughput.
+//!
+//! The SkipTrie's `O(log log u + c)` bound counts *shared-memory steps*, so the
+//! reclamation substrate must not reintroduce a serial bottleneck: every operation
+//! pins an epoch guard, and every removal defers node recycling through it. This
+//! binary isolates that path two ways:
+//!
+//! * **Part A — end to end.** The update-heavy (50/25/25) mixed workload of E7 on the
+//!   SkipTrie at 1/2/4/8 threads. Removals dominate the defer traffic; inserts and
+//!   queries still pay the pin/unpin toll.
+//! * **Part B — raw EBR churn.** Threads loop `pin` → `defer_unchecked(drop Box)` →
+//!   unpin with no data structure at all, measuring the reclamation layer alone.
+//!
+//! Expected shape: with per-thread garbage bags and a lock-free participant list the
+//! per-op cost stays flat as threads are added (modulo core count); a global-mutex
+//! scheme collapses under update-heavy churn because every defer and every unpin
+//! serialize on the same locks. Before/after numbers are recorded in `EXPERIMENTS.md`.
+
+use skiptrie::{SkipTrie, SkipTrieConfig};
+use skiptrie_bench::{prefill, print_table, run_throughput, scaled};
+use skiptrie_metrics::Stopwatch;
+use skiptrie_workloads::harness::Workload;
+use skiptrie_workloads::{KeyDist, OpMix, WorkloadSpec};
+
+/// Part A: update-heavy mixes on the SkipTrie, fixed thread ladder. The 50/25/25 mix
+/// is E7's update-heavy workload; the 50/50 insert/remove churn is the pure-update
+/// extreme where every operation routes through the reclamation layer.
+///
+/// Keys are drawn from a scattered working set of twice the prefill size so that
+/// removes actually *hit* (~50% steady-state occupancy) — with uniform keys over the
+/// full 2^32 universe almost every remove would miss and nothing would ever be
+/// retired, which measures the pin/unpin toll but not deferral or collection.
+fn skiptrie_update_heavy(rows: &mut Vec<Vec<String>>) {
+    const UNIVERSE_BITS: u32 = 32;
+    for (mix_name, mix) in [
+        ("skiptrie update-heavy 50/25/25", OpMix::UPDATE_HEAVY),
+        ("skiptrie churn 0/50/50", OpMix::CHURN),
+    ] {
+        for threads in [1usize, 2, 4, 8] {
+            let prefill_size = scaled(50_000);
+            let spec = WorkloadSpec {
+                universe_bits: UNIVERSE_BITS,
+                prefill: prefill_size,
+                ops_per_thread: scaled(50_000),
+                threads,
+                dist: KeyDist::ScatteredSet {
+                    working_set: 2 * prefill_size as u64,
+                },
+                mix,
+                seed: 0xE8,
+            };
+            let trie = SkipTrie::new(SkipTrieConfig::for_universe_bits(UNIVERSE_BITS));
+            prefill(&trie, &spec.prefill_keys());
+            let result = run_throughput(&trie, &spec);
+            rows.push(vec![
+                mix_name.to_string(),
+                threads.to_string(),
+                format!("{:.2e}", result.ops_per_sec),
+                format!("{:.1}", result.elapsed.as_millis()),
+            ]);
+        }
+    }
+}
+
+/// Part B: nothing but the reclamation layer — pin, defer a boxed drop, unpin.
+fn raw_ebr_churn(rows: &mut Vec<Vec<String>>) {
+    for threads in [1usize, 2, 4, 8] {
+        let per_thread = scaled(200_000);
+        let sw = Stopwatch::start();
+        Workload::new(0xEB8)
+            .workers(threads, |_ctx| {
+                for _ in 0..per_thread {
+                    let guard = skiptrie_atomics::pin();
+                    let boxed = Box::into_raw(Box::new(0u64));
+                    // SAFETY: the pointer is freshly allocated, unpublished, and
+                    // retired exactly once.
+                    unsafe { skiptrie_atomics::retire_box(&guard, boxed) };
+                }
+            })
+            .run();
+        let elapsed = sw.elapsed();
+        // Drain: every deferred drop must eventually run (sanity, not timing).
+        for _ in 0..64 {
+            skiptrie_atomics::pin().flush();
+        }
+        let total = (threads * per_thread) as f64;
+        rows.push(vec![
+            "raw pin+defer churn".to_string(),
+            threads.to_string(),
+            format!("{:.2e}", total / elapsed.as_secs_f64().max(1e-9)),
+            format!("{:.1}", elapsed.as_millis()),
+        ]);
+    }
+}
+
+fn main() {
+    let mut rows = Vec::new();
+    skiptrie_update_heavy(&mut rows);
+    raw_ebr_churn(&mut rows);
+    print_table(
+        "E8: reclamation-path throughput (update-heavy mix and raw EBR churn)",
+        &["workload", "threads", "ops/s", "elapsed_ms"],
+        &rows,
+    );
+    println!(
+        "expectation: per-thread garbage bags keep defer/unpin mutex-free, so ops/s stays \
+         flat (or scales with cores) as threads grow; a global-mutex EBR degrades instead."
+    );
+}

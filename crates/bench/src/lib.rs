@@ -260,20 +260,9 @@ pub fn max_threads() -> usize {
         .unwrap_or(4)
 }
 
-/// A scale factor for experiment sizes (`SKIPTRIE_SCALE`, default 1.0) so the full
-/// suite can be shrunk for smoke runs or grown for publication-quality numbers.
-pub fn scale() -> f64 {
-    std::env::var("SKIPTRIE_SCALE")
-        .ok()
-        .and_then(|v| v.parse::<f64>().ok())
-        .filter(|v| *v > 0.0)
-        .unwrap_or(1.0)
-}
-
-/// Applies the global scale factor to a nominal size.
-pub fn scaled(nominal: usize) -> usize {
-    ((nominal as f64 * scale()) as usize).max(16)
-}
+// The scale knob lives in the shared test/experiment harness; re-exported here so
+// every experiment binary keeps its historical `skiptrie_bench::{scale, scaled}` path.
+pub use skiptrie_workloads::harness::{scale, scaled};
 
 /// Standard thread counts for sweep experiments: 1, 2, 4, ... up to [`max_threads`].
 pub fn thread_sweep() -> Vec<usize> {

@@ -360,6 +360,14 @@ where
     pub fn approx_node_bytes(&self) -> usize {
         self.skiplist.approx_node_bytes()
     }
+
+    /// Audits every skiplist level under one pin, panicking if a reclamation-safety
+    /// invariant is violated (poisoned node on a live path, incarnation bump while a
+    /// pinned traversal examines a node, stale recycle); returns nodes examined. See
+    /// [`SkipList::check_traversal_integrity`](skiptrie_skiplist::SkipList::check_traversal_integrity).
+    pub fn check_traversal_integrity(&self) -> usize {
+        self.skiplist.check_traversal_integrity()
+    }
 }
 
 impl<V> Drop for SkipTrie<V> {

@@ -24,7 +24,7 @@ use std::sync::atomic::AtomicU64;
 
 use crossbeam_epoch::Guard;
 use skiptrie_atomics::dcss::{cas_resolved, dcss, read_resolved, DcssError};
-use skiptrie_atomics::retire_box;
+use skiptrie_atomics::retire_boxes;
 use skiptrie_metrics::{self as metrics, Counter};
 use skiptrie_skiplist::NodeRef;
 
@@ -72,6 +72,36 @@ impl TrieNodePtr {
     /// pinned are protected).
     pub(crate) unsafe fn deref<'g>(&self, _guard: &'g Guard) -> &'g TrieNode {
         &*(self.0 as *const TrieNode)
+    }
+}
+
+/// Trie nodes unlinked by one operation, retired together when the batch drops — a
+/// single deferred closure per operation instead of one per node, on every exit path
+/// of the helping loops.
+struct TrieRetireBatch<'g> {
+    guard: &'g Guard,
+    ptrs: Vec<*mut TrieNode>,
+}
+
+impl<'g> TrieRetireBatch<'g> {
+    fn new(guard: &'g Guard) -> Self {
+        TrieRetireBatch {
+            guard,
+            ptrs: Vec::new(),
+        }
+    }
+
+    /// Adds a trie node this thread just removed from the hash table (sole owner).
+    fn push(&mut self, tnp: TrieNodePtr) {
+        self.ptrs.push(tnp.0 as *mut TrieNode);
+    }
+}
+
+impl Drop for TrieRetireBatch<'_> {
+    fn drop(&mut self) {
+        // SAFETY: every pointer was removed from the hash table by a `remove_if` this
+        // thread won, making it the sole retirement owner; each is retired once.
+        unsafe { retire_boxes(self.guard, std::mem::take(&mut self.ptrs)) };
     }
 }
 
@@ -152,6 +182,7 @@ where
     /// node, longest prefix first (bottom-up in the conceptual tree).
     pub(crate) fn insert_prefixes(&self, key: u64, node: NodeRef<'_, V>, guard: &Guard) {
         let b = self.universe_bits();
+        let mut retired = TrieRetireBatch::new(guard);
         for len in (0..b as u8).rev() {
             let p = Prefix::of(key, len, b);
             let direction = key_bit(key, len, b) as usize;
@@ -184,8 +215,8 @@ where
                         if p0 == 0 && p1 == 0 && p.len > 0 {
                             // Slated for deletion: help remove it, then retry.
                             if self.prefixes.remove_if(&p, |v| *v == tnp) {
-                                // SAFETY: we removed it; sole retirement owner.
-                                unsafe { retire_box(guard, tnp.0 as *mut TrieNode) };
+                                // We removed it; sole retirement owner (batched).
+                                retired.push(tnp);
                             }
                             continue;
                         }
@@ -246,6 +277,11 @@ where
     /// became empty. Runs top-down (shortest prefix first).
     pub(crate) fn cleanup_prefixes(&self, key: u64, guard: &Guard) {
         let b = self.universe_bits();
+        let mut retired = TrieRetireBatch::new(guard);
+        // Seed the top-level searches with the trie's own lowest-ancestor hint and
+        // keep refreshing it with each search result; starting every search at the
+        // head sentinel would cost O(top-level length) per prefix level.
+        let mut hint = self.lowest_ancestor(key, guard);
         for len in 0..b as u8 {
             let p = Prefix::of(key, len, b);
             let direction = key_bit(key, len, b) as usize;
@@ -275,7 +311,8 @@ where
                 if !points_at_victim {
                     break;
                 }
-                let (left, right) = self.skiplist().top_list_search(key, None, guard);
+                let (left, right) = self.skiplist().top_list_search(key, Some(hint), guard);
+                hint = left;
                 if direction == 0 {
                     // pointers[0] must be the largest key in the 0-subtree: swing
                     // backwards to `left` (or clear if the subtree has no live node).
@@ -347,8 +384,8 @@ where
                 let p0 = read_resolved(&tn.pointers[0], guard);
                 let p1 = read_resolved(&tn.pointers[1], guard);
                 if p0 == 0 && p1 == 0 && self.prefixes.remove_if(&p, |v| *v == tnp) {
-                    // SAFETY: we removed the entry; sole retirement owner.
-                    unsafe { retire_box(guard, tnp.0 as *mut TrieNode) };
+                    // We removed the entry; sole retirement owner (batched).
+                    retired.push(tnp);
                 }
             }
         }

@@ -64,7 +64,7 @@ use skiptrie_atomics::tagged;
 pub use node::NodeRef;
 pub use ops::{DeleteOutcome, InsertOutcome};
 
-use node::{pack_meta, Node, NodeKind};
+use node::{pack_meta, Node, NodeKind, STATUS_STOP};
 use pool::NodePool;
 
 /// Configuration of a [`SkipList`].
@@ -381,9 +381,17 @@ where
     /// The keys currently present at the top level, in order (the SkipTrie's x-fast
     /// trie population).
     pub fn top_level_keys(&self) -> Vec<u64> {
+        self.level_keys(self.top_level())
+    }
+
+    /// The (unmarked, data) keys currently linked on `level`, in order — level 0 is
+    /// the full contents; upper levels are the tower samples. Diagnostic twin of
+    /// [`SkipList::level_lengths`] used by the stress tests to report *which* node a
+    /// violated invariant concerns.
+    pub fn level_keys(&self, level: u8) -> Vec<u64> {
         let guard = self.pin();
         let mut out = Vec::new();
-        self.walk_level(self.top_level(), &guard, |node| out.push(node.key_value()));
+        self.walk_level(level, &guard, |node| out.push(node.key_value()));
         out
     }
 
@@ -400,6 +408,151 @@ where
     /// Approximate bytes resident for nodes (live + pooled), used by experiment E5.
     pub fn approx_node_bytes(&self) -> usize {
         self.pool.allocated() * std::mem::size_of::<Node<V>>()
+    }
+
+    /// Diagnostic dump of a level's unmarked data nodes:
+    /// `(key, stop_flag, root_key_or_MAX)` per node. Test-support only.
+    #[doc(hidden)]
+    pub fn debug_level_nodes(&self, level: u8) -> Vec<(u64, bool, u64)> {
+        let guard = self.pin();
+        let mut out = Vec::new();
+        self.walk_level(level, &guard, |node| {
+            let stopped = node.status.load(Ordering::SeqCst) & STATUS_STOP != 0;
+            let root_w = node.root.load(Ordering::SeqCst);
+            let root_key = if tagged::is_null(root_w) {
+                u64::MAX
+            } else {
+                // SAFETY: root pointers reference pool-kept nodes of this structure.
+                unsafe {
+                    (*tagged::unpack::<Node<V>>(root_w))
+                        .key
+                        .load(Ordering::SeqCst)
+                }
+            };
+            out.push((node.key_value(), stopped, root_key));
+        });
+        out
+    }
+
+    // ------------------------------------------------------------------
+    // Reclamation-safety auditing (tests/reclamation_soundness.rs)
+    // ------------------------------------------------------------------
+
+    /// Walks every level under a single pin and panics if a reclamation-safety
+    /// invariant is violated; returns the number of nodes examined.
+    ///
+    /// Epoch reclamation guarantees that a node reached through live links while
+    /// pinned is never recycled before the walker unpins. A broken epoch protocol
+    /// (premature free, stale recycle) therefore surfaces here as one of:
+    ///
+    /// * a **poisoned node** on the path — pooled nodes carry the `u64::MAX` key and a
+    ///   marked-null `next`, so the walk sees either the poisoned key or a level that
+    ///   ends before its tail sentinel;
+    /// * an **incarnation bump mid-examination** — [`NodePool`] recycling increments
+    ///   the status sequence number, which must stay constant while a pinned walker
+    ///   examines the node;
+    /// * a **stale reuse** — a recycled node re-published at another level or key
+    ///   breaks the level tag, the `down`/`root` same-key invariants, or key ordering.
+    ///
+    /// Every visited node is additionally recorded as a *witness* and its incarnation
+    /// re-verified after the full walk, still under the same pin: epoch reclamation
+    /// promises that nothing reached through live links during a pin is recycled
+    /// until the pin ends, so any witness whose sequence number moved convicts the
+    /// collector of freeing under a live guard.
+    pub fn check_traversal_integrity(&self) -> usize {
+        /// Cap on recorded witnesses (bounds memory on huge structures).
+        const MAX_WITNESSES: usize = 1 << 16;
+        let guard = self.pin();
+        let mut checked = 0usize;
+        let mut witnesses: Vec<(*const Node<V>, u64)> = Vec::new();
+        for level in 0..self.levels() {
+            let mut curr: &Node<V> = self.head(level);
+            let mut last_key: Option<(u64, bool)> = None;
+            loop {
+                let next = skiptrie_atomics::dcss::read_resolved(&curr.next, &guard);
+                let next_ptr = tagged::untagged(next);
+                assert!(
+                    !tagged::is_null(next_ptr),
+                    "level {level} truncated before its tail sentinel (reached a \
+                     poisoned/recycled node while pinned)"
+                );
+                // SAFETY: node memory is type-stable (pool) and reached while pinned.
+                let node: &Node<V> = unsafe { &*tagged::unpack(next_ptr) };
+                if node.is_tail() {
+                    break;
+                }
+                if node.is_data() {
+                    // The incarnation sequence must not move while we examine the
+                    // node: a bump here means the pool recycled memory a pinned
+                    // traversal was standing on.
+                    let seq_before = node.status.load(Ordering::SeqCst) & !STATUS_STOP;
+                    let key = node.key_value();
+                    let marked = node.is_marked(&guard);
+                    assert_ne!(
+                        key,
+                        u64::MAX,
+                        "poisoned (pooled) node reachable at level {level} while pinned"
+                    );
+                    assert_eq!(
+                        node.level(),
+                        level,
+                        "node for key {key} reached at level {level} carries the wrong \
+                         level tag (stale recycle)"
+                    );
+                    if let Some((prev_key, prev_marked)) = last_key {
+                        assert!(
+                            key >= prev_key,
+                            "keys out of order at level {level}: {prev_key} then {key}"
+                        );
+                        assert!(
+                            key > prev_key || marked || prev_marked,
+                            "two live nodes share key {key} at level {level}"
+                        );
+                    }
+                    if level > 0 {
+                        let down = node.down.load(Ordering::SeqCst);
+                        assert!(
+                            !tagged::is_null(down),
+                            "tower node {key} at level {level} lost its down pointer"
+                        );
+                        // SAFETY: down pointers reference pool-kept nodes of this
+                        // structure; epoch pinning keeps the target's fields intact.
+                        let below: &Node<V> = unsafe { &*tagged::unpack(down) };
+                        assert_eq!(
+                            below.key_value(),
+                            key,
+                            "down pointer of {key} at level {level} reaches another key \
+                             (stale recycle below)"
+                        );
+                    }
+                    let seq_after = node.status.load(Ordering::SeqCst) & !STATUS_STOP;
+                    assert_eq!(
+                        seq_before, seq_after,
+                        "incarnation of key {key} at level {level} changed while a \
+                         pinned traversal examined it (premature recycle)"
+                    );
+                    if witnesses.len() < MAX_WITNESSES {
+                        witnesses.push((node as *const Node<V>, seq_before));
+                    }
+                    last_key = Some((key, marked));
+                    checked += 1;
+                }
+                curr = node;
+            }
+        }
+        // Still pinned: no witness may have been recycled since we visited it.
+        for (ptr, seq_at_visit) in witnesses {
+            // SAFETY: witnesses were reached through live links under this very pin;
+            // pool memory is type-stable, so the read is defined even on a violation.
+            let seq_now = unsafe { (*ptr).status.load(Ordering::SeqCst) } & !STATUS_STOP;
+            assert_eq!(
+                seq_at_visit, seq_now,
+                "a node visited under this pin was recycled before the pin ended \
+                 (epoch protocol violation)"
+            );
+        }
+        drop(guard);
+        checked
     }
 }
 

@@ -167,9 +167,21 @@ where
         let root_word = tagged::pack(root_ptr as *const Node<V>);
 
         // Phase 2: raise the tower up to `orig_height` (or until a delete stops us).
+        // The paper conditions every raise on the root's STOP flag *remaining unset* —
+        // comparing against the captured status alone is not enough: a delete that
+        // runs entirely between the root link and the capture above leaves STOP
+        // already set *inside* `root_status`, the status never changes again, and the
+        // DCSS guards would happily raise a full tower over an already-removed root,
+        // stranding unmarked nodes no sweep will ever visit.
+        let raise_height = if root_status & STATUS_STOP == 0 {
+            orig_height
+        } else {
+            0
+        };
         let mut lower_word = root_word;
         let mut top_node: Option<&Node<V>> = None;
-        'levels: for level in 1..=orig_height {
+        let mut top_pred: Option<&Node<V>> = None;
+        'levels: for level in 1..=raise_height {
             let ptr = self.pool().acquire();
             let node_word = tagged::pack(ptr as *const Node<V>);
             let mut attempt_start: &Node<V> = preds[level as usize].0;
@@ -220,7 +232,7 @@ where
                             // A delete began concurrently and may already have swept
                             // this level; undo our own raise so no tower node is
                             // stranded above a deleted root.
-                            if self.remove_tower_node(level, node, guard) {
+                            if self.remove_tower_node(level, node, l, guard) {
                                 // SAFETY: we won the node's mark and unlinked it; for
                                 // a top-level node no trie pointers can exist yet
                                 // (our own trie insertion has not run and is guarded
@@ -232,6 +244,9 @@ where
                         lower_word = node_word;
                         if level == top {
                             top_node = Some(node);
+                            // The predecessor we just linked behind seeds Phase 3's
+                            // fix_prev search (instead of the head sentinel).
+                            top_pred = Some(l);
                         }
                         continue 'levels;
                     }
@@ -249,7 +264,7 @@ where
 
         // Phase 3: a new top-level node joins the doubly-linked list (Section 3).
         if let Some(node) = top_node {
-            self.fix_prev(None, node, guard);
+            self.fix_prev(top_pred, node, guard);
         }
         InsertOutcome::Inserted {
             top_node: top_node.map(NodeRef::new),
@@ -347,13 +362,14 @@ where
 
     /// After removing the top-level node `node`, repair the `prev` guide of its
     /// successor so that the backwards direction no longer routes through `node`
-    /// (Algorithm 2's repeat-until loop).
-    fn repair_after_top_delete(&self, node: &Node<V>, guard: &Guard) {
+    /// (Algorithm 2's repeat-until loop). `hint` seeds the search (any node; the
+    /// search validates and falls back to the head on a bad hint).
+    fn repair_after_top_delete(&self, node: &Node<V>, hint: &Node<V>, guard: &Guard) {
         let top = self.top_level();
         let mut attempts = 0usize;
         loop {
             attempts += 1;
-            let (left, right) = self.list_search(top, node.key_value(), self.head(top), guard);
+            let (left, right) = self.list_search(top, node.key_value(), hint, guard);
             if right.is_tail() {
                 return;
             }
@@ -372,18 +388,28 @@ where
     /// trie pointers can be swung to it), wins the mark CAS, physically unlinks it,
     /// and — for top-level nodes — repairs the successor's `prev`. Returns `true` iff
     /// this call won the mark (and therefore owns the node's retirement).
-    pub(crate) fn remove_tower_node(&self, level: u8, node: &Node<V>, guard: &Guard) -> bool {
+    ///
+    /// `hint` seeds every internal search (callers pass the level predecessor they
+    /// already hold, e.g. from `find_preds`); searching from the head sentinel here
+    /// would make each delete `O(level length)` instead of `O(spacing)`.
+    pub(crate) fn remove_tower_node(
+        &self,
+        level: u8,
+        node: &Node<V>,
+        hint: &Node<V>,
+        guard: &Guard,
+    ) -> bool {
         node.set_stop();
         loop {
             let next = read_resolved(&node.next, guard);
             if tagged::is_marked(next) {
                 // Someone else won; make sure it is physically gone and report.
-                let _ = self.list_search(level, node.key_value(), self.head(level), guard);
+                let _ = self.list_search(level, node.key_value(), hint, guard);
                 return false;
             }
             // Record a back hint pointing at the current predecessor before marking,
             // so traversals stranded on this node can retreat (Section 2).
-            let (left, _right) = self.list_search(level, node.key_value(), self.head(level), guard);
+            let (left, _right) = self.list_search(level, node.key_value(), hint, guard);
             node.back
                 .store(tagged::pack(left as *const Node<V>), Ordering::SeqCst);
             match cas_resolved(&node.next, next, tagged::with_mark(next), guard) {
@@ -394,9 +420,9 @@ where
             }
         }
         // Physically unlink (list_search unlinks marked nodes it encounters).
-        let _ = self.list_search(level, node.key_value(), self.head(level), guard);
+        let _ = self.list_search(level, node.key_value(), hint, guard);
         if level == self.top_level() {
-            self.repair_after_top_delete(node, guard);
+            self.repair_after_top_delete(node, hint, guard);
         }
         true
     }
@@ -434,11 +460,13 @@ where
 
         let root_word = tagged::pack(root as *const Node<V>);
         let mut top_to_retire: Option<NodeRef<'g, V>> = None;
+        // Tower nodes this call wins are retired together: one deferred closure (and
+        // one pool-lock acquisition) per delete instead of one per node.
+        let mut retire_batch: Vec<*mut Node<V>> = Vec::new();
 
         // Remove upper tower nodes, top-down.
         for level in (1..=top).rev() {
             let (l, r) = self.list_search(level, key, preds[level as usize].0, guard);
-            let _ = l;
             if !(r.is_data() && r.key_value() == key) {
                 continue;
             }
@@ -447,30 +475,36 @@ where
                 // of another incarnation); not ours to remove.
                 continue;
             }
-            if self.remove_tower_node(level, r, guard) {
+            if self.remove_tower_node(level, r, l, guard) {
                 if level == top {
                     // Retirement deferred to the caller (trie cleanup first).
                     top_to_retire = Some(NodeRef::new(r));
                 } else {
-                    // SAFETY: we won the mark and unlinked the node; nothing else
-                    // references it.
-                    unsafe { self.retire_node(NodeRef::new(r), guard) };
+                    // We won the mark and unlinked the node; nothing else references
+                    // it — batched for retirement below.
+                    retire_batch.push(r as *const Node<V> as *mut Node<V>);
                 }
             }
         }
 
         // Remove the root (level 0). Whoever wins this mark performed the delete.
-        let won = self.remove_tower_node(0, root, guard);
+        let won = self.remove_tower_node(0, root, preds[0].0, guard);
         if won {
             self.len_counter().fetch_sub(1, Ordering::SeqCst);
             if top == 0 {
                 // Single-level list: the root *is* the top-level node.
                 top_to_retire = Some(NodeRef::new(root));
             } else {
-                // SAFETY: we won the mark and unlinked the root; upper levels of this
-                // tower were removed (or never existed) beforehand.
-                unsafe { self.retire_node(NodeRef::new(root), guard) };
+                // We won the mark and unlinked the root; upper levels of this tower
+                // were removed (or never existed) beforehand.
+                retire_batch.push(root as *const Node<V> as *mut Node<V>);
             }
+        }
+        if !retire_batch.is_empty() {
+            let pool = Arc::clone(self.pool());
+            // SAFETY: every node in the batch was unlinked by a mark CAS this call
+            // won, is recycled exactly once, and the pool is kept alive by the Arc.
+            unsafe { guard.defer_unchecked(move || pool.recycle_batch(retire_batch)) };
         }
         DeleteOutcome {
             removed: won,

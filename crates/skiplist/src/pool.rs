@@ -24,9 +24,31 @@ use skiptrie_metrics::{self as metrics, Counter};
 
 use crate::node::{Node, STATUS_SEQ_UNIT, STATUS_STOP};
 
+/// Number of independently locked free-list shards. Threads are spread over shards
+/// round-robin, so concurrent acquire/recycle traffic rarely meets on a lock — and a
+/// thread descheduled while holding one shard no longer convoys every other thread.
+const POOL_SHARDS: usize = 8;
+
+/// Round-robin source for [`my_shard`] assignments.
+static NEXT_SHARD: AtomicUsize = AtomicUsize::new(0);
+
+thread_local! {
+    /// The shard this thread prefers for both acquire and recycle.
+    static MY_SHARD: usize = NEXT_SHARD.fetch_add(1, Ordering::Relaxed) % POOL_SHARDS;
+}
+
+/// This thread's home shard (falls back to 0 during thread-local teardown).
+fn my_shard() -> usize {
+    MY_SHARD.try_with(|s| *s).unwrap_or(0)
+}
+
 /// A type-stable free list of [`Node`] allocations (see module docs).
 pub(crate) struct NodePool<V> {
-    free: Mutex<Vec<*mut Node<V>>>,
+    free: [Mutex<Vec<*mut Node<V>>>; POOL_SHARDS],
+    /// Approximate number of nodes across all shards (kept in step with the pushes
+    /// and pops below). Lets a growth-phase `acquire` — every free list empty — go
+    /// straight to the allocator instead of sweeping all eight shard locks per call.
+    free_count: AtomicUsize,
     /// Total nodes ever allocated from the system allocator by this pool.
     allocated: AtomicUsize,
     /// Total recycle operations (for space-accounting experiments).
@@ -40,7 +62,8 @@ unsafe impl<V: Send> Sync for NodePool<V> {}
 impl<V> NodePool<V> {
     pub(crate) fn new() -> Self {
         NodePool {
-            free: Mutex::new(Vec::new()),
+            free: std::array::from_fn(|_| Mutex::new(Vec::new())),
+            free_count: AtomicUsize::new(0),
             allocated: AtomicUsize::new(0),
             recycled: AtomicUsize::new(0),
         }
@@ -49,27 +72,36 @@ impl<V> NodePool<V> {
     /// Pops a recycled node or allocates a fresh one. The returned node is in the
     /// poisoned state; the caller initializes every field except `status` (whose
     /// sequence number must be preserved) before publishing it.
+    ///
+    /// The home shard is tried first; on a miss the other shards are scanned (nodes
+    /// are interchangeable, only the lock is sharded) — but only while the
+    /// approximate free count says there is something to find, so a growing
+    /// structure pays one lock, not eight, per allocation.
     pub(crate) fn acquire(&self) -> *mut Node<V> {
         metrics::record(Counter::NodeAllocated);
-        if let Some(ptr) = self.free.lock().expect("node pool poisoned").pop() {
-            return ptr;
+        let home = my_shard();
+        if self.free_count.load(Ordering::Relaxed) > 0 {
+            for i in 0..POOL_SHARDS {
+                let shard = &self.free[(home + i) % POOL_SHARDS];
+                if let Some(ptr) = shard.lock().expect("node pool poisoned").pop() {
+                    self.free_count.fetch_sub(1, Ordering::Relaxed);
+                    return ptr;
+                }
+            }
         }
         self.allocated.fetch_add(1, Ordering::Relaxed);
         Box::into_raw(Node::empty())
     }
 
-    /// Recycles a node whose memory can no longer be reached by any pinned thread
-    /// (i.e. from an epoch-deferred callback, or for nodes that were never published).
-    ///
-    /// Poisons the traversal-visible fields, drops the value, clears STOP and bumps the
-    /// incarnation sequence number so stale DCSS guards referencing the old incarnation
-    /// can never match again.
+    /// Poisons a quiescent node: bumps the incarnation and clears STOP (so stale DCSS
+    /// guards referencing the old incarnation can never match again), marks the
+    /// traversal-visible fields as obviously-deleted, and drops the value.
     ///
     /// # Safety
     ///
-    /// `ptr` must have been produced by [`NodePool::acquire`] of this pool, must not be
-    /// reachable from the structure, and must not be recycled twice.
-    pub(crate) unsafe fn recycle(&self, ptr: *mut Node<V>) {
+    /// Same contract as [`NodePool::recycle`]; the node must be quiescent (single
+    /// writer).
+    unsafe fn poison(&self, ptr: *mut Node<V>) {
         metrics::record(Counter::NodeRetired);
         let node = &*ptr;
         // Bump the incarnation and clear STOP (single writer here: quiescent node).
@@ -86,7 +118,43 @@ impl<V> NodePool<V> {
         node.root.store(tagged::NULL, Ordering::SeqCst);
         drop((*node.value.get()).take());
         self.recycled.fetch_add(1, Ordering::Relaxed);
-        self.free.lock().expect("node pool poisoned").push(ptr);
+    }
+
+    /// Recycles a node whose memory can no longer be reached by any pinned thread
+    /// (i.e. from an epoch-deferred callback, or for nodes that were never published).
+    ///
+    /// # Safety
+    ///
+    /// `ptr` must have been produced by [`NodePool::acquire`] of this pool, must not be
+    /// reachable from the structure, and must not be recycled twice.
+    pub(crate) unsafe fn recycle(&self, ptr: *mut Node<V>) {
+        self.poison(ptr);
+        // Count before push: every poppable node has been counted, so the matching
+        // decrement in `acquire` can never transiently underflow the counter.
+        self.free_count.fetch_add(1, Ordering::Relaxed);
+        self.free[my_shard()]
+            .lock()
+            .expect("node pool poisoned")
+            .push(ptr);
+    }
+
+    /// Recycles a whole batch of nodes, taking the free-list lock once for the batch
+    /// instead of once per node. Operations that unlink several nodes under one guard
+    /// (a tower delete) retire them through a single deferred closure ending here.
+    ///
+    /// # Safety
+    ///
+    /// Same contract as [`NodePool::recycle`], applied to every pointer in `ptrs`.
+    pub(crate) unsafe fn recycle_batch(&self, ptrs: Vec<*mut Node<V>>) {
+        for &ptr in &ptrs {
+            self.poison(ptr);
+        }
+        // Count before push (see `recycle`).
+        self.free_count.fetch_add(ptrs.len(), Ordering::Relaxed);
+        self.free[my_shard()]
+            .lock()
+            .expect("node pool poisoned")
+            .extend(ptrs);
     }
 
     /// Number of nodes obtained from the system allocator over the pool's lifetime.
@@ -99,20 +167,25 @@ impl<V> NodePool<V> {
         self.recycled.load(Ordering::Relaxed)
     }
 
-    /// Number of nodes currently sitting in the free list.
+    /// Number of nodes currently sitting in the free list (all shards).
     pub(crate) fn free_len(&self) -> usize {
-        self.free.lock().expect("node pool poisoned").len()
+        self.free
+            .iter()
+            .map(|shard| shard.lock().expect("node pool poisoned").len())
+            .sum()
     }
 }
 
 impl<V> Drop for NodePool<V> {
     fn drop(&mut self) {
-        let free = self.free.get_mut().expect("node pool poisoned");
-        for &ptr in free.iter() {
-            // SAFETY: pointers in the free list are exclusively owned by the pool.
-            unsafe { drop(Box::from_raw(ptr)) };
+        for shard in &mut self.free {
+            let free = shard.get_mut().expect("node pool poisoned");
+            for &ptr in free.iter() {
+                // SAFETY: pointers in the free list are exclusively owned by the pool.
+                unsafe { drop(Box::from_raw(ptr)) };
+            }
+            free.clear();
         }
-        free.clear();
     }
 }
 
@@ -136,6 +209,25 @@ mod tests {
             pool.recycle(b);
             pool.recycle(c);
         }
+    }
+
+    #[test]
+    fn recycle_batch_reuses_all_nodes() {
+        let pool: NodePool<u64> = NodePool::new();
+        let ptrs: Vec<_> = (0..8).map(|_| pool.acquire()).collect();
+        assert_eq!(pool.allocated(), 8);
+        unsafe { pool.recycle_batch(ptrs.clone()) };
+        assert_eq!(pool.free_len(), 8);
+        assert_eq!(pool.recycled(), 8);
+        // Every subsequent acquire is served from the pool, not the allocator.
+        let again: Vec<_> = (0..8).map(|_| pool.acquire()).collect();
+        assert_eq!(pool.allocated(), 8, "no new system allocation");
+        let mut original: Vec<_> = ptrs.iter().map(|p| *p as usize).collect();
+        let mut reused: Vec<_> = again.iter().map(|p| *p as usize).collect();
+        original.sort_unstable();
+        reused.sort_unstable();
+        assert_eq!(original, reused, "the same memory is recycled");
+        unsafe { pool.recycle_batch(again) };
     }
 
     #[test]

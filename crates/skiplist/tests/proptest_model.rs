@@ -1,10 +1,13 @@
-//! Property-based and concurrent stress tests for the truncated skiplist.
+//! Property-based and concurrent stress tests for the truncated skiplist. The
+//! concurrent tests run on the shared `skiptrie_workloads::harness` (barrier-started
+//! workers, per-worker deterministic RNGs, `SKIPTRIE_SCALE`-aware iteration counts).
 
 use std::collections::BTreeMap;
 use std::sync::Arc;
 
 use proptest::prelude::*;
 use skiptrie_skiplist::{SkipList, SkipListConfig};
+use skiptrie_workloads::harness::{scaled, Workload};
 
 #[derive(Debug, Clone)]
 enum ListOp {
@@ -96,26 +99,19 @@ proptest! {
 #[test]
 fn concurrent_churn_stress() {
     let list: Arc<SkipList<u64>> = Arc::new(SkipList::new(SkipListConfig::for_universe_bits(32)));
-    let threads = 8u64;
-    std::thread::scope(|scope| {
-        for t in 0..threads {
-            let list = Arc::clone(&list);
-            scope.spawn(move || {
-                let mut state = t + 1;
-                for i in 0..30_000u64 {
-                    state = state
-                        .wrapping_mul(6364136223846793005)
-                        .wrapping_add(1442695040888963407);
-                    let key = state % 2_048;
-                    if i % 2 == 0 {
-                        list.insert(key, key);
-                    } else {
-                        list.remove(key);
-                    }
+    let iters = scaled(30_000) as u64;
+    Workload::new(0)
+        .workers(8, |mut ctx| {
+            for i in 0..iters {
+                let key = ctx.rng.next() % 2_048;
+                if i % 2 == 0 {
+                    list.insert(key, key);
+                } else {
+                    list.remove(key);
                 }
-            });
-        }
-    });
+            }
+        })
+        .run();
     // Quiescent invariants.
     let keys = list.keys();
     assert!(keys.windows(2).all(|w| w[0] < w[1]));
@@ -139,41 +135,32 @@ fn concurrent_readers_and_writers() {
     for k in (0..1u64 << 16).step_by(64) {
         list.insert(k, k + 1);
     }
-    std::thread::scope(|scope| {
-        for t in 0..3u64 {
-            let list = Arc::clone(&list);
-            scope.spawn(move || {
-                let mut state = 0xabc + t;
-                for _ in 0..50_000 {
-                    state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
-                    let key = state % (1 << 16);
-                    if key % 64 != 0 {
-                        if state % 2 == 0 {
-                            list.insert(key, key + 1);
-                        } else {
-                            list.remove(key);
-                        }
-                    }
-                }
-            });
-        }
-        for _ in 0..3 {
-            let list = Arc::clone(&list);
-            scope.spawn(move || {
-                let mut state = 0xdefu64;
-                for _ in 0..50_000 {
-                    state = state.wrapping_mul(6364136223846793005).wrapping_add(7);
-                    let q = state % (1 << 16);
-                    if let Some((k, v)) = list.predecessor(q) {
-                        assert!(k <= q);
-                        assert_eq!(v, k + 1, "value always key+1 in this test");
-                        // A stable anchor at floor(q/64)*64 always exists.
-                        assert!(k >= (q / 64) * 64);
+    let iters = scaled(50_000);
+    Workload::new(0xabc)
+        .workers(3, |mut ctx| {
+            for _ in 0..iters {
+                let key = ctx.rng.next() % (1 << 16);
+                if key % 64 != 0 {
+                    if ctx.rng.next() % 2 == 0 {
+                        list.insert(key, key + 1);
                     } else {
-                        panic!("anchor keys guarantee a predecessor for every query");
+                        list.remove(key);
                     }
                 }
-            });
-        }
-    });
+            }
+        })
+        .workers(3, |mut ctx| {
+            for _ in 0..iters {
+                let q = ctx.rng.next() % (1 << 16);
+                if let Some((k, v)) = list.predecessor(q) {
+                    assert!(k <= q);
+                    assert_eq!(v, k + 1, "value always key+1 in this test");
+                    // A stable anchor at floor(q/64)*64 always exists.
+                    assert!(k >= (q / 64) * 64);
+                } else {
+                    panic!("anchor keys guarantee a predecessor for every query");
+                }
+            }
+        })
+        .run();
 }

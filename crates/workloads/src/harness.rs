@@ -1,0 +1,188 @@
+//! Shared scaffolding for concurrent correctness and stress tests.
+//!
+//! Every concurrent test in this workspace follows the same shape: spawn a fixed set
+//! of worker threads, release them simultaneously, drive each from its own
+//! deterministic RNG, and scale iteration counts with the `SKIPTRIE_SCALE`
+//! environment variable so the same test runs as a quick smoke check locally and as a
+//! heavy stress job in CI. [`Workload`] packages that shape once so individual tests
+//! declare only their per-thread behaviour.
+//!
+//! # Example
+//!
+//! ```
+//! use skiptrie_workloads::harness::{scaled, Workload};
+//! use std::sync::atomic::{AtomicUsize, Ordering};
+//!
+//! let counter = AtomicUsize::new(0);
+//! let iters = scaled(1_000);
+//! Workload::new(42)
+//!     .workers(4, |ctx| {
+//!         // ctx.rng is seeded deterministically from (seed, ctx.index).
+//!         for _ in 0..iters {
+//!             counter.fetch_add(1, Ordering::Relaxed);
+//!         }
+//!     })
+//!     .run();
+//! assert_eq!(counter.load(Ordering::Relaxed), 4 * iters);
+//! ```
+
+use std::sync::Barrier;
+
+use crate::SplitMix64;
+
+/// The global test/experiment scale factor (`SKIPTRIE_SCALE`, default 1.0).
+///
+/// Values below 1 shrink workloads for smoke runs; values above 1 grow them for
+/// stress runs and publication-quality measurements.
+pub fn scale() -> f64 {
+    std::env::var("SKIPTRIE_SCALE")
+        .ok()
+        .and_then(|v| v.parse::<f64>().ok())
+        .filter(|v| *v > 0.0)
+        .unwrap_or(1.0)
+}
+
+/// Applies [`scale`] to a nominal iteration count, with a floor of 16 so even extreme
+/// shrink factors still exercise the code under test.
+pub fn scaled(nominal: usize) -> usize {
+    ((nominal as f64 * scale()) as usize).max(16)
+}
+
+/// The deterministic RNG for worker `index` of a workload seeded with `seed`.
+///
+/// Exposed so a test can precompute a sequential model of what worker `index` will do
+/// (e.g. the expected final contents after a churn) using exactly the stream the
+/// worker itself sees.
+pub fn worker_rng(seed: u64, index: usize) -> SplitMix64 {
+    SplitMix64::new(seed.wrapping_add(index as u64 + 1))
+}
+
+/// Per-worker context handed to each thread body.
+pub struct WorkerCtx {
+    /// This worker's index, unique and dense across the whole workload (role groups
+    /// added by successive [`Workload::workers`] calls continue the numbering).
+    pub index: usize,
+    /// This worker's deterministic RNG ([`worker_rng`] of the workload seed).
+    pub rng: SplitMix64,
+}
+
+type Job<'env> = Box<dyn FnOnce(WorkerCtx) + Send + 'env>;
+
+/// A barrier-started set of worker threads (see the module docs).
+///
+/// Workers are added with [`worker`](Workload::worker) (one closure) or
+/// [`workers`](Workload::workers) (a cloned closure per thread, e.g. "8 writers");
+/// heterogeneous role mixes compose by chaining the two. [`run`](Workload::run)
+/// spawns every worker in a [`std::thread::scope`], releases them through a shared
+/// [`Barrier`] so they contend from the first operation, and joins them all (a worker
+/// panic propagates and fails the test).
+#[must_use = "call .run() to execute the workload"]
+pub struct Workload<'env> {
+    seed: u64,
+    jobs: Vec<Job<'env>>,
+}
+
+impl<'env> Workload<'env> {
+    /// Starts an empty workload whose workers derive their RNGs from `seed`.
+    pub fn new(seed: u64) -> Self {
+        Workload {
+            seed,
+            jobs: Vec::new(),
+        }
+    }
+
+    /// Adds one worker thread.
+    pub fn worker(mut self, f: impl FnOnce(WorkerCtx) + Send + 'env) -> Self {
+        self.jobs.push(Box::new(f));
+        self
+    }
+
+    /// Adds `n` worker threads each running a clone of `f`.
+    pub fn workers(mut self, n: usize, f: impl Fn(WorkerCtx) + Clone + Send + 'env) -> Self {
+        for _ in 0..n {
+            let f = f.clone();
+            self.jobs.push(Box::new(f));
+        }
+        self
+    }
+
+    /// Number of workers added so far.
+    pub fn len(&self) -> usize {
+        self.jobs.len()
+    }
+
+    /// True if no workers have been added.
+    pub fn is_empty(&self) -> bool {
+        self.jobs.is_empty()
+    }
+
+    /// Spawns all workers barrier-started and joins them.
+    pub fn run(self) {
+        let barrier = Barrier::new(self.jobs.len());
+        let seed = self.seed;
+        std::thread::scope(|scope| {
+            for (index, job) in self.jobs.into_iter().enumerate() {
+                let barrier = &barrier;
+                scope.spawn(move || {
+                    barrier.wait();
+                    job(WorkerCtx {
+                        index,
+                        rng: worker_rng(seed, index),
+                    });
+                });
+            }
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn workers_all_run_with_dense_indexes() {
+        let seen = AtomicUsize::new(0);
+        Workload::new(7)
+            .workers(3, |ctx| {
+                seen.fetch_add(1 << ctx.index, Ordering::Relaxed);
+            })
+            .worker(|ctx| {
+                assert_eq!(ctx.index, 3, "single worker continues the numbering");
+                seen.fetch_add(1 << ctx.index, Ordering::Relaxed);
+            })
+            .run();
+        assert_eq!(seen.load(Ordering::Relaxed), 0b1111);
+    }
+
+    #[test]
+    fn worker_rng_matches_ctx_rng() {
+        let first = std::sync::Mutex::new(Vec::new());
+        Workload::new(99)
+            .workers(4, |mut ctx| {
+                first.lock().unwrap().push((ctx.index, ctx.rng.next()));
+            })
+            .run();
+        let mut observed = first.into_inner().unwrap();
+        observed.sort_unstable();
+        for (index, value) in observed {
+            assert_eq!(value, worker_rng(99, index).next());
+        }
+    }
+
+    #[test]
+    fn scaled_has_a_floor_and_tracks_scale() {
+        assert!(scaled(0) >= 16);
+        assert!(scaled(10_000) >= 16);
+    }
+
+    #[test]
+    fn empty_and_len_report_workers() {
+        let w = Workload::new(1);
+        assert!(w.is_empty());
+        let w = w.workers(2, |_| {});
+        assert_eq!(w.len(), 2);
+        assert!(!w.is_empty());
+        w.run();
+    }
+}

@@ -8,6 +8,7 @@
 
 #![warn(missing_docs)]
 
+pub mod harness;
 mod rng;
 mod zipf;
 
@@ -43,6 +44,16 @@ pub enum KeyDist {
         /// Width of the hot window.
         range: u64,
     },
+    /// Uniform draws from a fixed working set of `working_set` distinct keys
+    /// *scattered* across the whole universe (a Fibonacci-hash spread of the indices
+    /// `0..working_set`). Unlike [`KeyDist::HotRange`] the keys are not consecutive,
+    /// so the structure keeps its natural sparse shape, but removes hit with
+    /// probability equal to the steady-state occupancy — the workload of the
+    /// reclamation experiment E8, where updates must actually retire nodes.
+    ScatteredSet {
+        /// Number of distinct keys in the working set.
+        working_set: u64,
+    },
 }
 
 impl KeyDist {
@@ -68,6 +79,13 @@ impl KeyDist {
                 run_base.saturating_add(offset) & max
             }
             KeyDist::HotRange { range } => rng.next() % range.max(1),
+            KeyDist::ScatteredSet { working_set } => {
+                let index = rng.next() % working_set.max(1);
+                // Fibonacci hashing spreads consecutive indices across the universe
+                // deterministically (and injectively for universes of 2^k keys, since
+                // the multiplier is odd).
+                index.wrapping_mul(0x9E37_79B9_7F4A_7C15) & max
+            }
         }
     }
 
@@ -320,6 +338,7 @@ mod tests {
                 run_len: 100,
             },
             KeyDist::HotRange { range: 64 },
+            KeyDist::ScatteredSet { working_set: 500 },
         ] {
             let zipf = dist.prepare();
             for _ in 0..10_000 {
@@ -327,6 +346,26 @@ mod tests {
                 assert!(k < (1 << 20), "{dist:?} produced out-of-universe key {k}");
             }
         }
+    }
+
+    #[test]
+    fn scattered_set_is_bounded_but_not_dense() {
+        let dist = KeyDist::ScatteredSet { working_set: 256 };
+        let mut rng = SplitMix64::new(11);
+        let mut seen = std::collections::BTreeSet::new();
+        for _ in 0..10_000 {
+            seen.insert(dist.sample(&mut rng, None, 32));
+        }
+        // Bounded working set (each distinct index maps to one distinct key)...
+        assert!(seen.len() <= 256);
+        assert!(seen.len() > 200, "10k draws cover most of a 256-key set");
+        // ...but scattered: consecutive keys would span a range of ~256; the spread
+        // must cover a large fraction of the 2^32 universe instead.
+        let span = seen.last().unwrap() - seen.first().unwrap();
+        assert!(
+            span > 1 << 30,
+            "keys are spread across the universe: {span}"
+        );
     }
 
     #[test]

@@ -6,35 +6,36 @@
 //! linearizability-observable invariants: per-key insert/remove winners are unique,
 //! predecessor answers are never wrong with respect to keys that are stably present,
 //! and the structure converges to exactly the expected contents at quiescence.
+//!
+//! All thread orchestration goes through [`skiptrie_suite::workloads::harness`]:
+//! workers start behind a shared barrier (so they contend from the first operation),
+//! draw from deterministic per-worker RNGs, and size their iteration counts from
+//! `SKIPTRIE_SCALE`.
 
 use std::collections::BTreeSet;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 use skiptrie_suite::skiptrie::{DcssMode, SkipTrie, SkipTrieConfig};
-use skiptrie_suite::workloads::SplitMix64;
+use skiptrie_suite::workloads::harness::{scaled, worker_rng, Workload};
 
 /// Each key is inserted by exactly one thread even when every thread races to insert
 /// the same key set (the linearization point of insert is unique).
 #[test]
 fn racing_inserts_have_unique_winners() {
     let trie: Arc<SkipTrie<u64>> = Arc::new(SkipTrie::new(SkipTrieConfig::for_universe_bits(24)));
-    let threads = 8u64;
-    let keys = 4_000u64;
+    let threads = 8usize;
+    let keys = scaled(4_000) as u64;
     let wins = Arc::new(AtomicU64::new(0));
-    std::thread::scope(|scope| {
-        for t in 0..threads {
-            let trie = Arc::clone(&trie);
-            let wins = Arc::clone(&wins);
-            scope.spawn(move || {
-                for k in 0..keys {
-                    if trie.insert(k, t) {
-                        wins.fetch_add(1, Ordering::Relaxed);
-                    }
+    Workload::new(0)
+        .workers(threads, |ctx| {
+            for k in 0..keys {
+                if trie.insert(k, ctx.index as u64) {
+                    wins.fetch_add(1, Ordering::Relaxed);
                 }
-            });
-        }
-    });
+            }
+        })
+        .run();
     assert_eq!(wins.load(Ordering::Relaxed), keys);
     assert_eq!(trie.len(), keys as usize);
     for k in 0..keys {
@@ -47,45 +48,43 @@ fn racing_inserts_have_unique_winners() {
 #[test]
 fn racing_removes_have_unique_winners() {
     let trie: Arc<SkipTrie<u64>> = Arc::new(SkipTrie::new(SkipTrieConfig::for_universe_bits(24)));
-    let keys = 4_000u64;
+    let keys = scaled(4_000) as u64;
     for k in 0..keys {
         trie.insert(k, k);
     }
     let removed = Arc::new(AtomicU64::new(0));
-    std::thread::scope(|scope| {
-        for _ in 0..8 {
-            let trie = Arc::clone(&trie);
-            let removed = Arc::clone(&removed);
-            scope.spawn(move || {
-                for k in 0..keys {
-                    if trie.remove(k).is_some() {
-                        removed.fetch_add(1, Ordering::Relaxed);
-                    }
+    Workload::new(0)
+        .workers(8, |_ctx| {
+            for k in 0..keys {
+                if trie.remove(k).is_some() {
+                    removed.fetch_add(1, Ordering::Relaxed);
                 }
-            });
-        }
-    });
+            }
+        })
+        .run();
     assert_eq!(removed.load(Ordering::Relaxed), keys);
     assert!(trie.is_empty());
     assert_eq!(trie.keys(), Vec::<u64>::new());
 }
 
 /// Disjoint per-thread key ranges: after the run the contents are exactly the union of
-/// what each thread decided to leave in place (deterministic per-thread streams).
+/// what each thread decided to leave in place (deterministic per-thread streams —
+/// [`worker_rng`] lets the sequential model replay exactly what each worker will do).
 #[test]
 fn disjoint_churn_converges_to_expected_contents() {
     // 64-bit universe: per-thread key ranges are disjoint via the top 32 bits.
     let trie: Arc<SkipTrie<u64>> = Arc::new(SkipTrie::new(SkipTrieConfig::for_universe_bits(64)));
-    let threads = 8u64;
-    let per_thread_ops = 20_000u64;
-    let mut expected = BTreeSet::new();
+    let threads = 8usize;
+    let per_thread_ops = scaled(20_000);
+    let seed = 0;
     // Precompute each thread's final state with the same deterministic stream the
-    // thread will execute.
+    // worker will draw from its harness RNG.
+    let mut expected = BTreeSet::new();
     for t in 0..threads {
-        let mut rng = SplitMix64::new(t + 1);
+        let mut rng = worker_rng(seed, t);
         let mut local = BTreeSet::new();
         for _ in 0..per_thread_ops {
-            let key = (t << 32) | (rng.next() % 5_000);
+            let key = ((t as u64) << 32) | (rng.next() % 5_000);
             if rng.next().is_multiple_of(2) {
                 local.insert(key);
             } else {
@@ -94,22 +93,18 @@ fn disjoint_churn_converges_to_expected_contents() {
         }
         expected.extend(local);
     }
-    std::thread::scope(|scope| {
-        for t in 0..threads {
-            let trie = Arc::clone(&trie);
-            scope.spawn(move || {
-                let mut rng = SplitMix64::new(t + 1);
-                for _ in 0..per_thread_ops {
-                    let key = (t << 32) | (rng.next() % 5_000);
-                    if rng.next().is_multiple_of(2) {
-                        trie.insert(key, key);
-                    } else {
-                        trie.remove(key);
-                    }
+    Workload::new(seed)
+        .workers(threads, |mut ctx| {
+            for _ in 0..per_thread_ops {
+                let key = ((ctx.index as u64) << 32) | (ctx.rng.next() % 5_000);
+                if ctx.rng.next().is_multiple_of(2) {
+                    trie.insert(key, key);
+                } else {
+                    trie.remove(key);
                 }
-            });
-        }
-    });
+            }
+        })
+        .run();
     let final_keys: Vec<u64> = trie.keys();
     let expected_keys: Vec<u64> = expected.into_iter().collect();
     assert_eq!(final_keys, expected_keys);
@@ -129,47 +124,40 @@ fn predecessor_queries_respect_stable_keys_under_churn() {
     for k in (0..stable_max).step_by(stable_stride as usize) {
         trie.insert(k, k);
     }
-    std::thread::scope(|scope| {
+    let iters = scaled(100_000);
+    Workload::new(0xbad)
         // Writers churn keys that are NOT multiples of 1000.
-        for t in 0..4u64 {
-            let trie = Arc::clone(&trie);
-            scope.spawn(move || {
-                let mut rng = SplitMix64::new(0xbad + t);
-                for _ in 0..100_000 {
-                    let mut key = rng.next() % stable_max;
-                    if key.is_multiple_of(stable_stride) {
-                        key += 1;
-                    }
-                    if rng.next().is_multiple_of(2) {
-                        trie.insert(key, key);
-                    } else {
-                        trie.remove(key);
-                    }
+        .workers(4, |mut ctx| {
+            for _ in 0..iters {
+                let mut key = ctx.rng.next() % stable_max;
+                if key.is_multiple_of(stable_stride) {
+                    key += 1;
                 }
-            });
-        }
+                if ctx.rng.next().is_multiple_of(2) {
+                    trie.insert(key, key);
+                } else {
+                    trie.remove(key);
+                }
+            }
+        })
         // Readers check the stable-key floor property.
-        for r in 0..3u64 {
-            let trie = Arc::clone(&trie);
-            scope.spawn(move || {
-                let mut rng = SplitMix64::new(0x5ead + r);
-                for _ in 0..100_000 {
-                    let q = rng.next() % stable_max;
-                    let floor_stable = (q / stable_stride) * stable_stride;
-                    match trie.predecessor(q) {
-                        Some((k, _)) => {
-                            assert!(k <= q, "predecessor {k} exceeds query {q}");
-                            assert!(
-                                k >= floor_stable,
-                                "predecessor {k} skipped stable key {floor_stable} (query {q})"
-                            );
-                        }
-                        None => panic!("a stable key <= {q} always exists"),
+        .workers(3, |mut ctx| {
+            for _ in 0..iters {
+                let q = ctx.rng.next() % stable_max;
+                let floor_stable = (q / stable_stride) * stable_stride;
+                match trie.predecessor(q) {
+                    Some((k, _)) => {
+                        assert!(k <= q, "predecessor {k} exceeds query {q}");
+                        assert!(
+                            k >= floor_stable,
+                            "predecessor {k} skipped stable key {floor_stable} (query {q})"
+                        );
                     }
+                    None => panic!("a stable key <= {q} always exists"),
                 }
-            });
-        }
-    });
+            }
+        })
+        .run();
 }
 
 /// The CAS-fallback mode (the paper's "it is permissible to fall back to CAS") stays
@@ -179,31 +167,27 @@ fn cas_fallback_mode_is_correct_under_churn() {
     let trie: Arc<SkipTrie<u64>> = Arc::new(SkipTrie::new(
         SkipTrieConfig::for_universe_bits(24).with_mode(DcssMode::CasOnly),
     ));
-    let threads = 6u64;
-    std::thread::scope(|scope| {
-        for t in 0..threads {
-            let trie = Arc::clone(&trie);
-            scope.spawn(move || {
-                let mut rng = SplitMix64::new(t + 100);
-                for _ in 0..30_000 {
-                    let key = (t << 20) | (rng.next() % 3_000);
-                    match rng.next() % 3 {
-                        0 => {
-                            trie.insert(key, key);
-                        }
-                        1 => {
-                            trie.remove(key);
-                        }
-                        _ => {
-                            if let Some((k, _)) = trie.predecessor(key) {
-                                assert!(k <= key);
-                            }
+    let iters = scaled(30_000);
+    Workload::new(100)
+        .workers(6, |mut ctx| {
+            for _ in 0..iters {
+                let key = ((ctx.index as u64) << 20) | (ctx.rng.next() % 3_000);
+                match ctx.rng.next() % 3 {
+                    0 => {
+                        trie.insert(key, key);
+                    }
+                    1 => {
+                        trie.remove(key);
+                    }
+                    _ => {
+                        if let Some((k, _)) = trie.predecessor(key) {
+                            assert!(k <= key);
                         }
                     }
                 }
-            });
-        }
-    });
+            }
+        })
+        .run();
     // Quiescent sanity: snapshot is sorted and duplicate-free.
     let keys = trie.keys();
     assert!(keys.windows(2).all(|w| w[0] < w[1]));

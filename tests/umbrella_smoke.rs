@@ -12,7 +12,7 @@ use skiptrie_suite::metrics::{self, Counter};
 use skiptrie_suite::skiplist::{SkipList, SkipListConfig};
 use skiptrie_suite::skiptrie::{SkipTrie, SkipTrieConfig};
 use skiptrie_suite::splitorder::SplitOrderedMap;
-use skiptrie_suite::workloads::SplitMix64;
+use skiptrie_suite::workloads::harness::{scaled, Workload};
 
 #[test]
 fn atomics_reexport_dcss_roundtrip() {
@@ -83,41 +83,36 @@ fn concurrent_insert_predecessor_workload() {
         universe_bits,
     )));
     let oracle: Arc<LockedBTreeMap<u64>> = Arc::new(LockedBTreeMap::new());
-    let threads = 4u64;
-    let ops_per_thread = 8_000u64;
+    let ops_per_thread = scaled(8_000) as u64;
     let mask = (1u64 << universe_bits) - 1;
 
-    std::thread::scope(|scope| {
-        for t in 0..threads {
-            let trie = Arc::clone(&trie);
-            let oracle = Arc::clone(&oracle);
-            scope.spawn(move || {
-                // Disjoint key slices so the oracle needs no cross-thread ordering.
-                let mut rng = SplitMix64::new(0xace0_ba5e ^ t);
-                for i in 0..ops_per_thread {
-                    let key = ((rng.next() & mask) & !0x3) | t;
-                    match i % 4 {
-                        0 | 1 => {
-                            let a = trie.insert(key, key + 1);
-                            let b = oracle.insert(key, key + 1);
-                            assert_eq!(a, b, "insert winners agree for disjoint slices");
-                        }
-                        2 => {
-                            assert_eq!(trie.remove(key), oracle.remove(key));
-                        }
-                        _ => {
-                            // Concurrent predecessor: can't compare against the racing
-                            // oracle, but the answer must respect the query bound.
-                            if let Some((k, v)) = trie.predecessor(key) {
-                                assert!(k <= key);
-                                assert_eq!(v, k + 1);
-                            }
+    Workload::new(0xace0_ba5e)
+        .workers(4, |mut ctx| {
+            // Disjoint key slices so the oracle needs no cross-thread ordering.
+            let t = ctx.index as u64;
+            for i in 0..ops_per_thread {
+                let key = ((ctx.rng.next() & mask) & !0x3) | t;
+                match i % 4 {
+                    0 | 1 => {
+                        let a = trie.insert(key, key + 1);
+                        let b = oracle.insert(key, key + 1);
+                        assert_eq!(a, b, "insert winners agree for disjoint slices");
+                    }
+                    2 => {
+                        assert_eq!(trie.remove(key), oracle.remove(key));
+                    }
+                    _ => {
+                        // Concurrent predecessor: can't compare against the racing
+                        // oracle, but the answer must respect the query bound.
+                        if let Some((k, v)) = trie.predecessor(key) {
+                            assert!(k <= key);
+                            assert_eq!(v, k + 1);
                         }
                     }
                 }
-            });
-        }
-    });
+            }
+        })
+        .run();
 
     // Quiescent agreement with the baseline, via the umbrella re-exports only.
     let snapshot = trie.to_vec();
