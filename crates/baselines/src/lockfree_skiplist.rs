@@ -1,6 +1,6 @@
 //! The `Θ(log m)`-depth lock-free skiplist baseline.
 
-use skiptrie_skiplist::{SkipList, SkipListConfig};
+use skiptrie_skiplist::{RangeIter, SkipList, SkipListConfig};
 
 /// A conventional full-height lock-free skiplist (depth `Θ(log m)`).
 ///
@@ -94,6 +94,24 @@ where
         self.inner.is_empty()
     }
 
+    /// A weakly-consistent ordered iterator over the entries whose keys lie in
+    /// `range` (the cursor machinery of the underlying skiplist; see
+    /// [`skiptrie_skiplist::SkipList::range`]). The seek costs `Θ(log m)` here —
+    /// a full-height descent — versus the SkipTrie's `O(log log u)`.
+    pub fn range(&self, range: impl std::ops::RangeBounds<u64>) -> RangeIter<'_, V> {
+        self.inner.range(range)
+    }
+
+    /// Removes and returns the entry with the smallest key.
+    pub fn pop_first(&self) -> Option<(u64, V)> {
+        self.inner.pop_first()
+    }
+
+    /// Removes and returns the entry with the largest key.
+    pub fn pop_last(&self) -> Option<(u64, V)> {
+        self.inner.pop_last()
+    }
+
     /// Snapshot of the contents in key order.
     pub fn to_vec(&self) -> Vec<(u64, V)> {
         self.inner.to_vec()
@@ -131,6 +149,20 @@ mod tests {
         }
         assert_eq!(list.as_skiplist().levels(), 8);
         assert_eq!(list.len(), 100);
+    }
+
+    #[test]
+    fn range_and_pops_match_contents() {
+        let list: FullSkipList<u64> = FullSkipList::new();
+        for k in [5u64, 1, 9, 3, 7] {
+            list.insert(k, k * 2);
+        }
+        let window: Vec<u64> = list.range(3..=7).map(|(k, _)| k).collect();
+        assert_eq!(window, vec![3, 5, 7]);
+        assert_eq!(list.pop_first(), Some((1, 2)));
+        assert_eq!(list.pop_last(), Some((9, 18)));
+        assert_eq!(list.range(..).count(), 3);
+        assert_eq!(list.len(), 3);
     }
 
     #[test]

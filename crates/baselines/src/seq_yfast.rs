@@ -110,6 +110,29 @@ impl<V: Clone> SeqYFastTrie<V> {
         self.get(key).is_some()
     }
 
+    /// Entries whose keys lie in `range`, in key order — `O(log u + k)` via the
+    /// bucket list (find the first candidate bucket, then walk buckets in order).
+    /// Used as the sequential oracle for the concurrent range scans.
+    pub fn range(&self, range: impl std::ops::RangeBounds<u64>) -> Vec<(u64, V)> {
+        let Some((lo, hi)) = skiptrie_skiplist::resolve_bounds(&range) else {
+            return Vec::new();
+        };
+        // The bucket containing `lo` may be keyed by a representative below it.
+        let first_rep = self
+            .buckets
+            .range(..=lo)
+            .next_back()
+            .map(|(r, _)| *r)
+            .unwrap_or(lo);
+        let mut out = Vec::new();
+        for (_rep, bucket) in self.buckets.range(first_rep..=hi) {
+            for (k, v) in bucket.range(lo..=hi) {
+                out.push((*k, v.clone()));
+            }
+        }
+        out
+    }
+
     /// Returns a clone of the value stored under `key`.
     pub fn get(&self, key: u64) -> Option<V> {
         let rep = self.bucket_rep_for(key)?;
@@ -358,10 +381,15 @@ mod tests {
                     assert_eq!(trie.predecessor(key), pred, "pred {key}");
                     let succ = model.range(key..).next().map(|(k, v)| (*k, *v));
                     assert_eq!(trie.successor(key), succ, "succ {key}");
+                    let hi = key.saturating_add(256).min((1 << 12) - 1);
+                    let want: Vec<(u64, u64)> =
+                        model.range(key..=hi).map(|(k, v)| (*k, *v)).collect();
+                    assert_eq!(trie.range(key..=hi), want, "range {key}..={hi}");
                 }
             }
             assert_eq!(trie.len(), model.len());
         }
+        assert_eq!(trie.range(..), trie.to_vec(), "full range equals snapshot");
         let expected: Vec<(u64, u64)> = model.into_iter().collect();
         assert_eq!(trie.to_vec(), expected);
     }

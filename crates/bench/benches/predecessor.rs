@@ -73,5 +73,51 @@ fn bench_vs_universe(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_vs_m, bench_vs_universe);
+/// Point gets: the exact-match fast path versus the predecessor-based formulation
+/// `get` used before it existed (full descent + clone even on a miss). Half the
+/// queried keys are hits, half uniform misses.
+fn bench_point_get(c: &mut Criterion) {
+    let m = 100_000;
+    let keys = prefill_keys(m, 32, 0xdd);
+    let trie = SkipTrie::new(SkipTrieConfig::for_universe_bits(32));
+    for &k in &keys {
+        trie.insert(k, k);
+    }
+    let mut group = c.benchmark_group("point_get_u32");
+    group.throughput(Throughput::Elements(1));
+    let mut rng = SplitMix64::new(11);
+    let mut i = 0usize;
+    let mut nk = move || {
+        i = i.wrapping_add(1);
+        if i.is_multiple_of(2) {
+            keys[(rng.next() as usize) % keys.len()] // hit
+        } else {
+            rng.next() & 0xffff_ffff // almost surely a miss
+        }
+    };
+    group.bench_function("get-exact-match", |b| b.iter(|| trie.get(nk())));
+    let mut rng = SplitMix64::new(11);
+    let keys2 = prefill_keys(m, 32, 0xdd);
+    let mut i = 0usize;
+    let mut nk2 = move || {
+        i = i.wrapping_add(1);
+        if i.is_multiple_of(2) {
+            keys2[(rng.next() as usize) % keys2.len()]
+        } else {
+            rng.next() & 0xffff_ffff
+        }
+    };
+    group.bench_function("get-via-predecessor", |b| {
+        b.iter(|| {
+            let k = nk2();
+            match trie.predecessor(k) {
+                Some((kk, v)) if kk == k => Some(v),
+                _ => None,
+            }
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_vs_m, bench_vs_universe, bench_point_get);
 criterion_main!(benches);

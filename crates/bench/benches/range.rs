@@ -1,0 +1,104 @@
+//! Criterion benchmark mirroring experiment E9a: range-scan latency per visited key
+//! versus the chained-`successor` formulation, for the SkipTrie and the full-height
+//! lock-free skiplist, plus `pop_first` versus `successor`+`remove` extraction.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use skiptrie::{SkipTrie, SkipTrieConfig};
+use skiptrie_baselines::FullSkipList;
+use skiptrie_workloads::SplitMix64;
+
+const UNIVERSE_BITS: u32 = 32;
+const MASK: u64 = (1 << UNIVERSE_BITS) - 1;
+
+fn prefill_keys(m: usize, seed: u64) -> Vec<u64> {
+    let mut rng = SplitMix64::new(seed);
+    let mut set = std::collections::HashSet::new();
+    while set.len() < m {
+        set.insert(rng.next() & MASK);
+    }
+    set.into_iter().collect()
+}
+
+fn scan_k(trie: &SkipTrie<u64>, from: u64, k: usize) -> usize {
+    trie.range(from..).count_up_to(k)
+}
+
+fn successor_chain_k(trie: &SkipTrie<u64>, from: u64, k: usize) -> usize {
+    let mut cur = from;
+    let mut seen = 0usize;
+    while seen < k {
+        match trie.successor(cur) {
+            Some((key, _)) if key < MASK => {
+                seen += 1;
+                cur = key + 1;
+            }
+            Some(_) => {
+                seen += 1;
+                break;
+            }
+            None => break,
+        }
+    }
+    seen
+}
+
+fn bench_scan_vs_successor(c: &mut Criterion) {
+    let keys = prefill_keys(100_000, 0xE9);
+    let trie = SkipTrie::new(SkipTrieConfig::for_universe_bits(UNIVERSE_BITS));
+    let skiplist: FullSkipList<u64> = FullSkipList::new();
+    for &k in &keys {
+        trie.insert(k, k);
+        skiplist.insert(k, k);
+    }
+    let mut group = c.benchmark_group("range_scan_vs_successor_u32");
+    for &k in &[10usize, 100, 1_000] {
+        group.throughput(Throughput::Elements(k as u64));
+        let mut rng = SplitMix64::new(3);
+        group.bench_with_input(BenchmarkId::new("skiptrie-scan", k), &k, |b, &k| {
+            b.iter(|| scan_k(&trie, rng.next() & MASK, k))
+        });
+        let mut rng = SplitMix64::new(3);
+        group.bench_with_input(
+            BenchmarkId::new("skiptrie-successor-chain", k),
+            &k,
+            |b, &k| b.iter(|| successor_chain_k(&trie, rng.next() & MASK, k)),
+        );
+        let mut rng = SplitMix64::new(3);
+        group.bench_with_input(
+            BenchmarkId::new("lockfree-skiplist-scan", k),
+            &k,
+            |b, &k| b.iter(|| skiplist.range((rng.next() & MASK)..).count_up_to(k)),
+        );
+    }
+    group.finish();
+}
+
+fn bench_pop_first(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ordered_extraction");
+    group.throughput(Throughput::Elements(1));
+    let keys = prefill_keys(50_000, 0xbee);
+    let trie = SkipTrie::new(SkipTrieConfig::for_universe_bits(UNIVERSE_BITS));
+    for &k in &keys {
+        trie.insert(k, k);
+    }
+    // Pop + reinsert so the structure size stays constant across iterations.
+    group.bench_function("skiptrie-pop_first", |b| {
+        b.iter(|| {
+            let (k, v) = trie.pop_first().expect("non-empty");
+            trie.insert(k, v);
+            k
+        })
+    });
+    group.bench_function("skiptrie-successor-then-remove", |b| {
+        b.iter(|| {
+            let (k, _) = trie.successor(0).expect("non-empty");
+            let v = trie.remove(k).expect("present");
+            trie.insert(k, v);
+            k
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_scan_vs_successor, bench_pop_first);
+criterion_main!(benches);

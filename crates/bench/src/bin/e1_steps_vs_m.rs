@@ -79,4 +79,5 @@ fn main() {
         &rows,
     );
     println!("expectation: skiptrie steps stay ~flat in m; skiplist steps grow ~with log2(m).");
+    skiptrie_bench::write_json_summary("e1_steps_vs_m");
 }

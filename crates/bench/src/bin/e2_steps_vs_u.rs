@@ -61,4 +61,5 @@ fn main() {
         &rows,
     );
     println!("expectation: skiptrie probes/steps grow ~log2(b); baseline depends on m, not b.");
+    skiptrie_bench::write_json_summary("e2_steps_vs_u");
 }

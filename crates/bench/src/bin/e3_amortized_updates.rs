@@ -61,6 +61,18 @@ fn main() {
                 Op::Predecessor(k) => {
                     yfast.predecessor(k);
                 }
+                Op::Scan { from, limit } => {
+                    // CHURN generates no scans, but stay exhaustive for mix changes.
+                    // Walk via bounded successor calls: `range(from..)` would clone
+                    // the structure's whole tail (O(m)) before `limit` applied.
+                    let mut cur = from;
+                    for _ in 0..limit {
+                        match yfast.successor(cur) {
+                            Some((k, _)) if k < u64::MAX => cur = k + 1,
+                            _ => break,
+                        }
+                    }
+                }
             }
         }
         let (_, splits_after, merges_after) = yfast.rebalance_stats();
@@ -95,4 +107,5 @@ fn main() {
         "expectation: trie levels crossed per update stays O(1) and flat in m (amortization), \
          matching the y-fast trie's amortized rebalancing work without any rebalancing code."
     );
+    skiptrie_bench::write_json_summary("e3_amortized_updates");
 }

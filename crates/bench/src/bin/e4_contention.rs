@@ -86,4 +86,5 @@ fn main() {
         "expectation: contention steps/op ~0 for the uniform keyspace and growing with the \
          thread count on the hot ranges (the paper's +c term), without throughput collapse."
     );
+    skiptrie_bench::write_json_summary("e4_contention");
 }

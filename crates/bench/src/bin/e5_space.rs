@@ -67,4 +67,5 @@ fn main() {
         &rows,
     );
     println!("expectation: nodes/key, prefixes/key and bytes/key are ~constant in m (O(m) space).");
+    skiptrie_bench::write_json_summary("e5_space");
 }

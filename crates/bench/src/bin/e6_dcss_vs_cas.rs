@@ -81,4 +81,5 @@ fn main() {
         "expectation: comparable throughput in both modes (the paper's fallback argument); the \
          descriptor mode shows helping traffic, the CAS mode shows none but retries more."
     );
+    skiptrie_bench::write_json_summary("e6_dcss_vs_cas");
 }

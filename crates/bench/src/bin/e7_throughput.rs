@@ -69,4 +69,5 @@ fn main() {
         "expectation: lock-free structures scale with threads; the locked BTreeMap does not \
          under updates; the SkipTrie needs fewer steps per query than the log(m)-depth skiplist."
     );
+    skiptrie_bench::write_json_summary("e7_throughput");
 }

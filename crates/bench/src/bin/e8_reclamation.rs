@@ -106,4 +106,5 @@ fn main() {
         "expectation: per-thread garbage bags keep defer/unpin mutex-free, so ops/s stays \
          flat (or scales with cores) as threads grow; a global-mutex EBR degrades instead."
     );
+    skiptrie_bench::write_json_summary("e8_reclamation");
 }

@@ -90,4 +90,5 @@ fn main() {
         "expectation: each level holds ~half the previous one; mean gap ~= 2^(levels-1) ~ log u \
          (the probabilistic replacement for y-fast buckets); prefixes per top key <= log u."
     );
+    skiptrie_bench::write_json_summary("f1_structure");
 }

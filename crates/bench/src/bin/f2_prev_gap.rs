@@ -106,4 +106,5 @@ fn main() {
          in flight (the Figure 2 gap, charged to overlapping-interval contention) and the cost \
          returns to the quiescent baseline afterwards — the inconsistency is transient."
     );
+    skiptrie_bench::write_json_summary("f2_prev_gap");
 }

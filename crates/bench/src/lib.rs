@@ -40,6 +40,11 @@ pub trait ConcurrentPredecessorMap: Send + Sync {
     fn predecessor(&self, key: u64) -> Option<(u64, u64)>;
     /// Smallest key `>= key`.
     fn successor(&self, key: u64) -> Option<(u64, u64)>;
+    /// Visits up to `limit` entries with keys `>= from` in increasing key order,
+    /// returning the number visited (the E9 range-scan primitive).
+    fn scan(&self, from: u64, limit: usize) -> usize;
+    /// Removes and returns the entry with the smallest key (the E9 drain primitive).
+    fn pop_first(&self) -> Option<(u64, u64)>;
     /// Number of keys stored.
     fn len(&self) -> usize;
     /// True if no keys are stored.
@@ -64,6 +69,12 @@ impl ConcurrentPredecessorMap for SkipTrie<u64> {
     fn successor(&self, key: u64) -> Option<(u64, u64)> {
         SkipTrie::successor(self, key)
     }
+    fn scan(&self, from: u64, limit: usize) -> usize {
+        SkipTrie::range(self, from..).count_up_to(limit)
+    }
+    fn pop_first(&self) -> Option<(u64, u64)> {
+        SkipTrie::pop_first(self)
+    }
     fn len(&self) -> usize {
         SkipTrie::len(self)
     }
@@ -84,6 +95,12 @@ impl ConcurrentPredecessorMap for FullSkipList<u64> {
     }
     fn successor(&self, key: u64) -> Option<(u64, u64)> {
         FullSkipList::successor(self, key)
+    }
+    fn scan(&self, from: u64, limit: usize) -> usize {
+        FullSkipList::range(self, from..).count_up_to(limit)
+    }
+    fn pop_first(&self) -> Option<(u64, u64)> {
+        FullSkipList::pop_first(self)
     }
     fn len(&self) -> usize {
         FullSkipList::len(self)
@@ -106,6 +123,12 @@ impl ConcurrentPredecessorMap for LockedBTreeMap<u64> {
     fn successor(&self, key: u64) -> Option<(u64, u64)> {
         LockedBTreeMap::successor(self, key)
     }
+    fn scan(&self, from: u64, limit: usize) -> usize {
+        LockedBTreeMap::scan(self, from, limit)
+    }
+    fn pop_first(&self) -> Option<(u64, u64)> {
+        LockedBTreeMap::pop_first(self)
+    }
     fn len(&self) -> usize {
         LockedBTreeMap::len(self)
     }
@@ -127,6 +150,12 @@ impl ConcurrentPredecessorMap for SkipList<u64> {
     fn successor(&self, key: u64) -> Option<(u64, u64)> {
         SkipList::successor(self, key)
     }
+    fn scan(&self, from: u64, limit: usize) -> usize {
+        SkipList::range(self, from..).count_up_to(limit)
+    }
+    fn pop_first(&self) -> Option<(u64, u64)> {
+        SkipList::pop_first(self)
+    }
     fn len(&self) -> usize {
         SkipList::len(self)
     }
@@ -143,6 +172,9 @@ pub fn apply_op<M: ConcurrentPredecessorMap + ?Sized>(map: &M, op: Op) {
         }
         Op::Predecessor(k) => {
             map.predecessor(k);
+        }
+        Op::Scan { from, limit } => {
+            map.scan(from, limit);
         }
     }
 }
@@ -238,7 +270,8 @@ pub fn measure_steps<M: ConcurrentPredecessorMap + ?Sized>(map: &M, ops: &[Op]) 
 }
 
 /// Prints a tab-separated table with a title line and a header row; rows are quoted
-/// verbatim into `EXPERIMENTS.md`.
+/// verbatim into `EXPERIMENTS.md`. The table is also recorded so that
+/// [`write_json_summary`] can emit a machine-readable `BENCH_<bin>.json` at exit.
 pub fn print_table(title: &str, headers: &[&str], rows: &[Vec<String>]) {
     println!("## {title}");
     println!("{}", headers.join("\t"));
@@ -246,6 +279,102 @@ pub fn print_table(title: &str, headers: &[&str], rows: &[Vec<String>]) {
         println!("{}", row.join("\t"));
     }
     println!();
+    recorded_tables()
+        .lock()
+        .expect("table sink")
+        .push(RecordedTable {
+            title: title.to_string(),
+            headers: headers.iter().map(|h| h.to_string()).collect(),
+            rows: rows.to_vec(),
+        });
+}
+
+/// One table captured by [`print_table`] for the JSON summary.
+struct RecordedTable {
+    title: String,
+    headers: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+fn recorded_tables() -> &'static std::sync::Mutex<Vec<RecordedTable>> {
+    static TABLES: std::sync::OnceLock<std::sync::Mutex<Vec<RecordedTable>>> =
+        std::sync::OnceLock::new();
+    TABLES.get_or_init(|| std::sync::Mutex::new(Vec::new()))
+}
+
+/// Minimal JSON string escaping (the vendored serde subset is inert, so the summary
+/// is emitted by hand; the payload is all strings and numbers-as-strings anyway).
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+fn json_string_array(items: &[String]) -> String {
+    let quoted: Vec<String> = items
+        .iter()
+        .map(|s| format!("\"{}\"", json_escape(s)))
+        .collect();
+    format!("[{}]", quoted.join(","))
+}
+
+/// Writes every table printed so far to `BENCH_<bin>.json` if the `SKIPTRIE_JSON`
+/// environment variable is set, giving CI a machine-readable bench trajectory next to
+/// the human-readable TSV. `SKIPTRIE_JSON` names a directory (created if missing)
+/// unless it ends in `.json`, in which case it is used as the file path directly.
+/// Failures are reported on stderr but never abort the experiment. Every `e*`/`f*`
+/// binary calls this once at the end of `main`.
+pub fn write_json_summary(bin: &str) {
+    let Ok(target) = std::env::var("SKIPTRIE_JSON") else {
+        return;
+    };
+    if target.is_empty() {
+        return;
+    }
+    let path = if target.ends_with(".json") {
+        std::path::PathBuf::from(target)
+    } else {
+        let dir = std::path::PathBuf::from(target);
+        if let Err(e) = std::fs::create_dir_all(&dir) {
+            eprintln!("SKIPTRIE_JSON: cannot create {}: {e}", dir.display());
+            return;
+        }
+        dir.join(format!("BENCH_{bin}.json"))
+    };
+    let tables = recorded_tables().lock().expect("table sink");
+    let mut body = String::new();
+    body.push_str(&format!(
+        "{{\"bin\":\"{}\",\"scale\":{},\"tables\":[",
+        json_escape(bin),
+        scale()
+    ));
+    for (i, t) in tables.iter().enumerate() {
+        if i > 0 {
+            body.push(',');
+        }
+        let rows: Vec<String> = t.rows.iter().map(|r| json_string_array(r)).collect();
+        body.push_str(&format!(
+            "{{\"title\":\"{}\",\"headers\":{},\"rows\":[{}]}}",
+            json_escape(&t.title),
+            json_string_array(&t.headers),
+            rows.join(",")
+        ));
+    }
+    body.push_str("]}\n");
+    match std::fs::write(&path, body) {
+        Ok(()) => eprintln!("wrote {}", path.display()),
+        Err(e) => eprintln!("SKIPTRIE_JSON: cannot write {}: {e}", path.display()),
+    }
 }
 
 /// Number of worker threads to sweep up to (respects `SKIPTRIE_MAX_THREADS`).

@@ -63,7 +63,11 @@ mod xfast;
 
 pub use prefix::{key_bit, lcp_len, max_key, Prefix};
 pub use skiptrie_atomics::dcss::DcssMode;
-pub use skiptrie_skiplist::{levels_for_universe_bits, NodeRef, SkipList, SkipListConfig};
+pub use skiptrie_skiplist::{
+    levels_for_universe_bits, resolve_bounds, Cursor, NodeRef, RangeIter, SkipList, SkipListConfig,
+};
+
+use std::ops::RangeBounds;
 
 use skiptrie_splitorder::SplitOrderedMap;
 use xfast::{TrieNode, TrieNodePtr};
@@ -248,23 +252,7 @@ where
         self.check_key(key);
         let guard = self.skiplist.pin();
         let start = self.xfast_pred(key, &guard);
-        let outcome = self.skiplist.delete_from(key, Some(start), &guard);
-        if outcome.root_was_top || outcome.top_to_retire.is_some() {
-            // The deleted tower was (or may have been) published in the trie: make
-            // sure no prefix pointer still references it.
-            self.cleanup_prefixes(key, &guard);
-        }
-        if let Some(top) = outcome.top_to_retire {
-            // Only after the trie cleanup can the unlinked top-level node be retired.
-            // SAFETY: this call won the node's removal; it is unlinked and no longer
-            // referenced by the trie.
-            unsafe { self.skiplist.retire_node(top, &guard) };
-        }
-        if outcome.removed {
-            outcome.value
-        } else {
-            None
-        }
+        self.try_remove_exact(key, Some(start), &guard)
     }
 
     /// The largest key `<= key` and its value — the paper's predecessor query
@@ -309,16 +297,135 @@ where
     }
 
     /// Returns a clone of the value stored under `key`.
+    ///
+    /// An *exact-match* search: the x-fast hint seeds a descent that exits at the
+    /// first skiplist level where the key's tower appears, and nothing is cloned on a
+    /// miss (previously this ran the full predecessor query and cloned the
+    /// predecessor's value even when `key` was absent).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `key` does not fit in the configured universe.
     pub fn get(&self, key: u64) -> Option<V> {
-        match self.predecessor(key) {
-            Some((k, v)) if k == key => Some(v),
-            _ => None,
+        self.check_key(key);
+        let guard = self.skiplist.pin();
+        let start = self.xfast_pred(key, &guard);
+        self.skiplist.get_from(key, Some(start), &guard)
+    }
+
+    /// True if `key` is present. Clones no value (see [`SkipTrie::get`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `key` does not fit in the configured universe.
+    pub fn contains(&self, key: u64) -> bool {
+        self.check_key(key);
+        let guard = self.skiplist.pin();
+        let start = self.xfast_pred(key, &guard);
+        self.skiplist.contains_from(key, Some(start), &guard)
+    }
+
+    // ------------------------------------------------------------------
+    // Range scans and ordered extraction
+    // ------------------------------------------------------------------
+
+    /// An ordered, weakly-consistent iterator over the entries whose keys lie in
+    /// `range`: one `O(log log u)` x-fast-seeded descent to the start of the range,
+    /// then one level-0 hop per entry — `O(log log u + k)` for `k` yielded keys,
+    /// versus `O(k · log log u)` for `k` chained [`SkipTrie::successor`] calls.
+    ///
+    /// Every key present for the whole scan is yielded exactly once, in increasing
+    /// order; keys inserted or removed concurrently may or may not appear (see the
+    /// `skiptrie_skiplist` cursor docs for the validation protocol). Bounds beyond
+    /// the configured universe are allowed and simply match nothing above
+    /// [`SkipTrie::max_key`]. The iterator holds an epoch pin for its lifetime, so
+    /// chunk unbounded scans if reclamation latency matters.
+    pub fn range(&self, range: impl RangeBounds<u64>) -> RangeIter<'_, V> {
+        let bounds = resolve_bounds(&range);
+        let mut iter = self.skiplist.range(range);
+        if let Some((lo, _)) = bounds {
+            // The hint is only that — clamp to the universe so the prefix math stays
+            // in bounds even for out-of-universe range starts.
+            let hint = self
+                .xfast_pred(lo.min(self.max_key()), iter.guard())
+                .packed();
+            // SAFETY: a packed top-level node of this trie's skiplist, obtained under
+            // the iterator's own pin.
+            unsafe { iter.seed_from_packed(hint) };
+        }
+        iter
+    }
+
+    /// Number of keys in `range` (weakly consistent, counted without cloning any
+    /// value): `O(log log u + k)` for `k` counted keys.
+    pub fn count_range(&self, range: impl RangeBounds<u64>) -> usize {
+        let mut iter = self.range(range);
+        let mut count = 0usize;
+        while iter.next_key().is_some() {
+            count += 1;
+        }
+        count
+    }
+
+    /// Removes and returns the entry with the smallest key, or `None` if the trie is
+    /// empty at the linearization point.
+    ///
+    /// One level-0 search locates the minimum (the head *is* the minimum's
+    /// predecessor on every level, so no x-fast hint can beat it) and the regular
+    /// CAS-remove protocol deletes it under the same pin — replacing the
+    /// `successor`-then-`remove` loop consumers previously hand-rolled, which re-ran
+    /// the x-fast binary search on every attempt and re-searched for the key it had
+    /// just found. Lost races retry on the new minimum.
+    pub fn pop_first(&self) -> Option<(u64, V)> {
+        let guard = self.skiplist.pin();
+        loop {
+            let key = self.skiplist.first_key(&guard)?;
+            if let Some(value) = self.try_remove_exact(key, None, &guard) {
+                return Some((key, value));
+            }
         }
     }
 
-    /// True if `key` is present.
-    pub fn contains(&self, key: u64) -> bool {
-        self.get(key).is_some()
+    /// Removes and returns the entry with the largest key, or `None` if the trie is
+    /// empty at the linearization point. The x-fast `LowestAncestor` search for
+    /// [`SkipTrie::max_key`] seeds both the locate and the delete of each attempt.
+    pub fn pop_last(&self) -> Option<(u64, V)> {
+        let guard = self.skiplist.pin();
+        loop {
+            let start = self.xfast_pred(self.max_key(), &guard);
+            let key = self.skiplist.last_key_from(Some(start), &guard)?;
+            if let Some(value) = self.try_remove_exact(key, Some(start), &guard) {
+                return Some((key, value));
+            }
+        }
+    }
+
+    /// One delete attempt for `key` under an existing pin, including the x-fast-trie
+    /// cleanup and top-node retirement duties (same discipline as [`SkipTrie::remove`]).
+    /// Returns the value if this call performed the removal.
+    fn try_remove_exact<'g>(
+        &'g self,
+        key: u64,
+        start: Option<NodeRef<'g, V>>,
+        guard: &'g Guard,
+    ) -> Option<V> {
+        let outcome = self.skiplist.delete_from(key, start, guard);
+        if outcome.root_was_top || outcome.top_to_retire.is_some() {
+            // The deleted tower was (or may have been) published in the trie: make
+            // sure no prefix pointer still references it.
+            self.cleanup_prefixes(key, guard);
+        }
+        if let Some(top) = outcome.top_to_retire {
+            // Only after the trie cleanup can the unlinked top-level node be retired.
+            // SAFETY: this call won the node's removal; it is unlinked and no longer
+            // referenced by the trie.
+            unsafe { self.skiplist.retire_node(top, guard) };
+        }
+        if outcome.removed {
+            outcome.value
+        } else {
+            None
+        }
     }
 
     /// A (non-linearizable) snapshot of the contents in key order.
@@ -550,6 +657,108 @@ mod tests {
         assert_eq!(t.len(), 1_000);
         for key in (0..2_000u64).step_by(2) {
             assert_eq!(t.predecessor(key + 1), Some((key, key)));
+        }
+    }
+
+    #[test]
+    fn range_matches_btreemap_model() {
+        let t = trie(16);
+        let mut model: BTreeMap<u64, u64> = BTreeMap::new();
+        let mut state = 0xabcd_1234_u64;
+        let mut next = || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            state
+        };
+        for _ in 0..3_000 {
+            let key = next() % (1 << 16);
+            if next() % 3 == 0 {
+                t.remove(key);
+                model.remove(&key);
+            } else if let std::collections::btree_map::Entry::Vacant(e) = model.entry(key) {
+                t.insert(key, key * 2);
+                e.insert(key * 2);
+            }
+            if model.len().is_multiple_of(64) {
+                let lo = next() % (1 << 16);
+                let hi = lo.saturating_add(next() % 4_096).min((1 << 16) - 1);
+                let got: Vec<(u64, u64)> = t.range(lo..=hi).collect();
+                let want: Vec<(u64, u64)> = model.range(lo..=hi).map(|(k, v)| (*k, *v)).collect();
+                assert_eq!(got, want, "range {lo}..={hi}");
+                assert_eq!(t.count_range(lo..=hi), want.len());
+            }
+        }
+        let got: Vec<(u64, u64)> = t.range(..).collect();
+        let want: Vec<(u64, u64)> = model.iter().map(|(k, v)| (*k, *v)).collect();
+        assert_eq!(got, want);
+        assert_eq!(t.count_range(..), model.len());
+    }
+
+    #[test]
+    fn range_bounds_beyond_universe_are_tolerated() {
+        let t = trie(8);
+        t.insert(10, 1);
+        t.insert(200, 2);
+        assert_eq!(t.range(0..=u64::MAX).count(), 2);
+        assert_eq!(t.range(1_000..).count(), 0);
+        assert_eq!(t.count_range(..), 2);
+        assert_eq!(t.count_range(11..200), 0);
+    }
+
+    #[test]
+    fn pop_first_and_last_drain_in_order() {
+        let t = trie(16);
+        assert_eq!(t.pop_first(), None);
+        assert_eq!(t.pop_last(), None);
+        let keys: Vec<u64> = (0..2_000u64).map(|i| i * 13 % 60_000).collect();
+        let mut model = BTreeMap::new();
+        for &k in &keys {
+            if model.insert(k, k + 1).is_none() {
+                assert!(t.insert(k, k + 1));
+            }
+        }
+        // Alternate popping from both ends; every pop must match the model exactly.
+        let mut from_front = true;
+        while !model.is_empty() {
+            if from_front {
+                let (k, v) = *model.iter().next().map(|(k, v)| (*k, *v)).as_ref().unwrap();
+                assert_eq!(t.pop_first(), Some((k, v)));
+                model.remove(&k);
+            } else {
+                let (k, v) = *model
+                    .iter()
+                    .next_back()
+                    .map(|(k, v)| (*k, *v))
+                    .as_ref()
+                    .unwrap();
+                assert_eq!(t.pop_last(), Some((k, v)));
+                model.remove(&k);
+            }
+            from_front = !from_front;
+        }
+        assert!(t.is_empty());
+        assert_eq!(t.pop_first(), None);
+        assert_eq!(t.prefix_count(), 1, "only ε remains after a pop drain");
+    }
+
+    #[test]
+    fn exact_match_get_agrees_with_membership() {
+        let t = trie(16);
+        for k in (0..4_000u64).step_by(3) {
+            t.insert(k, k ^ 0x5555);
+        }
+        for k in 0..4_000u64 {
+            let present = k % 3 == 0;
+            assert_eq!(t.contains(k), present, "contains {k}");
+            assert_eq!(t.get(k), present.then_some(k ^ 0x5555), "get {k}");
+        }
+        // Exact match still works after deletions force remnant-handling paths.
+        for k in (0..4_000u64).step_by(6) {
+            t.remove(k);
+        }
+        for k in (0..4_000u64).step_by(3) {
+            assert_eq!(t.contains(k), k % 6 != 0, "contains after remove {k}");
         }
     }
 

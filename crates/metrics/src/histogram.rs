@@ -7,9 +7,10 @@ use serde::{Deserialize, Serialize};
 /// A histogram whose bucket `i` counts observations `v` with `floor(log2(v)) == i`
 /// (bucket 0 additionally holds `v == 0`).
 ///
-/// This gives ~2x relative resolution over the full `u64` range with a fixed 65-slot
+/// This gives ~2x relative resolution over the full `u64` range with a fixed 64-slot
 /// footprint, which is plenty for the latency and spacing distributions reported in
-/// `EXPERIMENTS.md`.
+/// `EXPERIMENTS.md`. Quantile queries return the bucket's inclusive upper bound
+/// (`2^(i+1) - 1`, exact at powers of two), clamped to the recorded maximum.
 ///
 /// # Examples
 ///
@@ -33,7 +34,7 @@ pub struct Histogram {
     max: u64,
 }
 
-const NUM_BUCKETS: usize = 65;
+const NUM_BUCKETS: usize = 64;
 
 impl Default for Histogram {
     fn default() -> Self {
@@ -53,22 +54,25 @@ impl Histogram {
         }
     }
 
+    /// `floor(log2(value))`, the documented bucket invariant (`value == 0` shares
+    /// bucket 0 with `value == 1`). Off-by-one history: this used to return
+    /// `64 - leading_zeros`, i.e. `floor(log2 v) + 1`, so `bucket_index(1)` was 1 and
+    /// every reported quantile bound was a power of two too high.
     fn bucket_index(value: u64) -> usize {
         if value == 0 {
             0
         } else {
-            (64 - value.leading_zeros()) as usize
+            (63 - value.leading_zeros()) as usize
         }
     }
 
-    /// The representative (upper-bound) value for a bucket index.
+    /// The largest value bucket `index` can hold: `2^(index+1) - 1` (exact at
+    /// power-of-two boundaries; the last bucket is capped at `u64::MAX`).
     fn bucket_upper(index: usize) -> u64 {
-        if index == 0 {
-            0
-        } else if index >= 64 {
+        if index >= 63 {
             u64::MAX
         } else {
-            (1u64 << index) - 1
+            (1u64 << (index + 1)) - 1
         }
     }
 
@@ -214,6 +218,56 @@ mod tests {
         assert_eq!(a.count(), 2);
         assert_eq!(a.min(), Some(5));
         assert_eq!(a.max(), Some(50_000));
+    }
+
+    #[test]
+    fn bucket_invariant_floor_log2() {
+        // The documented invariant: bucket `i` holds exactly the values with
+        // `floor(log2 v) == i` (bucket 0 additionally holds 0).
+        assert_eq!(Histogram::bucket_index(0), 0);
+        assert_eq!(Histogram::bucket_index(1), 0);
+        assert_eq!(Histogram::bucket_index(2), 1);
+        assert_eq!(Histogram::bucket_index(3), 1);
+        for k in 0..64u32 {
+            let v = 1u64 << k;
+            assert_eq!(Histogram::bucket_index(v), k as usize, "2^{k}");
+            if k < 63 {
+                assert_eq!(
+                    Histogram::bucket_index(v + (v - 1)),
+                    k as usize,
+                    "2^({k}+1) - 1 stays in bucket {k}"
+                );
+            }
+        }
+        assert_eq!(Histogram::bucket_index(u64::MAX), 63);
+    }
+
+    #[test]
+    fn record_quantile_round_trip() {
+        // value_at_quantile(1.0) is an upper bound on *every* recorded value, and the
+        // bucket bounds are exact at powers of two.
+        let mut h = Histogram::new();
+        let values = [0u64, 1, 2, 5, 64, 100, 4_096, 1 << 40, u64::MAX];
+        for &v in &values {
+            h.record(v);
+        }
+        let p100 = h.value_at_quantile(1.0);
+        for &v in &values {
+            assert!(p100 >= v, "p100 {p100} < recorded {v}");
+        }
+        for k in 0..63u32 {
+            let mut single = Histogram::new();
+            single.record(1u64 << k);
+            assert_eq!(
+                single.value_at_quantile(1.0),
+                1u64 << k,
+                "power of two 2^{k} reported exactly"
+            );
+            // The bucket's nominal upper bound is one below the next power of two.
+            let (upper, count) = single.iter().next().unwrap();
+            assert_eq!(count, 1);
+            assert_eq!(upper, (1u64 << (k + 1)) - 1, "bucket bound exact at 2^{k}");
+        }
     }
 
     #[test]

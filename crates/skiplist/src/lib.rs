@@ -49,6 +49,7 @@
 #![warn(missing_docs)]
 
 pub mod height;
+mod iter;
 mod node;
 mod ops;
 mod pool;
@@ -61,6 +62,7 @@ use crossbeam_epoch::{self as epoch, Guard};
 use skiptrie_atomics::dcss::DcssMode;
 use skiptrie_atomics::tagged;
 
+pub use iter::{resolve_bounds, Cursor, RangeIter};
 pub use node::NodeRef;
 pub use ops::{DeleteOutcome, InsertOutcome};
 
@@ -282,32 +284,69 @@ where
     /// Removes `key`, returning its value if this call performed the removal.
     pub fn remove(&self, key: u64) -> Option<V> {
         let guard = self.pin();
-        let outcome = self.delete_from(key, None, &guard);
+        self.try_remove_exact(key, &guard)
+    }
+
+    /// Returns a clone of the value stored under `key`.
+    ///
+    /// Unlike [`SkipList::predecessor`] this is an *exact-match* search: it exits at
+    /// the first level where the key's tower appears and clones nothing on a miss
+    /// (the predecessor-based formulation ran the full descent and cloned the
+    /// predecessor's value even for absent keys).
+    pub fn get(&self, key: u64) -> Option<V> {
+        let guard = self.pin();
+        self.get_from(key, None, &guard)
+    }
+
+    /// True if `key` is present. Clones no value (see [`SkipList::get`]).
+    pub fn contains(&self, key: u64) -> bool {
+        let guard = self.pin();
+        self.contains_from(key, None, &guard)
+    }
+
+    /// Removes and returns the entry with the smallest key, or `None` if the list is
+    /// empty at the linearization point.
+    ///
+    /// One level-0 search locates the minimum (the head is the minimum's predecessor
+    /// on every level, so the delete's internal searches are `O(1 + marked)` per
+    /// level) and the regular CAS-remove protocol deletes it; if another thread wins
+    /// the removal the whole step retries on the new minimum.
+    pub fn pop_first(&self) -> Option<(u64, V)> {
+        let guard = self.pin();
+        loop {
+            let key = self.first_key(&guard)?;
+            if let Some(value) = self.try_remove_exact(key, &guard) {
+                return Some((key, value));
+            }
+        }
+    }
+
+    /// Removes and returns the entry with the largest key, or `None` if the list is
+    /// empty at the linearization point. Counterpart of [`SkipList::pop_first`].
+    pub fn pop_last(&self) -> Option<(u64, V)> {
+        let guard = self.pin();
+        loop {
+            let key = self.last_key_from(None, &guard)?;
+            if let Some(value) = self.try_remove_exact(key, &guard) {
+                return Some((key, value));
+            }
+        }
+    }
+
+    /// One `delete_from` attempt for `key` under an existing pin, retiring the
+    /// unlinked top-level node immediately (standalone use: no trie references it).
+    /// Returns the value if this call performed the removal.
+    fn try_remove_exact(&self, key: u64, guard: &Guard) -> Option<V> {
+        let outcome = self.delete_from(key, None, guard);
         if let Some(top) = outcome.top_to_retire {
-            // Standalone use: nothing (no trie) references the unlinked top node, so
-            // it can be retired right away.
             // SAFETY: we won the removal of this node; it is unlinked.
-            unsafe { self.retire_node(top, &guard) };
+            unsafe { self.retire_node(top, guard) };
         }
         if outcome.removed {
             outcome.value
         } else {
             None
         }
-    }
-
-    /// Returns a clone of the value stored under `key`.
-    pub fn get(&self, key: u64) -> Option<V> {
-        let guard = self.pin();
-        match self.predecessor_from(key, None, &guard) {
-            Some((k, v)) if k == key => Some(v),
-            _ => None,
-        }
-    }
-
-    /// True if `key` is present.
-    pub fn contains(&self, key: u64) -> bool {
-        self.get(key).is_some()
     }
 
     /// The largest key `<= key` and its value (the paper's predecessor query).

@@ -45,6 +45,12 @@ impl<V> SkipList<V>
 where
     V: Clone + Send + Sync + 'static,
 {
+    /// `None` here means a full head-sentinel-seeded search (`O(m)` worst case on the
+    /// top level), which is acceptable *only* at public hint-less entry points — the
+    /// standalone `SkipList` API, where the caller holds nothing better. Every
+    /// internal call site that already holds a predecessor (delete sweeps, cursor
+    /// re-seeds, prefix cleanup in the trie) must thread it instead: head-seeding the
+    /// delete path cost 244→2.6 µs/op before PR 2 fixed it.
     fn start_or_head<'g>(&'g self, start: Option<NodeRef<'g, V>>) -> &'g Node<V> {
         match start {
             Some(r) => r.node,
@@ -558,6 +564,112 @@ where
         // SAFETY: level-0 data node reached via verified traversal.
         let v = unsafe { (*r0.value.get()).clone() };
         v.map(|v| (r0.key_value(), v))
+    }
+
+    /// Exact-match descent: the level-0 (root) node of `key`'s tower, or `None`.
+    ///
+    /// Unlike the predecessor query this exits at the *first* level where the key's
+    /// tower appears (saving the rest of the descent — for a tower of height `h` the
+    /// search inspects `levels - h` levels instead of all of them) and touches no
+    /// value at all on a miss.
+    ///
+    /// The early exit hops from an upper tower node to its root via the `root`
+    /// pointer, which may be stale for a remnant of an aborted incarnation, so the
+    /// root is validated before use: it must carry level tag 0, the queried key, and
+    /// be unmarked. A node observed *unmarked under this pin* cannot be poisoned
+    /// (recycled) until the pin ends — marking precedes unlinking precedes the
+    /// retire-defer, and a deferral registered after this pin began cannot execute
+    /// until the pin ends — so reading its value afterwards is well-defined.
+    fn find_exact<'g>(
+        &'g self,
+        key: u64,
+        start: Option<NodeRef<'g, V>>,
+        guard: &'g Guard,
+    ) -> Option<&'g Node<V>> {
+        let mut start_node = self.start_or_head(start);
+        for level in (0..self.levels()).rev() {
+            let (l, r) = self.list_search(level, key, start_node, guard);
+            if r.is_data() && r.key_value() == key {
+                let root_w = r.root.load(Ordering::SeqCst);
+                if !tagged::is_null(root_w) {
+                    // SAFETY: root pointers reference pool-kept (type-stable) nodes of
+                    // this structure, so the dereference is defined even if stale; the
+                    // checks below reject every stale possibility.
+                    let root: &Node<V> = unsafe { &*tagged::unpack(root_w) };
+                    if root.level() == 0
+                        && root.is_data()
+                        && root.key_value() == key
+                        && !root.is_marked(guard)
+                    {
+                        return Some(root);
+                    }
+                }
+                // Stale root (aborted-incarnation remnant, or the tower is mid-delete):
+                // fall through and keep descending — level 0 is authoritative.
+            }
+            if level == 0 {
+                return None;
+            }
+            let down = l.down.load(Ordering::SeqCst);
+            start_node = if tagged::is_null(down) {
+                self.head(level - 1)
+            } else {
+                // SAFETY: `down` pointers reference the same tower one level below
+                // (same argument as in `find_preds`).
+                unsafe { &*tagged::unpack(down) }
+            };
+        }
+        None
+    }
+
+    /// Returns a clone of the value stored under exactly `key`, searching from
+    /// `start` (top-level hint) or the head. Exits early on an upper-level match and
+    /// clones nothing on a miss (see [`SkipList::get`]).
+    pub fn get_from<'g>(
+        &'g self,
+        key: u64,
+        start: Option<NodeRef<'g, V>>,
+        guard: &'g Guard,
+    ) -> Option<V> {
+        let root = self.find_exact(key, start, guard)?;
+        // SAFETY: `root` was observed unmarked under this pin (see `find_exact`), so
+        // its value slot cannot be concurrently poisoned or re-initialized.
+        unsafe { (*root.value.get()).clone() }
+    }
+
+    /// True if exactly `key` is present; clones nothing (see [`SkipList::get_from`]).
+    pub fn contains_from<'g>(
+        &'g self,
+        key: u64,
+        start: Option<NodeRef<'g, V>>,
+        guard: &'g Guard,
+    ) -> bool {
+        self.find_exact(key, start, guard).is_some()
+    }
+
+    /// The smallest live key, found with a single level-0 search from the head (the
+    /// head *is* the minimum's predecessor on every level, so no hint can beat it).
+    pub fn first_key(&self, guard: &Guard) -> Option<u64> {
+        let (_l, r) = self.list_search(0, 0, self.head(0), guard);
+        r.is_data().then(|| r.key_value())
+    }
+
+    /// The largest live key, searching from `start` (top-level hint) or the head.
+    pub fn last_key_from<'g>(
+        &'g self,
+        start: Option<NodeRef<'g, V>>,
+        guard: &'g Guard,
+    ) -> Option<u64> {
+        let start_node = self.start_or_head(start);
+        let preds = self.find_preds(u64::MAX, start_node, guard);
+        let (l0, r0) = preds[0];
+        if r0.is_data() && r0.key_value() == u64::MAX {
+            Some(u64::MAX)
+        } else if l0.is_data() {
+            Some(l0.key_value())
+        } else {
+            None
+        }
     }
 }
 

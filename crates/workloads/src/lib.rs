@@ -98,7 +98,7 @@ impl KeyDist {
     }
 }
 
-/// Relative frequencies of the three operations, in percent (must sum to 100).
+/// Relative frequencies of the four operations, in percent (must sum to 100).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub struct OpMix {
     /// Percentage of predecessor queries.
@@ -107,7 +107,14 @@ pub struct OpMix {
     pub insert_pct: u8,
     /// Percentage of removals.
     pub remove_pct: u8,
+    /// Percentage of bounded range scans (see [`Op::Scan`]).
+    pub scan_pct: u8,
 }
+
+/// Largest per-scan entry budget generated for [`Op::Scan`] (the actual limit is
+/// drawn uniformly from `1..=MAX_SCAN_LIMIT` so the mix exercises short peeks and
+/// long walks alike).
+pub const MAX_SCAN_LIMIT: usize = 128;
 
 impl OpMix {
     /// 90% predecessor / 9% insert / 1% remove — the read-heavy mix of experiment E7.
@@ -115,29 +122,46 @@ impl OpMix {
         predecessor_pct: 90,
         insert_pct: 9,
         remove_pct: 1,
+        scan_pct: 0,
     };
     /// 50% predecessor / 25% insert / 25% remove — the update-heavy mix of E7.
     pub const UPDATE_HEAVY: OpMix = OpMix {
         predecessor_pct: 50,
         insert_pct: 25,
         remove_pct: 25,
+        scan_pct: 0,
     };
     /// 100% predecessor queries (E1/E2 step-count measurements).
     pub const READ_ONLY: OpMix = OpMix {
         predecessor_pct: 100,
         insert_pct: 0,
         remove_pct: 0,
+        scan_pct: 0,
     };
     /// 50% insert / 50% remove churn (E3 amortized-update measurements).
     pub const CHURN: OpMix = OpMix {
         predecessor_pct: 0,
         insert_pct: 50,
         remove_pct: 50,
+        scan_pct: 0,
+    };
+    /// 50% range scans / 20% insert / 20% remove / 10% predecessor — the scan-heavy
+    /// mix of experiment E9 (calendar-queue / routing-table shaped traffic: windows
+    /// are walked while the key population churns underneath).
+    pub const SCAN_HEAVY: OpMix = OpMix {
+        predecessor_pct: 10,
+        insert_pct: 20,
+        remove_pct: 20,
+        scan_pct: 50,
     };
 
     /// Validates that the percentages sum to 100.
     pub fn is_valid(&self) -> bool {
-        self.predecessor_pct as u16 + self.insert_pct as u16 + self.remove_pct as u16 == 100
+        self.predecessor_pct as u16
+            + self.insert_pct as u16
+            + self.remove_pct as u16
+            + self.scan_pct as u16
+            == 100
     }
 
     fn pick(&self, roll: u64) -> OpKind {
@@ -146,8 +170,10 @@ impl OpMix {
             OpKind::Predecessor
         } else if r < self.predecessor_pct + self.insert_pct {
             OpKind::Insert
-        } else {
+        } else if r < self.predecessor_pct + self.insert_pct + self.remove_pct {
             OpKind::Remove
+        } else {
+            OpKind::Scan
         }
     }
 }
@@ -161,6 +187,13 @@ pub enum Op {
     Remove(u64),
     /// Predecessor query for the key.
     Predecessor(u64),
+    /// Ordered scan of up to `limit` entries with keys `>= from`.
+    Scan {
+        /// Inclusive lower bound of the scan.
+        from: u64,
+        /// Maximum number of entries to visit (`1..=MAX_SCAN_LIMIT`).
+        limit: usize,
+    },
 }
 
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -168,6 +201,7 @@ enum OpKind {
     Insert,
     Remove,
     Predecessor,
+    Scan,
 }
 
 /// A complete, reproducible experiment workload.
@@ -240,6 +274,10 @@ impl WorkloadSpec {
                     OpKind::Insert => Op::Insert(key),
                     OpKind::Remove => Op::Remove(key),
                     OpKind::Predecessor => Op::Predecessor(key),
+                    OpKind::Scan => Op::Scan {
+                        from: key,
+                        limit: 1 + (rng.next() % MAX_SCAN_LIMIT as u64) as usize,
+                    },
                 }
             })
             .collect()
@@ -262,13 +300,15 @@ mod tests {
             OpMix::UPDATE_HEAVY,
             OpMix::READ_ONLY,
             OpMix::CHURN,
+            OpMix::SCAN_HEAVY,
         ] {
             assert!(mix.is_valid());
         }
         assert!(!OpMix {
             predecessor_pct: 50,
             insert_pct: 10,
-            remove_pct: 10
+            remove_pct: 10,
+            scan_pct: 0,
         }
         .is_valid());
     }
@@ -277,16 +317,18 @@ mod tests {
     fn mix_pick_respects_ratios() {
         let mix = OpMix::READ_HEAVY;
         let mut rng = SplitMix64::new(1);
-        let mut counts = [0usize; 3];
+        let mut counts = [0usize; 4];
         for _ in 0..100_000 {
             match mix.pick(rng.next()) {
                 OpKind::Predecessor => counts[0] += 1,
                 OpKind::Insert => counts[1] += 1,
                 OpKind::Remove => counts[2] += 1,
+                OpKind::Scan => counts[3] += 1,
             }
         }
         let pred_frac = counts[0] as f64 / 100_000.0;
         assert!((0.88..0.92).contains(&pred_frac), "{pred_frac}");
+        assert_eq!(counts[3], 0, "READ_HEAVY generates no scans");
     }
 
     #[test]
@@ -377,6 +419,34 @@ mod tests {
             seen.insert(dist.sample(&mut rng, None, 32));
         }
         assert!(seen.len() <= 8);
+    }
+
+    #[test]
+    fn scan_heavy_generates_bounded_scans() {
+        let spec = WorkloadSpec {
+            universe_bits: 20,
+            prefill: 0,
+            ops_per_thread: 2_000,
+            threads: 1,
+            dist: KeyDist::Uniform,
+            mix: OpMix::SCAN_HEAVY,
+            seed: 5,
+        };
+        let ops = spec.thread_ops(0);
+        let scans = ops
+            .iter()
+            .filter(|op| matches!(op, Op::Scan { .. }))
+            .count();
+        assert!(
+            (800..1_200).contains(&scans),
+            "~50% of a SCAN_HEAVY stream is scans: {scans}"
+        );
+        for op in &ops {
+            if let Op::Scan { from, limit } = op {
+                assert!((1..=MAX_SCAN_LIMIT).contains(limit), "limit {limit}");
+                assert!(*from < (1 << 20), "scan start in universe");
+            }
+        }
     }
 
     #[test]

@@ -64,6 +64,10 @@ fn main() {
                         skiptrie_suite::workloads::Op::Predecessor(k) => {
                             trie.predecessor(k);
                         }
+                        skiptrie_suite::workloads::Op::Scan { from, limit } => {
+                            // READ_HEAVY generates no scans; exhaustive for mix swaps.
+                            trie.range(from..).count_up_to(limit);
+                        }
                     }
                 }
             });

@@ -10,7 +10,11 @@
 //! are a classic application of van Emde Boas-style structures — the paper's
 //! introduction cites calendar queues as the fan-out workaround. Here, producer
 //! threads schedule events at future timestamps while a consumer thread repeatedly
-//! extracts the earliest event using `successor` + `remove`, all lock-free.
+//! extracts the earliest event with `pop_first`, all lock-free. (`pop_first`
+//! replaces the hand-rolled `successor`-then-`remove` retry loop this example used
+//! to carry: one combined locate+CAS-remove per event instead of a full x-fast
+//! search per attempt plus a second search for the remove — experiment E9b
+//! quantifies the difference.)
 
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::Arc;
@@ -60,18 +64,16 @@ fn main() {
             let mut last_deadline = 0u64;
             let mut out_of_order = 0usize;
             loop {
-                match scheduler_c.successor(0) {
+                match scheduler_c.pop_first() {
                     Some((deadline, _label)) => {
-                        if scheduler_c.remove(deadline).is_some() {
-                            // Deadlines may appear "out of order" only relative to
-                            // concurrently *inserted* earlier deadlines, which is
-                            // expected for a running scheduler; track it for interest.
-                            if deadline < last_deadline {
-                                out_of_order += 1;
-                            }
-                            last_deadline = deadline;
-                            consumed_c.fetch_add(1, Ordering::Relaxed);
+                        // Deadlines may appear "out of order" only relative to
+                        // concurrently *inserted* earlier deadlines, which is
+                        // expected for a running scheduler; track it for interest.
+                        if deadline < last_deadline {
+                            out_of_order += 1;
                         }
+                        last_deadline = deadline;
+                        consumed_c.fetch_add(1, Ordering::Relaxed);
                     }
                     None => {
                         if done.load(Ordering::Relaxed) && scheduler_c.is_empty() {

@@ -1,0 +1,166 @@
+//! Concurrent correctness of the range-scan/cursor subsystem and the combined
+//! extract-min/max operations, validated against a model under churn.
+//!
+//! The cursor contract (see `skiptrie-skiplist`'s iterator docs) is *weak
+//! consistency*: every key present for the whole scan is yielded exactly once, in
+//! increasing order; concurrently churned keys may or may not appear. These tests
+//! pin that contract from many threads: scanners sweep windows while writers churn a
+//! disjoint key population, so every *stable* key inside a window must be seen
+//! exactly once and in order, while every yielded key must at least be plausible
+//! (inside the window, and from the known key population).
+//!
+//! All orchestration goes through `skiptrie_workloads::harness` (barrier start,
+//! deterministic per-worker RNGs, `SKIPTRIE_SCALE` sizing).
+
+use std::collections::HashSet;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
+
+use skiptrie_suite::skiptrie::{SkipTrie, SkipTrieConfig};
+use skiptrie_suite::workloads::harness::{scaled, Workload};
+
+/// Scanners walking windows under churn: stable keys (multiples of `STRIDE`, never
+/// written after prefill) are seen exactly once each and in strictly increasing
+/// order; churned keys may appear but only inside the window and only from the churn
+/// key population (odd keys).
+#[test]
+fn range_scans_see_stable_keys_exactly_once_in_order_under_churn() {
+    const STRIDE: u64 = 1_024;
+    const MAX: u64 = 1 << 22;
+    let trie: Arc<SkipTrie<u64>> = Arc::new(SkipTrie::new(SkipTrieConfig::for_universe_bits(32)));
+    for k in (0..MAX).step_by(STRIDE as usize) {
+        trie.insert(k, k);
+    }
+    let iters = scaled(30_000);
+    let scans = scaled(300);
+    Workload::new(0x5ca9)
+        // Writers churn odd keys only (stable multiples of 1024 are even).
+        .workers(4, |mut ctx| {
+            for _ in 0..iters {
+                let key = (ctx.rng.next() % MAX) | 1;
+                if ctx.rng.next().is_multiple_of(2) {
+                    trie.insert(key, key);
+                } else {
+                    trie.remove(key);
+                }
+            }
+        })
+        // Scanners sweep random windows and check the weak-consistency contract.
+        .workers(3, |mut ctx| {
+            for _ in 0..scans {
+                let lo = ctx.rng.next() % MAX;
+                let hi = (lo + ctx.rng.next() % (64 * STRIDE)).min(MAX - 1);
+                let got: Vec<u64> = trie.range(lo..=hi).map(|(k, _)| k).collect();
+                assert!(
+                    got.windows(2).all(|w| w[0] < w[1]),
+                    "scan of {lo}..={hi} not strictly increasing: {got:?}"
+                );
+                let mut stable_seen = 0usize;
+                for &k in &got {
+                    assert!((lo..=hi).contains(&k), "{k} outside window {lo}..={hi}");
+                    if k.is_multiple_of(STRIDE) {
+                        stable_seen += 1;
+                    } else {
+                        assert!(!k.is_multiple_of(2), "yielded key {k} was never inserted");
+                    }
+                }
+                let first_stable = lo.div_ceil(STRIDE) * STRIDE;
+                let stable_expected = if first_stable > hi {
+                    0
+                } else {
+                    ((hi - first_stable) / STRIDE + 1) as usize
+                };
+                assert_eq!(
+                    stable_seen, stable_expected,
+                    "scan of {lo}..={hi} missed or duplicated stable keys: {got:?}"
+                );
+            }
+        })
+        .run();
+    // Quiescent cross-check: a full scan equals the snapshot, and counting agrees.
+    let scan: Vec<(u64, u64)> = trie.range(..).collect();
+    assert_eq!(scan, trie.to_vec());
+    assert_eq!(trie.count_range(..), trie.len());
+}
+
+/// `pop_first`/`pop_last` under concurrent production: every produced key is
+/// extracted exactly once (no loss, no double delivery), even with several
+/// extractors racing at both ends.
+#[test]
+fn pops_extract_each_key_exactly_once_under_concurrent_inserts() {
+    let trie: Arc<SkipTrie<u64>> = Arc::new(SkipTrie::new(SkipTrieConfig::for_universe_bits(32)));
+    let producers = 4usize;
+    let per_producer = scaled(10_000) as u64;
+    let produced = Arc::new(AtomicU64::new(0));
+    let producers_done = Arc::new(AtomicUsize::new(0));
+    let extracted: Arc<Mutex<Vec<u64>>> = Arc::new(Mutex::new(Vec::new()));
+    Workload::new(0x90b)
+        .workers(producers, |mut ctx| {
+            // Disjoint keys per producer via the low bits: key % producers == index.
+            for i in 0..per_producer {
+                let raw = ctx.rng.next() % (1 << 30);
+                let key = (raw << 2) | ctx.index as u64;
+                if trie.insert(key, i) {
+                    produced.fetch_add(1, Ordering::Relaxed);
+                }
+            }
+            producers_done.fetch_add(1, Ordering::Release);
+        })
+        .workers(2, |ctx| {
+            let mut local = Vec::new();
+            loop {
+                let popped = if ctx.index.is_multiple_of(2) {
+                    trie.pop_first()
+                } else {
+                    trie.pop_last()
+                };
+                match popped {
+                    Some((k, _)) => local.push(k),
+                    None => {
+                        if producers_done.load(Ordering::Acquire) == producers && trie.is_empty() {
+                            break;
+                        }
+                        std::hint::spin_loop();
+                    }
+                }
+            }
+            extracted.lock().unwrap().extend(local);
+        })
+        .run();
+    let all = extracted.lock().unwrap();
+    let unique: HashSet<u64> = all.iter().copied().collect();
+    assert_eq!(unique.len(), all.len(), "a key was extracted twice");
+    assert_eq!(
+        all.len() as u64,
+        produced.load(Ordering::Relaxed),
+        "extracted exactly what was produced"
+    );
+    assert!(trie.is_empty(), "nothing left behind");
+}
+
+/// Quiescent pops agree key-for-key with a sorted model, from both ends at once.
+#[test]
+fn quiescent_pops_match_sorted_model() {
+    let trie: SkipTrie<u64> = SkipTrie::new(SkipTrieConfig::for_universe_bits(24));
+    let n = scaled(5_000) as u64;
+    let mut model: Vec<u64> = (0..n).map(|i| (i * 2_654_435_761) % (1 << 24)).collect();
+    model.sort_unstable();
+    model.dedup();
+    for &k in &model {
+        trie.insert(k, k);
+    }
+    let mut lo = 0usize;
+    let mut hi = model.len();
+    while lo < hi {
+        if (hi - lo).is_multiple_of(2) {
+            assert_eq!(trie.pop_first(), Some((model[lo], model[lo])));
+            lo += 1;
+        } else {
+            assert_eq!(trie.pop_last(), Some((model[hi - 1], model[hi - 1])));
+            hi -= 1;
+        }
+    }
+    assert_eq!(trie.pop_first(), None);
+    assert_eq!(trie.pop_last(), None);
+    assert!(trie.is_empty());
+}

@@ -1,0 +1,118 @@
+//! The event-scheduler drain pattern (see `examples/event_scheduler.rs`) as a
+//! harness-based integration test: producers schedule events at pseudo-random
+//! deadlines while a consumer extracts them with `pop_first`.
+//!
+//! Asserted properties, scaled by `SKIPTRIE_SCALE`:
+//!
+//! * **produced == consumed** — no event is lost and none is invented;
+//! * **no double delivery** — every extracted deadline is distinct (each `pop_first`
+//!   linearizes exactly one removal);
+//! * **delivery in timestamp order** — a quiescent drain (production finished) is
+//!   strictly increasing; during concurrent production a delivered deadline may only
+//!   precede deadlines inserted *after* it was popped, which the quiescent phase
+//!   separates out.
+
+use std::collections::HashSet;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
+
+use skiptrie_suite::skiptrie::{SkipTrie, SkipTrieConfig};
+use skiptrie_suite::workloads::harness::{scaled, Workload};
+
+/// Deadlines are 40-bit "microsecond" timestamps, as in the example.
+const TIME_BITS: u32 = 40;
+
+/// Concurrent produce + consume: the consumer drains with `pop_first` while
+/// producers are still scheduling; everything produced is delivered exactly once.
+#[test]
+fn concurrent_drain_delivers_every_event_exactly_once() {
+    let scheduler: Arc<SkipTrie<(usize, u64)>> =
+        Arc::new(SkipTrie::new(SkipTrieConfig::for_universe_bits(TIME_BITS)));
+    let producers = 4usize;
+    let events_per_producer = scaled(8_000) as u64;
+    let producers_done = Arc::new(AtomicUsize::new(0));
+    let delivered: Arc<Mutex<Vec<u64>>> = Arc::new(Mutex::new(Vec::new()));
+    Workload::new(0xeede)
+        .workers(producers, |mut ctx| {
+            for i in 0..events_per_producer {
+                let mut deadline = ctx.rng.next() % (1 << TIME_BITS);
+                // Deadline collisions probe forward, as in the example.
+                while !scheduler.insert(deadline, (ctx.index, i)) {
+                    deadline = (deadline + 1) % (1 << TIME_BITS);
+                }
+            }
+            producers_done.fetch_add(1, Ordering::Release);
+        })
+        .worker(|_ctx| {
+            let mut local = Vec::new();
+            loop {
+                match scheduler.pop_first() {
+                    Some((deadline, _payload)) => local.push(deadline),
+                    None => {
+                        if producers_done.load(Ordering::Acquire) == producers
+                            && scheduler.is_empty()
+                        {
+                            break;
+                        }
+                        std::hint::spin_loop();
+                    }
+                }
+            }
+            delivered.lock().unwrap().extend(local);
+        })
+        .run();
+    let delivered = delivered.lock().unwrap();
+    let produced = producers as u64 * events_per_producer;
+    assert_eq!(
+        delivered.len() as u64,
+        produced,
+        "produced == consumed (no event lost or invented)"
+    );
+    let unique: HashSet<u64> = delivered.iter().copied().collect();
+    assert_eq!(
+        unique.len(),
+        delivered.len(),
+        "no event was delivered twice"
+    );
+    assert!(scheduler.is_empty(), "the schedule drained completely");
+}
+
+/// Quiescent drain: once production is finished, `pop_first` delivers strictly in
+/// timestamp order and hands back exactly the scheduled payloads.
+#[test]
+fn quiescent_drain_is_in_timestamp_order() {
+    let scheduler: Arc<SkipTrie<(usize, u64)>> =
+        Arc::new(SkipTrie::new(SkipTrieConfig::for_universe_bits(TIME_BITS)));
+    let producers = 4usize;
+    let events_per_producer = scaled(8_000) as u64;
+    let scheduled: Arc<Mutex<Vec<(u64, (usize, u64))>>> = Arc::new(Mutex::new(Vec::new()));
+    Workload::new(0xd0d0)
+        .workers(producers, |mut ctx| {
+            let mut local = Vec::new();
+            for i in 0..events_per_producer {
+                let mut deadline = ctx.rng.next() % (1 << TIME_BITS);
+                while !scheduler.insert(deadline, (ctx.index, i)) {
+                    deadline = (deadline + 1) % (1 << TIME_BITS);
+                }
+                local.push((deadline, (ctx.index, i)));
+            }
+            scheduled.lock().unwrap().extend(local);
+        })
+        .run();
+    // Production has quiesced (Workload::run joins); drain and compare to the model.
+    let mut model: Vec<(u64, (usize, u64))> = scheduled.lock().unwrap().clone();
+    model.sort_unstable_by_key(|(deadline, _)| *deadline);
+    let mut last = None;
+    for (deadline, payload) in &model {
+        let (got_deadline, got_payload) = scheduler.pop_first().expect("event still scheduled");
+        assert_eq!(got_deadline, *deadline, "delivery in timestamp order");
+        assert_eq!(got_payload, *payload, "payload travels with its deadline");
+        assert!(
+            last.is_none_or(|l| l < got_deadline),
+            "strictly increasing deadlines"
+        );
+        last = Some(got_deadline);
+    }
+    assert_eq!(scheduler.pop_first(), None);
+    assert!(scheduler.is_empty());
+}
