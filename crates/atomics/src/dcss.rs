@@ -12,7 +12,7 @@
 //! The implementation follows the RDCSS recipe of Harris et al., adapted to tagged
 //! `u64` words:
 //!
-//! 1. The owner allocates a [`Descriptor`] recording `(expected, new, guard,
+//! 1. The owner allocates a descriptor recording `(expected, new, guard,
 //!    expected_guard)` and installs a pointer to it into the target word with a CAS
 //!    from `expected`; the pointer is distinguished from real values by
 //!    [`DESC_BIT`](crate::tagged::DESC_BIT).

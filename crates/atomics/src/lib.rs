@@ -17,7 +17,7 @@
 //!
 //! All link words in the data structures are represented as [`u64`]s holding a pointer
 //! plus low tag bits (see [`tagged`]); this crate also re-exports the epoch-based
-//! reclamation [`Guard`](crossbeam_epoch::Guard) used throughout, and a helper to
+//! reclamation [`crossbeam_epoch::Guard`] used throughout, and a helper to
 //! retire heap allocations through it.
 //!
 //! # Examples

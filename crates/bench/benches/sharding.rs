@@ -1,0 +1,93 @@
+//! Criterion benchmark mirroring experiment E10: sharded-forest point operations
+//! versus the single SkipTrie, and batched versus one-at-a-time insertion.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use skiptrie::{ShardedSkipTrie, ShardedSkipTrieConfig, SkipTrie, SkipTrieConfig};
+use skiptrie_workloads::SplitMix64;
+
+const UNIVERSE_BITS: u32 = 32;
+const MASK: u64 = (1 << UNIVERSE_BITS) - 1;
+
+fn bench_point_ops(c: &mut Criterion) {
+    let trie = SkipTrie::new(SkipTrieConfig::for_universe_bits(UNIVERSE_BITS));
+    let forest: ShardedSkipTrie<u64> = ShardedSkipTrie::new(
+        ShardedSkipTrieConfig::for_universe_bits(UNIVERSE_BITS).with_shards(8),
+    );
+    let mut rng = SplitMix64::new(0xE10);
+    for _ in 0..100_000 {
+        let k = rng.next() & MASK;
+        trie.insert(k, k);
+        forest.insert(k, k);
+    }
+    let mut group = c.benchmark_group("sharded_point_ops_u32");
+    let mut rng = SplitMix64::new(7);
+    group.bench_function("skiptrie-pred", |b| {
+        b.iter(|| trie.predecessor(rng.next() & MASK))
+    });
+    let mut rng = SplitMix64::new(7);
+    group.bench_function("forest8-pred", |b| {
+        b.iter(|| forest.predecessor(rng.next() & MASK))
+    });
+    let mut rng = SplitMix64::new(9);
+    group.bench_function("skiptrie-churn", |b| {
+        b.iter(|| {
+            let k = rng.next() & MASK;
+            trie.insert(k, k);
+            trie.remove(k)
+        })
+    });
+    let mut rng = SplitMix64::new(9);
+    group.bench_function("forest8-churn", |b| {
+        b.iter(|| {
+            let k = rng.next() & MASK;
+            forest.insert(k, k);
+            forest.remove(k)
+        })
+    });
+    group.finish();
+}
+
+fn bench_batched_insert(c: &mut Criterion) {
+    let mut group = c.benchmark_group("batched_insert_u32");
+    for &batch in &[64usize, 256] {
+        group.throughput(Throughput::Elements(batch as u64));
+        let mut rng = SplitMix64::new(0xBA7C);
+        group.bench_with_input(
+            BenchmarkId::new("skiptrie-batched", batch),
+            &batch,
+            |b, &n| {
+                let trie = SkipTrie::new(SkipTrieConfig::for_universe_bits(UNIVERSE_BITS));
+                b.iter(|| {
+                    let entries: Vec<(u64, u64)> = (0..n).map(|_| (rng.next() & MASK, 1)).collect();
+                    trie.insert_batch(&entries)
+                })
+            },
+        );
+        let mut rng = SplitMix64::new(0xBA7C);
+        group.bench_with_input(BenchmarkId::new("skiptrie-loop", batch), &batch, |b, &n| {
+            let trie = SkipTrie::new(SkipTrieConfig::for_universe_bits(UNIVERSE_BITS));
+            b.iter(|| {
+                let entries: Vec<(u64, u64)> = (0..n).map(|_| (rng.next() & MASK, 1)).collect();
+                entries.iter().filter(|&&(k, v)| trie.insert(k, v)).count()
+            })
+        });
+        let mut rng = SplitMix64::new(0xBA7C);
+        group.bench_with_input(
+            BenchmarkId::new("forest8-batched", batch),
+            &batch,
+            |b, &n| {
+                let forest: ShardedSkipTrie<u64> = ShardedSkipTrie::new(
+                    ShardedSkipTrieConfig::for_universe_bits(UNIVERSE_BITS).with_shards(8),
+                );
+                b.iter(|| {
+                    let entries: Vec<(u64, u64)> = (0..n).map(|_| (rng.next() & MASK, 1)).collect();
+                    forest.insert_batch(&entries)
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_point_ops, bench_batched_insert);
+criterion_main!(benches);

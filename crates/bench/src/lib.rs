@@ -20,7 +20,7 @@
 
 use std::time::Duration;
 
-use skiptrie::SkipTrie;
+use skiptrie::{ShardedSkipTrie, SkipTrie};
 use skiptrie_baselines::{FullSkipList, LockedBTreeMap};
 use skiptrie_metrics::{self as metrics, Counter, Snapshot};
 use skiptrie_skiplist::SkipList;
@@ -36,6 +36,8 @@ pub trait ConcurrentPredecessorMap: Send + Sync {
     fn insert(&self, key: u64, value: u64) -> bool;
     /// Removes `key`, returning its value.
     fn remove(&self, key: u64) -> Option<u64>;
+    /// Returns the value stored under exactly `key`.
+    fn get(&self, key: u64) -> Option<u64>;
     /// Largest key `<= key`.
     fn predecessor(&self, key: u64) -> Option<(u64, u64)>;
     /// Smallest key `>= key`.
@@ -51,6 +53,23 @@ pub trait ConcurrentPredecessorMap: Send + Sync {
     fn is_empty(&self) -> bool {
         self.len() == 0
     }
+    /// Inserts a batch, returning how many keys were newly inserted. The default is
+    /// the one-at-a-time loop every structure supports; structures with a native
+    /// batched path (SkipTrie, the sharded forest, the locked B-tree) override it —
+    /// the E10 batched-vs-unbatched comparison measures exactly this override.
+    fn insert_batch(&self, entries: &[(u64, u64)]) -> usize {
+        entries.iter().filter(|&&(k, v)| self.insert(k, v)).count()
+    }
+    /// Removes a batch of keys, returning how many were present (see
+    /// [`ConcurrentPredecessorMap::insert_batch`]).
+    fn remove_batch(&self, keys: &[u64]) -> usize {
+        keys.iter().filter(|&&k| self.remove(k).is_some()).count()
+    }
+    /// Looks up a batch of keys, returning how many were present (see
+    /// [`ConcurrentPredecessorMap::insert_batch`]).
+    fn get_batch(&self, keys: &[u64]) -> usize {
+        keys.iter().filter(|&&k| self.get(k).is_some()).count()
+    }
 }
 
 impl ConcurrentPredecessorMap for SkipTrie<u64> {
@@ -62,6 +81,9 @@ impl ConcurrentPredecessorMap for SkipTrie<u64> {
     }
     fn remove(&self, key: u64) -> Option<u64> {
         SkipTrie::remove(self, key)
+    }
+    fn get(&self, key: u64) -> Option<u64> {
+        SkipTrie::get(self, key)
     }
     fn predecessor(&self, key: u64) -> Option<(u64, u64)> {
         SkipTrie::predecessor(self, key)
@@ -78,6 +100,60 @@ impl ConcurrentPredecessorMap for SkipTrie<u64> {
     fn len(&self) -> usize {
         SkipTrie::len(self)
     }
+    fn insert_batch(&self, entries: &[(u64, u64)]) -> usize {
+        SkipTrie::insert_batch(self, entries)
+    }
+    fn remove_batch(&self, keys: &[u64]) -> usize {
+        SkipTrie::remove_batch(self, keys)
+    }
+    fn get_batch(&self, keys: &[u64]) -> usize {
+        SkipTrie::get_batch(self, keys)
+            .iter()
+            .filter(|v| v.is_some())
+            .count()
+    }
+}
+
+impl ConcurrentPredecessorMap for ShardedSkipTrie<u64> {
+    fn name(&self) -> &'static str {
+        "sharded-skiptrie"
+    }
+    fn insert(&self, key: u64, value: u64) -> bool {
+        ShardedSkipTrie::insert(self, key, value)
+    }
+    fn remove(&self, key: u64) -> Option<u64> {
+        ShardedSkipTrie::remove(self, key)
+    }
+    fn get(&self, key: u64) -> Option<u64> {
+        ShardedSkipTrie::get(self, key)
+    }
+    fn predecessor(&self, key: u64) -> Option<(u64, u64)> {
+        ShardedSkipTrie::predecessor(self, key)
+    }
+    fn successor(&self, key: u64) -> Option<(u64, u64)> {
+        ShardedSkipTrie::successor(self, key)
+    }
+    fn scan(&self, from: u64, limit: usize) -> usize {
+        ShardedSkipTrie::range(self, from..).count_up_to(limit)
+    }
+    fn pop_first(&self) -> Option<(u64, u64)> {
+        ShardedSkipTrie::pop_first(self)
+    }
+    fn len(&self) -> usize {
+        ShardedSkipTrie::len(self)
+    }
+    fn insert_batch(&self, entries: &[(u64, u64)]) -> usize {
+        ShardedSkipTrie::insert_batch(self, entries)
+    }
+    fn remove_batch(&self, keys: &[u64]) -> usize {
+        ShardedSkipTrie::remove_batch(self, keys)
+    }
+    fn get_batch(&self, keys: &[u64]) -> usize {
+        ShardedSkipTrie::get_batch(self, keys)
+            .iter()
+            .filter(|v| v.is_some())
+            .count()
+    }
 }
 
 impl ConcurrentPredecessorMap for FullSkipList<u64> {
@@ -89,6 +165,9 @@ impl ConcurrentPredecessorMap for FullSkipList<u64> {
     }
     fn remove(&self, key: u64) -> Option<u64> {
         FullSkipList::remove(self, key)
+    }
+    fn get(&self, key: u64) -> Option<u64> {
+        FullSkipList::get(self, key)
     }
     fn predecessor(&self, key: u64) -> Option<(u64, u64)> {
         FullSkipList::predecessor(self, key)
@@ -117,6 +196,9 @@ impl ConcurrentPredecessorMap for LockedBTreeMap<u64> {
     fn remove(&self, key: u64) -> Option<u64> {
         LockedBTreeMap::remove(self, key)
     }
+    fn get(&self, key: u64) -> Option<u64> {
+        LockedBTreeMap::get(self, key)
+    }
     fn predecessor(&self, key: u64) -> Option<(u64, u64)> {
         LockedBTreeMap::predecessor(self, key)
     }
@@ -132,6 +214,18 @@ impl ConcurrentPredecessorMap for LockedBTreeMap<u64> {
     fn len(&self) -> usize {
         LockedBTreeMap::len(self)
     }
+    fn insert_batch(&self, entries: &[(u64, u64)]) -> usize {
+        LockedBTreeMap::insert_batch(self, entries)
+    }
+    fn remove_batch(&self, keys: &[u64]) -> usize {
+        LockedBTreeMap::remove_batch(self, keys)
+    }
+    fn get_batch(&self, keys: &[u64]) -> usize {
+        LockedBTreeMap::get_batch(self, keys)
+            .iter()
+            .filter(|v| v.is_some())
+            .count()
+    }
 }
 
 impl ConcurrentPredecessorMap for SkipList<u64> {
@@ -143,6 +237,9 @@ impl ConcurrentPredecessorMap for SkipList<u64> {
     }
     fn remove(&self, key: u64) -> Option<u64> {
         SkipList::remove(self, key)
+    }
+    fn get(&self, key: u64) -> Option<u64> {
+        SkipList::get(self, key)
     }
     fn predecessor(&self, key: u64) -> Option<(u64, u64)> {
         SkipList::predecessor(self, key)
@@ -428,15 +525,39 @@ mod tests {
         let spec = small_spec(2);
         let keys = spec.prefill_keys();
         let trie = SkipTrie::new(SkipTrieConfig::for_universe_bits(20));
+        let forest = ShardedSkipTrie::new(skiptrie::ShardedSkipTrieConfig::for_universe_bits(20));
         let skiplist = FullSkipList::new();
         let btree = LockedBTreeMap::new();
-        let structures: Vec<&dyn ConcurrentPredecessorMap> = vec![&trie, &skiplist, &btree];
+        let structures: Vec<&dyn ConcurrentPredecessorMap> =
+            vec![&trie, &forest, &skiplist, &btree];
         for s in structures {
             prefill(s, &keys);
             assert_eq!(s.len(), keys.len(), "{}", s.name());
             let result = run_throughput(s, &spec);
             assert_eq!(result.total_ops, spec.total_ops() as u64);
             assert!(result.ops_per_sec > 0.0);
+        }
+    }
+
+    #[test]
+    fn batched_entry_points_agree_across_structures() {
+        let trie = SkipTrie::new(SkipTrieConfig::for_universe_bits(20));
+        let forest = ShardedSkipTrie::new(skiptrie::ShardedSkipTrieConfig::for_universe_bits(20));
+        let skiplist = FullSkipList::new(); // exercises the default (loop) impls
+        let btree = LockedBTreeMap::new();
+        let structures: Vec<&dyn ConcurrentPredecessorMap> =
+            vec![&trie, &forest, &skiplist, &btree];
+        let entries: Vec<(u64, u64)> = (0..500u64).map(|i| (i * 1_999 % (1 << 20), i)).collect();
+        let keys: Vec<u64> = entries.iter().map(|&(k, _)| k).collect();
+        let probe: Vec<u64> = (0..600u64).map(|i| i * 1_753 % (1 << 20)).collect();
+        for s in structures {
+            let inserted = s.insert_batch(&entries);
+            assert_eq!(s.len(), inserted, "{}", s.name());
+            let found = s.get_batch(&probe);
+            let expected = probe.iter().filter(|k| s.get(**k).is_some()).count();
+            assert_eq!(found, expected, "{}", s.name());
+            assert_eq!(s.remove_batch(&keys), inserted, "{}", s.name());
+            assert!(s.is_empty(), "{}", s.name());
         }
     }
 

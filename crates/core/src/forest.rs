@@ -1,0 +1,972 @@
+//! A sharded SkipTrie forest: the key universe partitioned across independent
+//! SkipTries by the top key bits.
+//!
+//! The SkipTrie's `O(log log u + c)` bound is per structure; at high thread counts
+//! the remaining wall is cross-thread traffic on *one* trie — one prefix table, one
+//! node pool, one epoch domain — so every operation, however disjoint its key, dirties
+//! the same cache lines. [`ShardedSkipTrie`] removes that wall structurally:
+//!
+//! * **Routing.** `S = 2^shard_bits` shards; a key lives in the shard named by its
+//!   top `shard_bits` bits, so each shard owns one contiguous slice of the key space
+//!   and global key order equals (shard index, in-shard order). Point operations
+//!   touch exactly one shard.
+//! * **Isolation.** Every shard is a complete [`SkipTrie`] with its **own node pool**
+//!   and — by default — its **own epoch domain**
+//!   ([`crossbeam_epoch::pin_domain`]), so shards share no allocator free-list, no
+//!   epoch counter, and no garbage queue on the hot path; a long scan of one shard
+//!   stalls only that shard's reclamation.
+//! * **Ordered queries compose.** [`predecessor`](ShardedSkipTrie::predecessor) /
+//!   [`successor`](ShardedSkipTrie::successor) ask the key's home shard first and
+//!   route to neighbouring shards only on a miss; [`range`](ShardedSkipTrie::range)
+//!   stitches per-shard cursors in shard order; [`pop_first`](ShardedSkipTrie::pop_first)
+//!   / [`pop_last`](ShardedSkipTrie::pop_last) walk shards from the respective end.
+//! * **Batching.** [`insert_batch`](ShardedSkipTrie::insert_batch) /
+//!   [`remove_batch`](ShardedSkipTrie::remove_batch) /
+//!   [`get_batch`](ShardedSkipTrie::get_batch) group a slice of operations by shard,
+//!   sort within each shard, and execute each group under a single epoch pin with
+//!   predecessor hints threaded from one operation to the next.
+//!
+//! # Consistency
+//!
+//! Each *shard* is linearizable, and every point operation (insert / remove / get /
+//! contains) touches exactly one shard, so point operations on the forest are
+//! linearizable too. Operations that *combine* shards — cross-shard predecessor and
+//! successor routing, stitched range scans, `pop_first` / `pop_last` — are **weakly
+//! consistent**: each per-shard step is linearizable, shards are visited in key
+//! order, and the composed answer was correct at some moment during the call, but a
+//! concurrent update in a shard the operation has already passed may not be observed.
+//! Range scans keep the cursor contract of the underlying tries: every key present
+//! in the scanned range for the *whole* scan is yielded exactly once, in increasing
+//! order (a key is in exactly one shard, and that shard's sub-scan covers the key's
+//! whole sub-range). The quiescent behaviour is exact — see the model tests.
+
+use std::ops::RangeBounds;
+
+use skiptrie_atomics::dcss::DcssMode;
+use skiptrie_skiplist::{resolve_bounds, RangeIter};
+
+use crate::{prefix, SkipTrie, SkipTrieConfig};
+
+/// First epoch domain handed to shards: domain 0 is the process-wide default and is
+/// deliberately skipped so un-sharded structures never share a domain with a shard.
+const SHARD_DOMAIN_BASE: usize = 1;
+
+/// Configuration of a [`ShardedSkipTrie`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ShardedSkipTrieConfig {
+    /// Width of the key universe in bits (`1..=64`); keys must be `< 2^universe_bits`.
+    pub universe_bits: u32,
+    /// The forest has `2^shard_bits` shards, keyed by the top `shard_bits` key bits.
+    /// Must not exceed `universe_bits` (or 16 — 65 536 shards is never useful).
+    pub shard_bits: u32,
+    /// How conditional pointer swings are performed in every shard.
+    pub mode: DcssMode,
+    /// Master height-sampler seed; shard `i` derives its own seed from it.
+    pub seed: u64,
+    /// Give every shard its own epoch domain (the default). Disable to run all
+    /// shards in the process-wide default domain — useful only for apples-to-apples
+    /// ablations of the domain isolation itself.
+    pub isolate_epochs: bool,
+}
+
+impl Default for ShardedSkipTrieConfig {
+    fn default() -> Self {
+        ShardedSkipTrieConfig::for_universe_bits(32)
+    }
+}
+
+impl ShardedSkipTrieConfig {
+    /// A forest over `universe_bits`-bit keys with the default of 8 shards
+    /// (`shard_bits = 3`, clamped to the universe width).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `universe_bits` is not in `1..=64`.
+    pub fn for_universe_bits(universe_bits: u32) -> Self {
+        assert!(
+            (1..=64).contains(&universe_bits),
+            "universe_bits must be between 1 and 64"
+        );
+        ShardedSkipTrieConfig {
+            universe_bits,
+            shard_bits: 3.min(universe_bits),
+            mode: DcssMode::Descriptor,
+            seed: 0x5eed_5eed_5eed_5eed,
+            isolate_epochs: true,
+        }
+    }
+
+    /// Sets the shard count to `shards` (a power of two).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `shards` is zero or not a power of two.
+    pub fn with_shards(mut self, shards: usize) -> Self {
+        assert!(
+            shards.is_power_of_two(),
+            "shard count must be a power of two, got {shards}"
+        );
+        self.shard_bits = shards.trailing_zeros();
+        self
+    }
+
+    /// Overrides the DCSS mode of every shard.
+    pub fn with_mode(mut self, mode: DcssMode) -> Self {
+        self.mode = mode;
+        self
+    }
+
+    /// Overrides the master height-sampler seed.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Runs every shard in the process-wide default epoch domain instead of one
+    /// domain per shard (see [`ShardedSkipTrieConfig::isolate_epochs`]).
+    pub fn with_shared_epoch(mut self) -> Self {
+        self.isolate_epochs = false;
+        self
+    }
+}
+
+/// A lock-free ordered map over `universe_bits`-bit integer keys, partitioned across
+/// `2^shard_bits` independent [`SkipTrie`]s by the top `shard_bits` key bits.
+///
+/// Exposes the full SkipTrie surface (point operations, predecessor/successor, range
+/// scans, ordered extraction) plus batched entry points; see the [module docs](self)
+/// for the sharding design and the cross-shard consistency contract.
+///
+/// # Examples
+///
+/// ```
+/// use skiptrie::{ShardedSkipTrie, ShardedSkipTrieConfig};
+///
+/// let forest: ShardedSkipTrie<&str> =
+///     ShardedSkipTrie::new(ShardedSkipTrieConfig::for_universe_bits(32).with_shards(8));
+/// forest.insert(1, "low");
+/// forest.insert(u32::MAX as u64, "high"); // lives in the last shard
+///
+/// // Ordered queries route across shard boundaries transparently:
+/// assert_eq!(forest.predecessor(1 << 30), Some((1, "low")));
+/// assert_eq!(forest.successor(2), Some((u32::MAX as u64, "high")));
+/// assert_eq!(forest.range(..).count(), 2);
+/// assert_eq!(forest.pop_first(), Some((1, "low")));
+/// ```
+pub struct ShardedSkipTrie<V> {
+    config: ShardedSkipTrieConfig,
+    shards: Box<[SkipTrie<V>]>,
+    /// `key >> shard_shift` = shard index (`shard_shift = universe_bits - shard_bits`,
+    /// or 64 for the single-shard degenerate case, where the shift is skipped).
+    shard_shift: u32,
+}
+
+impl<V> Default for ShardedSkipTrie<V>
+where
+    V: Clone + Send + Sync + 'static,
+{
+    fn default() -> Self {
+        ShardedSkipTrie::new(ShardedSkipTrieConfig::default())
+    }
+}
+
+impl<V> ShardedSkipTrie<V>
+where
+    V: Clone + Send + Sync + 'static,
+{
+    /// Creates an empty forest.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `config.universe_bits` is not in `1..=64`, or if `config.shard_bits`
+    /// exceeds `universe_bits` or 16.
+    pub fn new(config: ShardedSkipTrieConfig) -> Self {
+        assert!(
+            (1..=64).contains(&config.universe_bits),
+            "universe_bits must be between 1 and 64"
+        );
+        assert!(
+            config.shard_bits <= config.universe_bits,
+            "shard_bits ({}) cannot exceed universe_bits ({})",
+            config.shard_bits,
+            config.universe_bits
+        );
+        assert!(
+            config.shard_bits <= 16,
+            "2^{} shards is never useful",
+            config.shard_bits
+        );
+        let shard_count = 1usize << config.shard_bits;
+        let shards: Vec<SkipTrie<V>> = (0..shard_count)
+            .map(|i| {
+                let mut shard_config = SkipTrieConfig::for_universe_bits(config.universe_bits)
+                    .with_mode(config.mode)
+                    // Decorrelate tower heights across shards.
+                    .with_seed(
+                        config
+                            .seed
+                            .wrapping_add((i as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15)),
+                    );
+                if config.isolate_epochs {
+                    // Distinct domains for up to NUM_DOMAINS - 1 shards; beyond that
+                    // they wrap (never onto the default domain 0).
+                    shard_config = shard_config
+                        .with_domain(SHARD_DOMAIN_BASE + i % (crossbeam_epoch::NUM_DOMAINS - 1));
+                }
+                SkipTrie::new(shard_config)
+            })
+            .collect();
+        ShardedSkipTrie {
+            shards: shards.into_boxed_slice(),
+            shard_shift: config.universe_bits - config.shard_bits,
+            config,
+        }
+    }
+
+    /// The configuration this forest was built with.
+    pub fn config(&self) -> ShardedSkipTrieConfig {
+        self.config
+    }
+
+    /// Number of shards (`2^shard_bits`).
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Width of the key universe in bits (`log u`).
+    pub fn universe_bits(&self) -> u32 {
+        self.config.universe_bits
+    }
+
+    /// The largest key this forest accepts.
+    pub fn max_key(&self) -> u64 {
+        prefix::max_key(self.config.universe_bits)
+    }
+
+    /// The shard a key routes to: its top `shard_bits` bits.
+    pub fn shard_of(&self, key: u64) -> usize {
+        if self.config.shard_bits == 0 {
+            0
+        } else {
+            (key >> self.shard_shift) as usize
+        }
+    }
+
+    /// Borrows shard `index` directly (diagnostics and tests).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index >= shard_count()`.
+    pub fn shard(&self, index: usize) -> &SkipTrie<V> {
+        &self.shards[index]
+    }
+
+    /// Number of keys stored across all shards (quiescently accurate).
+    pub fn len(&self) -> usize {
+        self.shards.iter().map(|s| s.len()).sum()
+    }
+
+    /// True if no keys are stored (quiescently accurate).
+    pub fn is_empty(&self) -> bool {
+        self.shards.iter().all(|s| s.is_empty())
+    }
+
+    fn check_key(&self, key: u64) {
+        assert!(
+            key <= self.max_key(),
+            "key {key} exceeds the configured universe of {} bits",
+            self.config.universe_bits
+        );
+    }
+
+    // ------------------------------------------------------------------
+    // Point operations (single shard, linearizable)
+    // ------------------------------------------------------------------
+
+    /// Inserts `key -> value` into the key's shard. Returns `true` if the key was
+    /// absent and is now present (see [`SkipTrie::insert`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `key` does not fit in the configured universe.
+    pub fn insert(&self, key: u64, value: V) -> bool {
+        self.check_key(key);
+        self.shards[self.shard_of(key)].insert(key, value)
+    }
+
+    /// Removes `key` from its shard, returning its value if this call performed the
+    /// removal (see [`SkipTrie::remove`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `key` does not fit in the configured universe.
+    pub fn remove(&self, key: u64) -> Option<V> {
+        self.check_key(key);
+        self.shards[self.shard_of(key)].remove(key)
+    }
+
+    /// Returns a clone of the value stored under `key` (see [`SkipTrie::get`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `key` does not fit in the configured universe.
+    pub fn get(&self, key: u64) -> Option<V> {
+        self.check_key(key);
+        self.shards[self.shard_of(key)].get(key)
+    }
+
+    /// True if `key` is present; clones no value.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `key` does not fit in the configured universe.
+    pub fn contains(&self, key: u64) -> bool {
+        self.check_key(key);
+        self.shards[self.shard_of(key)].contains(key)
+    }
+
+    // ------------------------------------------------------------------
+    // Ordered queries (cross-shard routing)
+    // ------------------------------------------------------------------
+
+    /// The largest key `<= key` and its value: the key's home shard is queried
+    /// first, and on a miss the scan routes through lower-indexed shards in
+    /// descending order (every key of a lower shard is `< key`, so the first hit is
+    /// the answer). See the [module docs](self) for the cross-shard consistency
+    /// contract.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `key` does not fit in the configured universe.
+    pub fn predecessor(&self, key: u64) -> Option<(u64, V)> {
+        self.check_key(key);
+        let home = self.shard_of(key);
+        if let Some(hit) = self.shards[home].predecessor(key) {
+            return Some(hit);
+        }
+        self.shards[..home]
+            .iter()
+            .rev()
+            .find_map(|shard| shard.predecessor(key))
+    }
+
+    /// The largest key strictly `< key`, if any.
+    pub fn strict_predecessor(&self, key: u64) -> Option<(u64, V)> {
+        if key == 0 {
+            return None;
+        }
+        self.predecessor(key - 1)
+    }
+
+    /// The smallest key `>= key` and its value; the mirror image of
+    /// [`ShardedSkipTrie::predecessor`], routing through higher-indexed shards on a
+    /// home-shard miss.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `key` does not fit in the configured universe.
+    pub fn successor(&self, key: u64) -> Option<(u64, V)> {
+        self.check_key(key);
+        let home = self.shard_of(key);
+        if let Some(hit) = self.shards[home].successor(key) {
+            return Some(hit);
+        }
+        self.shards[home + 1..]
+            .iter()
+            .find_map(|shard| shard.successor(key))
+    }
+
+    /// The smallest key strictly `> key`, if any.
+    pub fn strict_successor(&self, key: u64) -> Option<(u64, V)> {
+        if key >= self.max_key() {
+            return None;
+        }
+        self.successor(key + 1)
+    }
+
+    // ------------------------------------------------------------------
+    // Range scans and ordered extraction
+    // ------------------------------------------------------------------
+
+    /// An ordered, weakly-consistent iterator over the entries whose keys lie in
+    /// `range`, stitched across shard boundaries: per-shard cursors are opened in
+    /// shard (= key) order, each holding its own shard's epoch pin only while that
+    /// shard is being walked. Every key present in the range for the whole scan is
+    /// yielded exactly once, in increasing order (the per-shard cursor contract —
+    /// see [`SkipTrie::range`] — composes because each key belongs to exactly one
+    /// shard). Bounds beyond the universe are tolerated.
+    pub fn range(&self, range: impl RangeBounds<u64>) -> ShardedRangeIter<'_, V> {
+        match resolve_bounds(&range) {
+            Some((lo, hi)) if lo <= self.max_key() => {
+                let last_shard = self.shard_of(hi.min(self.max_key()));
+                ShardedRangeIter {
+                    forest: self,
+                    lo,
+                    hi,
+                    next_shard: self.shard_of(lo),
+                    last_shard,
+                    cur: None,
+                    done: false,
+                }
+            }
+            _ => ShardedRangeIter {
+                forest: self,
+                lo: 0,
+                hi: 0,
+                next_shard: 0,
+                last_shard: 0,
+                cur: None,
+                done: true,
+            },
+        }
+    }
+
+    /// Number of keys in `range` (weakly consistent, counted without cloning any
+    /// value).
+    pub fn count_range(&self, range: impl RangeBounds<u64>) -> usize {
+        let mut iter = self.range(range);
+        let mut count = 0usize;
+        while iter.next_key().is_some() {
+            count += 1;
+        }
+        count
+    }
+
+    /// Removes and returns the entry with the smallest key, scanning shards in
+    /// ascending order and popping the first shard that yields one. `None` if every
+    /// shard was empty when visited. See the [module docs](self) for the cross-shard
+    /// consistency contract.
+    pub fn pop_first(&self) -> Option<(u64, V)> {
+        self.shards.iter().find_map(|shard| shard.pop_first())
+    }
+
+    /// Removes and returns the entry with the largest key; the mirror image of
+    /// [`ShardedSkipTrie::pop_first`], scanning shards in descending order.
+    pub fn pop_last(&self) -> Option<(u64, V)> {
+        self.shards.iter().rev().find_map(|shard| shard.pop_last())
+    }
+
+    // ------------------------------------------------------------------
+    // Batched operations
+    // ------------------------------------------------------------------
+
+    /// Sorts `0..n` stably by `(shard, key(i))` and runs `per_group` once per
+    /// maximal same-shard run — the shared grouping step of the batched entry
+    /// points. Stability keeps earlier duplicates first, preserving sequential
+    /// semantics.
+    fn group_by_shard(
+        &self,
+        n: usize,
+        key_of: impl Fn(usize) -> u64,
+        mut per_group: impl FnMut(usize, &[usize]),
+    ) {
+        let mut order: Vec<usize> = (0..n).collect();
+        // Keys route to shards by their top bits, so sorting by key alone also
+        // sorts by shard; runs of one shard are contiguous.
+        order.sort_by_key(|&i| key_of(i));
+        let mut start = 0usize;
+        while start < order.len() {
+            let shard = self.shard_of(key_of(order[start]));
+            let mut end = start + 1;
+            while end < order.len() && self.shard_of(key_of(order[end])) == shard {
+                end += 1;
+            }
+            per_group(shard, &order[start..end]);
+            start = end;
+        }
+    }
+
+    /// Inserts every `key -> value` pair of `entries`, returning how many keys were
+    /// newly inserted. Entries are grouped by shard, sorted within each shard, and
+    /// each shard's group executes under a single epoch pin with threaded
+    /// predecessor hints (see [`SkipTrie::insert_batch`]). Equivalent to — but
+    /// faster than — inserting one at a time; each insertion linearizes
+    /// individually, and within-batch duplicates resolve in slice order.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use skiptrie::{ShardedSkipTrie, ShardedSkipTrieConfig};
+    ///
+    /// let forest: ShardedSkipTrie<u64> =
+    ///     ShardedSkipTrie::new(ShardedSkipTrieConfig::for_universe_bits(32));
+    /// let batch: Vec<(u64, u64)> = (0..1_000).map(|k| (k * 4_294_967, k)).collect();
+    /// assert_eq!(forest.insert_batch(&batch), 1_000);
+    /// assert_eq!(forest.len(), 1_000);
+    /// ```
+    ///
+    /// # Panics
+    ///
+    /// Panics if any key does not fit in the configured universe (checked up front).
+    pub fn insert_batch(&self, entries: &[(u64, V)]) -> usize {
+        for &(key, _) in entries {
+            self.check_key(key);
+        }
+        let mut inserted = 0usize;
+        self.group_by_shard(
+            entries.len(),
+            |i| entries[i].0,
+            |shard, group| {
+                inserted += self.shards[shard].insert_batch_picked(entries, group);
+            },
+        );
+        inserted
+    }
+
+    /// Removes every key of `keys`, returning how many were present (and are now
+    /// removed). Grouped and executed exactly like
+    /// [`ShardedSkipTrie::insert_batch`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if any key does not fit in the configured universe (checked up front).
+    pub fn remove_batch(&self, keys: &[u64]) -> usize {
+        for &key in keys {
+            self.check_key(key);
+        }
+        let mut removed = 0usize;
+        self.group_by_shard(
+            keys.len(),
+            |i| keys[i],
+            |shard, group| {
+                removed += self.shards[shard].remove_batch_picked(keys, group);
+            },
+        );
+        removed
+    }
+
+    /// Looks up every key of `keys`, returning the values **in input order**
+    /// (`None` for absent keys). Grouped and executed exactly like
+    /// [`ShardedSkipTrie::insert_batch`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if any key does not fit in the configured universe.
+    pub fn get_batch(&self, keys: &[u64]) -> Vec<Option<V>> {
+        for &key in keys {
+            self.check_key(key);
+        }
+        let mut out: Vec<Option<V>> = Vec::new();
+        out.resize_with(keys.len(), || None);
+        self.group_by_shard(
+            keys.len(),
+            |i| keys[i],
+            |shard, group| {
+                self.shards[shard].get_batch_picked(keys, group, &mut out);
+            },
+        );
+        out
+    }
+
+    // ------------------------------------------------------------------
+    // Snapshots and diagnostics
+    // ------------------------------------------------------------------
+
+    /// A (non-linearizable) snapshot of the contents in key order (shard snapshots
+    /// concatenated in shard order).
+    pub fn to_vec(&self) -> Vec<(u64, V)> {
+        self.shards.iter().flat_map(|s| s.to_vec()).collect()
+    }
+
+    /// A (non-linearizable) snapshot of the keys in order.
+    pub fn keys(&self) -> Vec<u64> {
+        self.shards.iter().flat_map(|s| s.keys()).collect()
+    }
+
+    /// Per-shard key counts, in shard order (load-balance diagnostics).
+    pub fn shard_lens(&self) -> Vec<usize> {
+        self.shards.iter().map(|s| s.len()).collect()
+    }
+
+    /// Summed `(nodes_allocated, nodes_recycled, nodes_pooled)` across every shard's
+    /// node pool.
+    pub fn allocation_stats(&self) -> (usize, usize, usize) {
+        self.shards
+            .iter()
+            .map(|s| s.allocation_stats())
+            .fold((0, 0, 0), |acc, s| (acc.0 + s.0, acc.1 + s.1, acc.2 + s.2))
+    }
+
+    /// Approximate resident bytes for skiplist nodes across all shards.
+    pub fn approx_node_bytes(&self) -> usize {
+        self.shards.iter().map(|s| s.approx_node_bytes()).sum()
+    }
+
+    /// Audits every shard under its own pin (see
+    /// [`SkipTrie::check_traversal_integrity`]); returns total nodes examined.
+    pub fn check_traversal_integrity(&self) -> usize {
+        self.shards
+            .iter()
+            .map(|s| s.check_traversal_integrity())
+            .sum()
+    }
+}
+
+/// A bounded, weakly-consistent range iterator over a [`ShardedSkipTrie`], stitching
+/// per-shard cursors in shard order (see [`ShardedSkipTrie::range`]). At most one
+/// shard's epoch pin is held at a time — the shard currently being walked.
+pub struct ShardedRangeIter<'a, V> {
+    forest: &'a ShardedSkipTrie<V>,
+    /// Resolved inclusive bounds of the whole scan.
+    lo: u64,
+    hi: u64,
+    /// Next shard index to open a cursor on.
+    next_shard: usize,
+    /// Last shard index intersecting the range.
+    last_shard: usize,
+    /// Cursor over the shard currently being walked.
+    cur: Option<RangeIter<'a, V>>,
+    done: bool,
+}
+
+impl<'a, V> ShardedRangeIter<'a, V>
+where
+    V: Clone + Send + Sync + 'static,
+{
+    /// Opens the next shard's cursor, or marks the scan done. Returns `false` once
+    /// exhausted.
+    fn open_next_shard(&mut self) -> bool {
+        self.cur = None;
+        if self.next_shard > self.last_shard {
+            self.done = true;
+            return false;
+        }
+        // Global bounds are passed straight through: a shard only contains keys of
+        // its own slice, so no per-shard clamping is needed, and the x-fast seeded
+        // descent positions the cursor at the first in-range key of that shard.
+        self.cur = Some(self.forest.shards[self.next_shard].range(self.lo..=self.hi));
+        self.next_shard += 1;
+        true
+    }
+
+    /// Advances without cloning the value — the counting fast path.
+    pub fn next_key(&mut self) -> Option<u64> {
+        while !self.done {
+            if let Some(cur) = self.cur.as_mut() {
+                if let Some(key) = cur.next_key() {
+                    return Some(key);
+                }
+            }
+            if !self.open_next_shard() {
+                break;
+            }
+        }
+        None
+    }
+
+    /// Visits up to `limit` further entries without cloning values, returning how
+    /// many were visited — the bounded-scan primitive the workload drivers share.
+    pub fn count_up_to(&mut self, limit: usize) -> usize {
+        let mut seen = 0usize;
+        while seen < limit && self.next_key().is_some() {
+            seen += 1;
+        }
+        seen
+    }
+}
+
+impl<'a, V> Iterator for ShardedRangeIter<'a, V>
+where
+    V: Clone + Send + Sync + 'static,
+{
+    type Item = (u64, V);
+
+    fn next(&mut self) -> Option<(u64, V)> {
+        while !self.done {
+            if let Some(cur) = self.cur.as_mut() {
+                if let Some(entry) = cur.next() {
+                    return Some(entry);
+                }
+            }
+            if !self.open_next_shard() {
+                break;
+            }
+        }
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::BTreeMap;
+
+    fn forest(bits: u32, shards: usize) -> ShardedSkipTrie<u64> {
+        ShardedSkipTrie::new(
+            ShardedSkipTrieConfig::for_universe_bits(bits)
+                .with_shards(shards)
+                .with_seed(7),
+        )
+    }
+
+    #[test]
+    fn empty_forest() {
+        let f = forest(16, 8);
+        assert!(f.is_empty());
+        assert_eq!(f.len(), 0);
+        assert_eq!(f.shard_count(), 8);
+        assert_eq!(f.predecessor(100), None);
+        assert_eq!(f.successor(100), None);
+        assert_eq!(f.pop_first(), None);
+        assert_eq!(f.pop_last(), None);
+        assert_eq!(f.range(..).count(), 0);
+        assert_eq!(f.shard_lens(), vec![0; 8]);
+    }
+
+    #[test]
+    fn routing_by_top_bits() {
+        let f = forest(16, 8);
+        // 16-bit universe, 8 shards: shard = top 3 bits, slices of 2^13 keys.
+        assert_eq!(f.shard_of(0), 0);
+        assert_eq!(f.shard_of((1 << 13) - 1), 0);
+        assert_eq!(f.shard_of(1 << 13), 1);
+        assert_eq!(f.shard_of(f.max_key()), 7);
+        f.insert(0, 1);
+        f.insert(1 << 13, 2);
+        f.insert(f.max_key(), 3);
+        assert_eq!(f.shard(0).len(), 1);
+        assert_eq!(f.shard(1).len(), 1);
+        assert_eq!(f.shard(7).len(), 1);
+        assert_eq!(f.len(), 3);
+    }
+
+    #[test]
+    fn forest_matches_btreemap_model_across_shard_counts() {
+        for shards in [1usize, 2, 8] {
+            let f = forest(16, shards);
+            let mut model: BTreeMap<u64, u64> = BTreeMap::new();
+            let mut state = 0xfee1_f00d_u64 ^ shards as u64;
+            let mut next = || {
+                state ^= state << 13;
+                state ^= state >> 7;
+                state ^= state << 17;
+                state
+            };
+            for _ in 0..4_000 {
+                let key = next() % (1 << 16);
+                match next() % 5 {
+                    0 | 1 => {
+                        let fresh = !model.contains_key(&key);
+                        if fresh {
+                            model.insert(key, key * 3);
+                        }
+                        assert_eq!(f.insert(key, key * 3), fresh, "insert {key}");
+                    }
+                    2 => {
+                        assert_eq!(f.remove(key), model.remove(&key), "remove {key}");
+                    }
+                    3 => {
+                        let pred = model.range(..=key).next_back().map(|(k, v)| (*k, *v));
+                        assert_eq!(f.predecessor(key), pred, "predecessor {key}");
+                        let succ = model.range(key..).next().map(|(k, v)| (*k, *v));
+                        assert_eq!(f.successor(key), succ, "successor {key}");
+                    }
+                    _ => {
+                        assert_eq!(f.get(key), model.get(&key).copied(), "get {key}");
+                        assert_eq!(f.contains(key), model.contains_key(&key));
+                    }
+                }
+            }
+            assert_eq!(f.len(), model.len(), "{shards} shards");
+            let snapshot: Vec<(u64, u64)> = model.into_iter().collect();
+            assert_eq!(f.to_vec(), snapshot, "{shards} shards");
+        }
+    }
+
+    #[test]
+    fn cross_shard_predecessor_and_successor_route_over_empty_shards() {
+        let f = forest(16, 16);
+        // Only the first and last shards are populated; the 14 in between are empty.
+        f.insert(5, 50);
+        f.insert(f.max_key() - 5, 990);
+        assert_eq!(f.predecessor(f.max_key() - 6), Some((5, 50)));
+        assert_eq!(f.predecessor(f.max_key()), Some((f.max_key() - 5, 990)));
+        assert_eq!(f.successor(6), Some((f.max_key() - 5, 990)));
+        assert_eq!(f.strict_predecessor(5), None);
+        assert_eq!(f.strict_successor(f.max_key() - 5), None);
+        assert_eq!(f.strict_successor(5), Some((f.max_key() - 5, 990)));
+    }
+
+    #[test]
+    fn stitched_range_matches_model() {
+        let f = forest(16, 8);
+        let mut model: BTreeMap<u64, u64> = BTreeMap::new();
+        let mut state = 0xabc_1234_u64;
+        let mut next = || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            state
+        };
+        for _ in 0..3_000 {
+            let key = next() % (1 << 16);
+            if next() % 3 == 0 {
+                f.remove(key);
+                model.remove(&key);
+            } else if let std::collections::btree_map::Entry::Vacant(e) = model.entry(key) {
+                f.insert(key, key * 2);
+                e.insert(key * 2);
+            }
+            if model.len().is_multiple_of(64) {
+                // Windows sized to straddle multiple 2^13-key shard slices.
+                let lo = next() % (1 << 16);
+                let hi = lo.saturating_add(next() % (3 << 13)).min((1 << 16) - 1);
+                let got: Vec<(u64, u64)> = f.range(lo..=hi).collect();
+                let want: Vec<(u64, u64)> = model.range(lo..=hi).map(|(k, v)| (*k, *v)).collect();
+                assert_eq!(got, want, "range {lo}..={hi}");
+                assert_eq!(f.count_range(lo..=hi), want.len());
+            }
+        }
+        let got: Vec<(u64, u64)> = f.range(..).collect();
+        let want: Vec<(u64, u64)> = model.iter().map(|(k, v)| (*k, *v)).collect();
+        assert_eq!(got, want);
+        assert_eq!(f.count_range(..), model.len());
+        assert_eq!(f.keys(), model.keys().copied().collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn range_bounds_beyond_universe_are_tolerated() {
+        let f = forest(8, 4);
+        f.insert(10, 1);
+        f.insert(200, 2);
+        assert_eq!(f.range(0..=u64::MAX).count(), 2);
+        assert_eq!(f.range(1_000..).count(), 0);
+        assert_eq!(f.count_range(..), 2);
+        assert_eq!(f.count_range(11..200), 0);
+        assert_eq!(f.range(200..200).count(), 0);
+    }
+
+    #[test]
+    fn pops_drain_in_global_order_across_shards() {
+        let f = forest(16, 8);
+        let keys: Vec<u64> = (0..2_000u64).map(|i| i * 31 % 60_000).collect();
+        let mut model = BTreeMap::new();
+        for &k in &keys {
+            if model.insert(k, k + 1).is_none() {
+                assert!(f.insert(k, k + 1));
+            }
+        }
+        let mut from_front = true;
+        while !model.is_empty() {
+            if from_front {
+                let (k, v) = model.iter().next().map(|(k, v)| (*k, *v)).unwrap();
+                assert_eq!(f.pop_first(), Some((k, v)));
+                model.remove(&k);
+            } else {
+                let (k, v) = model.iter().next_back().map(|(k, v)| (*k, *v)).unwrap();
+                assert_eq!(f.pop_last(), Some((k, v)));
+                model.remove(&k);
+            }
+            from_front = !from_front;
+        }
+        assert!(f.is_empty());
+        assert_eq!(f.pop_first(), None);
+    }
+
+    #[test]
+    fn batched_ops_match_sequential_application() {
+        let batched = forest(16, 8);
+        let sequential = forest(16, 8);
+        let mut state = 0xbeef_5eed_u64;
+        let mut next = || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            state
+        };
+        for round in 0..20 {
+            let entries: Vec<(u64, u64)> = (0..96)
+                .map(|_| {
+                    let k = next() % (1 << 16);
+                    (k, k.wrapping_mul(5))
+                })
+                .collect();
+            let seq = entries
+                .iter()
+                .filter(|&&(k, v)| sequential.insert(k, v))
+                .count();
+            assert_eq!(batched.insert_batch(&entries), seq, "round {round}");
+            let keys: Vec<u64> = (0..64).map(|_| next() % (1 << 16)).collect();
+            assert_eq!(
+                batched.get_batch(&keys),
+                keys.iter().map(|&k| sequential.get(k)).collect::<Vec<_>>(),
+                "round {round}"
+            );
+            let victims: Vec<u64> = (0..48).map(|_| next() % (1 << 16)).collect();
+            let seq = victims
+                .iter()
+                .filter(|&&k| sequential.remove(k).is_some())
+                .count();
+            assert_eq!(batched.remove_batch(&victims), seq, "round {round}");
+        }
+        assert_eq!(batched.to_vec(), sequential.to_vec());
+    }
+
+    #[test]
+    fn single_shard_forest_degenerates_to_one_trie() {
+        let f = ShardedSkipTrie::new(
+            ShardedSkipTrieConfig::for_universe_bits(16)
+                .with_shards(1)
+                .with_seed(3),
+        );
+        assert_eq!(f.shard_count(), 1);
+        for k in 0..500u64 {
+            assert!(f.insert(k * 100, k));
+        }
+        assert_eq!(f.shard(0).len(), 500);
+        assert_eq!(f.predecessor(99), Some((0, 0)));
+        assert_eq!(f.range(..).count(), 500);
+    }
+
+    #[test]
+    fn works_on_full_64_bit_universe() {
+        let f: ShardedSkipTrie<u64> = ShardedSkipTrie::new(
+            ShardedSkipTrieConfig::for_universe_bits(64)
+                .with_shards(8)
+                .with_seed(3),
+        );
+        for key in [0u64, 1, u64::MAX, u64::MAX - 1, 1 << 63, (1 << 63) - 1] {
+            assert!(f.insert(key, key));
+        }
+        assert_eq!(f.shard_of(u64::MAX), 7);
+        assert_eq!(f.shard_of(1 << 63), 4);
+        assert_eq!(f.predecessor(u64::MAX), Some((u64::MAX, u64::MAX)));
+        assert_eq!(f.predecessor((1 << 63) + 5), Some((1 << 63, 1 << 63)));
+        assert_eq!(f.successor(2), Some(((1 << 63) - 1, (1 << 63) - 1)));
+        assert_eq!(f.pop_last(), Some((u64::MAX, u64::MAX)));
+        assert_eq!(f.pop_first(), Some((0, 0)));
+        assert_eq!(f.len(), 4);
+    }
+
+    #[test]
+    fn shards_use_isolated_epoch_domains_by_default() {
+        let f = forest(16, 8);
+        assert!(f.config().isolate_epochs);
+        for i in 0..8 {
+            let domain = f.shard(i).config().domain;
+            assert!(domain.is_some_and(|d| d >= SHARD_DOMAIN_BASE), "shard {i}");
+        }
+        let domains: std::collections::HashSet<_> =
+            (0..8).map(|i| f.shard(i).config().domain).collect();
+        assert_eq!(domains.len(), 8, "8 shards get 8 distinct domains");
+        let shared = ShardedSkipTrie::<u64>::new(
+            ShardedSkipTrieConfig::for_universe_bits(16)
+                .with_shards(4)
+                .with_shared_epoch(),
+        );
+        assert!((0..4).all(|i| shared.shard(i).config().domain.is_none()));
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds the configured universe")]
+    fn oversized_key_panics() {
+        let f = forest(8, 4);
+        f.insert(256, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn non_power_of_two_shard_count_panics() {
+        let _ = ShardedSkipTrieConfig::for_universe_bits(16).with_shards(6);
+    }
+}

@@ -58,9 +58,11 @@
 
 #![warn(missing_docs)]
 
+pub mod forest;
 mod prefix;
 mod xfast;
 
+pub use forest::{ShardedRangeIter, ShardedSkipTrie, ShardedSkipTrieConfig};
 pub use prefix::{key_bit, lcp_len, max_key, Prefix};
 pub use skiptrie_atomics::dcss::DcssMode;
 pub use skiptrie_skiplist::{
@@ -84,6 +86,10 @@ pub struct SkipTrieConfig {
     pub mode: DcssMode,
     /// Seed of the geometric height sampler (fix it for reproducible structure).
     pub seed: u64,
+    /// Epoch domain this trie pins and retires in (`None` = the process-wide default
+    /// domain). Set by [`ShardedSkipTrie`] so each shard reclaims independently; see
+    /// [`SkipTrieConfig::with_domain`].
+    pub domain: Option<usize>,
 }
 
 impl Default for SkipTrieConfig {
@@ -107,6 +113,7 @@ impl SkipTrieConfig {
             universe_bits,
             mode: DcssMode::Descriptor,
             seed: 0x5eed_5eed_5eed_5eed,
+            domain: None,
         }
     }
 
@@ -119,6 +126,19 @@ impl SkipTrieConfig {
     /// Overrides the height-sampler seed.
     pub fn with_seed(mut self, seed: u64) -> Self {
         self.seed = seed;
+        self
+    }
+
+    /// Pins this trie in epoch domain `domain` (modulo
+    /// [`crossbeam_epoch::NUM_DOMAINS`]) instead of the process-wide default.
+    ///
+    /// Every operation on the trie — skiplist traversals, x-fast-trie node
+    /// retirement, cursors — then pins and retires in that domain, so a long scan of
+    /// a domain-isolated trie never stalls reclamation of tries in other domains.
+    /// The split-ordered hash table backing the prefix map manages its *own* nodes in
+    /// the default domain (it is self-contained either way).
+    pub fn with_domain(mut self, domain: usize) -> Self {
+        self.domain = Some(domain);
         self
     }
 }
@@ -158,11 +178,11 @@ where
             (1..=64).contains(&config.universe_bits),
             "universe_bits must be between 1 and 64"
         );
-        let skiplist = SkipList::new(
-            SkipListConfig::for_universe_bits(config.universe_bits)
-                .with_mode(config.mode)
-                .with_seed(config.seed),
-        );
+        let mut list_config = SkipListConfig::for_universe_bits(config.universe_bits)
+            .with_mode(config.mode)
+            .with_seed(config.seed);
+        list_config.domain = config.domain;
+        let skiplist = SkipList::new(list_config);
         let prefixes = SplitOrderedMap::new();
         // The empty prefix ε is permanent (Algorithm 3 line 4 starts from it).
         prefixes.insert(
@@ -224,6 +244,17 @@ where
     /// the key's tower reaches the top level, its prefixes are then published in the
     /// x-fast trie (Algorithm 6).
     ///
+    /// # Examples
+    ///
+    /// ```
+    /// use skiptrie::{SkipTrie, SkipTrieConfig};
+    ///
+    /// let trie: SkipTrie<&str> = SkipTrie::new(SkipTrieConfig::for_universe_bits(32));
+    /// assert!(trie.insert(7, "seven"));
+    /// assert!(!trie.insert(7, "again"), "duplicate keys are rejected");
+    /// assert_eq!(trie.get(7), Some("seven"), "the first value is kept");
+    /// ```
+    ///
     /// # Panics
     ///
     /// Panics if `key` does not fit in the configured universe.
@@ -256,7 +287,21 @@ where
     }
 
     /// The largest key `<= key` and its value — the paper's predecessor query
-    /// (Algorithm 5: `LowestAncestor` binary search, guide walk, skiplist descent).
+    /// (Algorithm 5: `LowestAncestor` binary search, guide walk, skiplist descent),
+    /// in expected amortized `O(log log u + c)` steps.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use skiptrie::{SkipTrie, SkipTrieConfig};
+    ///
+    /// let trie: SkipTrie<&str> = SkipTrie::new(SkipTrieConfig::for_universe_bits(32));
+    /// trie.insert(10, "ten");
+    /// trie.insert(20, "twenty");
+    /// assert_eq!(trie.predecessor(15), Some((10, "ten")));
+    /// assert_eq!(trie.predecessor(20), Some((20, "twenty")), "inclusive");
+    /// assert_eq!(trie.predecessor(9), None);
+    /// ```
     ///
     /// # Panics
     ///
@@ -340,6 +385,20 @@ where
     /// the configured universe are allowed and simply match nothing above
     /// [`SkipTrie::max_key`]. The iterator holds an epoch pin for its lifetime, so
     /// chunk unbounded scans if reclamation latency matters.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use skiptrie::{SkipTrie, SkipTrieConfig};
+    ///
+    /// let trie: SkipTrie<u64> = SkipTrie::new(SkipTrieConfig::for_universe_bits(32));
+    /// for k in [5u64, 15, 25, 35] {
+    ///     trie.insert(k, k * 10);
+    /// }
+    /// let window: Vec<(u64, u64)> = trie.range(10..=30).collect();
+    /// assert_eq!(window, vec![(15, 150), (25, 250)]);
+    /// assert_eq!(trie.count_range(..), 4);
+    /// ```
     pub fn range(&self, range: impl RangeBounds<u64>) -> RangeIter<'_, V> {
         let bounds = resolve_bounds(&range);
         let mut iter = self.skiplist.range(range);
@@ -376,6 +435,19 @@ where
     /// `successor`-then-`remove` loop consumers previously hand-rolled, which re-ran
     /// the x-fast binary search on every attempt and re-searched for the key it had
     /// just found. Lost races retry on the new minimum.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use skiptrie::{SkipTrie, SkipTrieConfig};
+    ///
+    /// let queue: SkipTrie<&str> = SkipTrie::new(SkipTrieConfig::for_universe_bits(32));
+    /// queue.insert(30, "later");
+    /// queue.insert(10, "now");
+    /// assert_eq!(queue.pop_first(), Some((10, "now")), "extract-min");
+    /// assert_eq!(queue.pop_first(), Some((30, "later")));
+    /// assert_eq!(queue.pop_first(), None);
+    /// ```
     pub fn pop_first(&self) -> Option<(u64, V)> {
         let guard = self.skiplist.pin();
         loop {
@@ -425,6 +497,162 @@ where
             outcome.value
         } else {
             None
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Batched operations (one pin per batch, hints threaded op to op)
+    // ------------------------------------------------------------------
+
+    /// Picks the better of the carried hint and a fresh `LowestAncestor` result as
+    /// the start of the next search in a key-sorted batch: both are top-level nodes
+    /// with keys `<= key`, so the one with the larger key is strictly closer. The
+    /// carried hint is typically the previous op's start (or the top node the
+    /// previous insert just published, whose key is the previous — smaller — batch
+    /// key), so it never outruns `key`.
+    fn batch_start<'g>(
+        &'g self,
+        carried: Option<NodeRef<'g, V>>,
+        key: u64,
+        guard: &'g Guard,
+    ) -> NodeRef<'g, V> {
+        let fresh = self.xfast_pred(key, guard);
+        match carried {
+            Some(h) if !h.is_stopped() && h.key() >= fresh.key() => h,
+            _ => fresh,
+        }
+    }
+
+    /// Inserts every `key -> value` pair of `entries`, returning how many keys were
+    /// newly inserted (duplicates of already-present keys — and later duplicates
+    /// within the batch — are rejected exactly as by [`SkipTrie::insert`]).
+    ///
+    /// The batch is sorted by key and executed under **one** epoch pin, threading a
+    /// predecessor hint from each insertion to the next (the previous start, or the
+    /// top-level node the previous insertion just published), refreshed against a
+    /// fresh x-fast `LowestAncestor` probe per key. The outcome equals applying the
+    /// entries one at a time in slice order; each insertion still linearizes
+    /// individually — the batch as a whole is *not* atomic, and concurrent readers
+    /// may observe any prefix of it.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use skiptrie::{SkipTrie, SkipTrieConfig};
+    ///
+    /// let trie: SkipTrie<u64> = SkipTrie::new(SkipTrieConfig::for_universe_bits(32));
+    /// assert_eq!(trie.insert_batch(&[(3, 30), (1, 10), (3, 99)]), 2);
+    /// assert_eq!(trie.get(3), Some(30), "first duplicate wins, as sequentially");
+    /// ```
+    ///
+    /// # Panics
+    ///
+    /// Panics if any key does not fit in the configured universe (checked up front,
+    /// before anything is inserted).
+    pub fn insert_batch(&self, entries: &[(u64, V)]) -> usize {
+        for &(key, _) in entries {
+            self.check_key(key);
+        }
+        let mut order: Vec<usize> = (0..entries.len()).collect();
+        order.sort_by_key(|&i| entries[i].0);
+        self.insert_batch_picked(entries, &order)
+    }
+
+    /// [`SkipTrie::insert_batch`] over a pre-sorted index selection: `order` indexes
+    /// into `entries`, sorted by key (stably, so earlier duplicates win). Keys must
+    /// already be checked. The sharded forest calls this once per shard group.
+    pub(crate) fn insert_batch_picked(&self, entries: &[(u64, V)], order: &[usize]) -> usize {
+        let guard = self.skiplist.pin();
+        let mut hint: Option<NodeRef<'_, V>> = None;
+        let mut inserted = 0usize;
+        for &i in order {
+            let (key, ref value) = entries[i];
+            let start = self.batch_start(hint, key, &guard);
+            match self
+                .skiplist
+                .insert_from(key, value.clone(), Some(start), &guard)
+            {
+                skiptrie_skiplist::InsertOutcome::AlreadyPresent => {
+                    hint = Some(start);
+                }
+                skiptrie_skiplist::InsertOutcome::Inserted { top_node } => {
+                    inserted += 1;
+                    if let Some(node) = top_node {
+                        self.insert_prefixes(key, node, &guard);
+                        hint = Some(node);
+                    } else {
+                        hint = Some(start);
+                    }
+                }
+            }
+        }
+        inserted
+    }
+
+    /// Removes every key of `keys`, returning how many were present (and are now
+    /// removed). Sorted and executed under one pin with threaded hints, exactly like
+    /// [`SkipTrie::insert_batch`]; equivalent to — but faster than — calling
+    /// [`SkipTrie::remove`] per key, with each removal linearizing individually.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any key does not fit in the configured universe (checked up front,
+    /// before anything is removed).
+    pub fn remove_batch(&self, keys: &[u64]) -> usize {
+        for &key in keys {
+            self.check_key(key);
+        }
+        let mut order: Vec<usize> = (0..keys.len()).collect();
+        order.sort_unstable_by_key(|&i| keys[i]);
+        self.remove_batch_picked(keys, &order)
+    }
+
+    /// [`SkipTrie::remove_batch`] over a pre-sorted index selection (see
+    /// [`SkipTrie::insert_batch_picked`]).
+    pub(crate) fn remove_batch_picked(&self, keys: &[u64], order: &[usize]) -> usize {
+        let guard = self.skiplist.pin();
+        let mut hint: Option<NodeRef<'_, V>> = None;
+        let mut removed = 0usize;
+        for &i in order {
+            let key = keys[i];
+            let start = self.batch_start(hint, key, &guard);
+            if self.try_remove_exact(key, Some(start), &guard).is_some() {
+                removed += 1;
+            }
+            hint = Some(start);
+        }
+        removed
+    }
+
+    /// Looks up every key of `keys`, returning the values **in input order**
+    /// (`None` for absent keys). Internally sorted and executed under one pin with
+    /// threaded hints; equivalent to calling [`SkipTrie::get`] per key.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any key does not fit in the configured universe.
+    pub fn get_batch(&self, keys: &[u64]) -> Vec<Option<V>> {
+        for &key in keys {
+            self.check_key(key);
+        }
+        let mut order: Vec<usize> = (0..keys.len()).collect();
+        order.sort_by_key(|&i| keys[i]);
+        let mut out: Vec<Option<V>> = Vec::new();
+        out.resize_with(keys.len(), || None);
+        self.get_batch_picked(keys, &order, &mut out);
+        out
+    }
+
+    /// [`SkipTrie::get_batch`] over a pre-sorted index selection, writing each result
+    /// to `out[i]` for input index `i` (see [`SkipTrie::insert_batch_picked`]).
+    pub(crate) fn get_batch_picked(&self, keys: &[u64], order: &[usize], out: &mut [Option<V>]) {
+        let guard = self.skiplist.pin();
+        let mut hint: Option<NodeRef<'_, V>> = None;
+        for &i in order {
+            let key = keys[i];
+            let start = self.batch_start(hint, key, &guard);
+            out[i] = self.skiplist.get_from(key, Some(start), &guard);
+            hint = Some(start);
         }
     }
 
@@ -760,6 +988,74 @@ mod tests {
         for k in (0..4_000u64).step_by(3) {
             assert_eq!(t.contains(k), k % 6 != 0, "contains after remove {k}");
         }
+    }
+
+    #[test]
+    fn batched_ops_match_sequential_application() {
+        let batched = trie(16);
+        let sequential = trie(16);
+        let mut state = 0x00ba_7c4e_d00d_u64;
+        let mut next = || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            state
+        };
+        for round in 0..30 {
+            let entries: Vec<(u64, u64)> = (0..64)
+                .map(|_| {
+                    let k = next() % (1 << 16);
+                    (k, k.wrapping_mul(3))
+                })
+                .collect();
+            let seq_inserted = entries
+                .iter()
+                .filter(|&&(k, v)| sequential.insert(k, v))
+                .count();
+            assert_eq!(
+                batched.insert_batch(&entries),
+                seq_inserted,
+                "round {round}: insert counts diverge"
+            );
+            let keys: Vec<u64> = (0..48).map(|_| next() % (1 << 16)).collect();
+            assert_eq!(
+                batched.get_batch(&keys),
+                keys.iter().map(|&k| sequential.get(k)).collect::<Vec<_>>(),
+                "round {round}: get_batch diverges (input order)"
+            );
+            let victims: Vec<u64> = (0..32).map(|_| next() % (1 << 16)).collect();
+            let seq_removed = victims
+                .iter()
+                .filter(|&&k| sequential.remove(k).is_some())
+                .count();
+            assert_eq!(
+                batched.remove_batch(&victims),
+                seq_removed,
+                "round {round}: remove counts diverge"
+            );
+            assert_eq!(batched.len(), sequential.len(), "round {round}");
+        }
+        assert_eq!(batched.to_vec(), sequential.to_vec());
+    }
+
+    #[test]
+    fn empty_and_duplicate_batches() {
+        let t = trie(16);
+        assert_eq!(t.insert_batch(&[]), 0);
+        assert_eq!(t.remove_batch(&[]), 0);
+        assert_eq!(t.get_batch(&[]), Vec::<Option<u64>>::new());
+        // Within-batch duplicates: the first occurrence wins, as sequentially.
+        assert_eq!(t.insert_batch(&[(7, 70), (7, 71), (7, 72)]), 1);
+        assert_eq!(t.get(7), Some(70));
+        assert_eq!(t.remove_batch(&[7, 7, 7]), 1);
+        assert!(t.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds the configured universe")]
+    fn batched_oversized_key_panics_before_mutating() {
+        let t = trie(8);
+        let _ = t.insert_batch(&[(1, 1), (256, 0)]);
     }
 
     #[test]

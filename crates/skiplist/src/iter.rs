@@ -57,7 +57,7 @@
 use std::ops::{Bound, RangeBounds};
 use std::sync::atomic::Ordering;
 
-use crossbeam_epoch::{self as epoch, Guard};
+use crossbeam_epoch::Guard;
 use skiptrie_atomics::dcss::{cas_resolved, read_resolved};
 use skiptrie_atomics::tagged;
 use skiptrie_metrics::{self as metrics, Counter};
@@ -89,6 +89,22 @@ pub fn resolve_bounds(range: &impl RangeBounds<u64>) -> Option<(u64, u64)> {
 /// iteration guarantee. The cursor holds one epoch pin for its entire lifetime:
 /// memory retired while it is alive is not reclaimed until it is dropped, so
 /// unbounded scans should be chunked if reclamation latency matters.
+///
+/// # Examples
+///
+/// ```
+/// use skiptrie_skiplist::{SkipList, SkipListConfig};
+///
+/// let list: SkipList<u64> = SkipList::new(SkipListConfig::for_universe_bits(32));
+/// for k in [3u64, 1, 4, 1, 5] {
+///     list.insert(k, k * 100);
+/// }
+/// let mut cursor = list.cursor(2); // first yield: smallest key >= 2
+/// assert_eq!(cursor.next_entry(), Some((3, 300)));
+/// assert_eq!(cursor.next_key(), Some(4), "key-only advance clones no value");
+/// assert_eq!(cursor.next_entry(), Some((5, 500)));
+/// assert_eq!(cursor.next_entry(), None);
+/// ```
 pub struct Cursor<'a, V> {
     list: &'a SkipList<V>,
     guard: Guard,
@@ -123,7 +139,9 @@ where
     pub fn cursor(&self, seek: u64) -> Cursor<'_, V> {
         Cursor {
             list: self,
-            guard: epoch::pin(),
+            // `self.pin()`, not `epoch::pin()`: the cursor must pin the *list's*
+            // epoch domain or a domain-isolated list could recycle under the scan.
+            guard: self.pin(),
             top_hint: 0,
             seeded: false,
             curr: tagged::pack(self.head(0) as *const Node<V>),

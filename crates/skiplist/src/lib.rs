@@ -49,7 +49,7 @@
 #![warn(missing_docs)]
 
 pub mod height;
-mod iter;
+pub mod iter;
 mod node;
 mod ops;
 mod pool;
@@ -80,6 +80,12 @@ pub struct SkipListConfig {
     /// Seed for the per-thread geometric height sampler (deterministic workloads use
     /// a fixed seed).
     pub seed: u64,
+    /// Epoch domain this list pins and retires in (`None` = the process-wide default
+    /// domain). The sharded SkipTrie forest gives every shard its own domain so a
+    /// long scan of one shard stalls only that shard's reclamation; see
+    /// [`crossbeam_epoch::pin_domain`]. **All** access to a list goes through
+    /// [`SkipList::pin`], so the domain is applied uniformly.
+    pub domain: Option<usize>,
 }
 
 impl Default for SkipListConfig {
@@ -96,6 +102,7 @@ impl SkipListConfig {
             levels: levels_for_universe_bits(universe_bits),
             mode: DcssMode::Descriptor,
             seed: 0x5eed_5eed_5eed_5eed,
+            domain: None,
         }
     }
 
@@ -106,6 +113,7 @@ impl SkipListConfig {
             levels: 24,
             mode: DcssMode::Descriptor,
             seed: 0x5eed_5eed_5eed_5eed,
+            domain: None,
         }
     }
 
@@ -118,6 +126,13 @@ impl SkipListConfig {
     /// Overrides the height-sampler seed.
     pub fn with_seed(mut self, seed: u64) -> Self {
         self.seed = seed;
+        self
+    }
+
+    /// Pins this list in epoch domain `domain` instead of the process-wide default
+    /// (see [`SkipListConfig::domain`]).
+    pub fn with_domain(mut self, domain: usize) -> Self {
+        self.domain = Some(domain);
         self
     }
 }
@@ -256,9 +271,15 @@ where
         &self.len
     }
 
-    /// Pins the current thread, for use with the `*_from` low-level operations.
+    /// Pins the current thread in this list's epoch domain, for use with the `*_from`
+    /// low-level operations. Every internal operation pins through here, so a list
+    /// configured with [`SkipListConfig::with_domain`] is reclaimed entirely within
+    /// that domain.
     pub fn pin(&self) -> Guard {
-        epoch::pin()
+        match self.config.domain {
+            Some(d) => epoch::pin_domain(d),
+            None => epoch::pin(),
+        }
     }
 
     /// The `-∞` sentinel of the top level — the default traversal start when no hint
@@ -487,7 +508,7 @@ where
     /// * a **poisoned node** on the path — pooled nodes carry the `u64::MAX` key and a
     ///   marked-null `next`, so the walk sees either the poisoned key or a level that
     ///   ends before its tail sentinel;
-    /// * an **incarnation bump mid-examination** — [`NodePool`] recycling increments
+    /// * an **incarnation bump mid-examination** — node-pool recycling increments
     ///   the status sequence number, which must stay constant while a pinned walker
     ///   examines the node;
     /// * a **stale reuse** — a recycled node re-published at another level or key
@@ -680,6 +701,7 @@ mod tests {
             levels: 1,
             mode: DcssMode::Descriptor,
             seed: 1,
+            domain: None,
         });
         for k in [5u64, 1, 9, 3] {
             assert!(list.insert(k, k * 100));
@@ -699,6 +721,7 @@ mod tests {
             levels: 0,
             mode: DcssMode::Descriptor,
             seed: 1,
+            domain: None,
         });
     }
 }

@@ -48,6 +48,22 @@ pub fn scaled(nominal: usize) -> usize {
     ((nominal as f64 * scale()) as usize).max(16)
 }
 
+/// The shard-count knob for sharding experiments and tests (`SKIPTRIE_SHARDS`,
+/// default `default`, clamped to `1..=65536` and rounded up to a power of two —
+/// the sharded SkipTrie requires a power of two and rejects more than 2^16
+/// shards). The E10 experiment bins and the sharded stress tests read their
+/// forest width through this, so one environment variable re-shapes every
+/// sharded run.
+pub fn shards(default: usize) -> usize {
+    std::env::var("SKIPTRIE_SHARDS")
+        .ok()
+        .and_then(|v| v.parse::<usize>().ok())
+        .filter(|v| *v > 0)
+        .unwrap_or(default)
+        .min(1 << 16)
+        .next_power_of_two()
+}
+
 /// The deterministic RNG for worker `index` of a workload seeded with `seed`.
 ///
 /// Exposed so a test can precompute a sequential model of what worker `index` will do
@@ -76,6 +92,26 @@ type Job<'env> = Box<dyn FnOnce(WorkerCtx) + Send + 'env>;
 /// spawns every worker in a [`std::thread::scope`], releases them through a shared
 /// [`Barrier`] so they contend from the first operation, and joins them all (a worker
 /// panic propagates and fails the test).
+///
+/// # Examples
+///
+/// A heterogeneous mix — two writers and one reader, all barrier-started:
+///
+/// ```
+/// use skiptrie_workloads::harness::Workload;
+/// use std::sync::atomic::{AtomicU64, Ordering};
+///
+/// let hits = AtomicU64::new(0);
+/// Workload::new(7)
+///     .workers(2, |mut ctx| {
+///         // ctx.rng is deterministic per (seed, ctx.index).
+///         hits.fetch_add(ctx.rng.next() % 5, Ordering::Relaxed);
+///     })
+///     .worker(|ctx| {
+///         assert_eq!(ctx.index, 2, "role groups continue the numbering");
+///     })
+///     .run();
+/// ```
 #[must_use = "call .run() to execute the workload"]
 pub struct Workload<'env> {
     seed: u64,
@@ -174,6 +210,21 @@ mod tests {
     fn scaled_has_a_floor_and_tracks_scale() {
         assert!(scaled(0) >= 16);
         assert!(scaled(10_000) >= 16);
+    }
+
+    #[test]
+    fn shards_defaults_and_rounds_to_a_power_of_two() {
+        // The env var is process-global, so only exercise the default path (other
+        // tests in this binary run concurrently); the rounding is pure.
+        if std::env::var("SKIPTRIE_SHARDS").is_err() {
+            assert_eq!(shards(8), 8);
+            assert_eq!(shards(6), 8, "defaults are rounded up too");
+            assert_eq!(shards(1), 1);
+            // Clamped to the forest's 2^16 ceiling before rounding (a huge env
+            // value must not panic the forest constructor — or the rounding).
+            assert_eq!(shards(100_000), 1 << 16);
+            assert_eq!(shards(usize::MAX), 1 << 16);
+        }
     }
 
     #[test]

@@ -54,6 +54,21 @@ pub enum KeyDist {
         /// Number of distinct keys in the working set.
         working_set: u64,
     },
+    /// Zipf-distributed **shard index**, uniform key *within* the chosen shard's
+    /// slice of the universe: shard `r` (of `shards` equal slices by top key bits,
+    /// shard 0 hottest) is drawn with Zipf(`theta`) probability, then the low bits
+    /// are uniform. This is the sharding experiment's (E10) skew axis: with
+    /// `theta = 0` traffic spreads evenly and sharding collapses contention; as
+    /// `theta → 1` most traffic lands in shard 0 and a sharded structure degrades
+    /// back toward a single contended trie — making the contention collapse
+    /// *measurable* rather than assumed.
+    ShardSkewedZipf {
+        /// Number of equal universe slices (must be a power of two, at most
+        /// `2^universe_bits`).
+        shards: u64,
+        /// Skew parameter `theta` (0 = uniform over shards, 0.99 = heavily skewed).
+        theta: f64,
+    },
 }
 
 impl KeyDist {
@@ -86,6 +101,20 @@ impl KeyDist {
                 // the multiplier is odd).
                 index.wrapping_mul(0x9E37_79B9_7F4A_7C15) & max
             }
+            KeyDist::ShardSkewedZipf { shards, .. } => {
+                let shards = shards.max(1).next_power_of_two();
+                let shard_bits = shards.trailing_zeros().min(universe_bits);
+                let shard = zipf.expect("zipf sampler prepared").sample(rng);
+                let low_bits = universe_bits - shard_bits;
+                // `low_bits == 64` means a single shard over the full 64-bit
+                // universe: the shard index is 0 and the shift would overflow.
+                if low_bits >= 64 {
+                    rng.next()
+                } else {
+                    let low = rng.next() & ((1u64 << low_bits) - 1);
+                    ((shard << low_bits) | low) & max
+                }
+            }
         }
     }
 
@@ -93,6 +122,9 @@ impl KeyDist {
     pub fn prepare(&self) -> Option<Zipf> {
         match *self {
             KeyDist::Zipfian { hot_range, theta } => Some(Zipf::new(hot_range.max(1), theta)),
+            KeyDist::ShardSkewedZipf { shards, theta } => {
+                Some(Zipf::new(shards.max(1).next_power_of_two(), theta))
+            }
             _ => None,
         }
     }
@@ -381,6 +413,10 @@ mod tests {
             },
             KeyDist::HotRange { range: 64 },
             KeyDist::ScatteredSet { working_set: 500 },
+            KeyDist::ShardSkewedZipf {
+                shards: 8,
+                theta: 0.9,
+            },
         ] {
             let zipf = dist.prepare();
             for _ in 0..10_000 {
@@ -408,6 +444,65 @@ mod tests {
             span > 1 << 30,
             "keys are spread across the universe: {span}"
         );
+    }
+
+    #[test]
+    fn shard_skewed_zipf_concentrates_on_low_shards() {
+        let universe_bits = 20u32;
+        let shards = 8u64;
+        let dist = KeyDist::ShardSkewedZipf { shards, theta: 0.9 };
+        let zipf = dist.prepare();
+        let mut rng = SplitMix64::new(17);
+        let mut per_shard = [0usize; 8];
+        let draws = 40_000;
+        for _ in 0..draws {
+            let k = dist.sample(&mut rng, zipf.as_ref(), universe_bits);
+            assert!(k < (1 << universe_bits));
+            per_shard[(k >> (universe_bits - 3)) as usize] += 1;
+        }
+        // Every shard sees some traffic (uniform low bits within a shard), but the
+        // hottest shard dominates under theta = 0.9.
+        assert!(per_shard.iter().all(|&c| c > 0), "{per_shard:?}");
+        assert!(
+            per_shard[0] > draws / 4,
+            "shard 0 should dominate: {per_shard:?}"
+        );
+        // Zipf(theta = 0.9) over 8 ranks puts ~n^0.9 ≈ 6.5x more mass on rank 0
+        // than rank 7.
+        assert!(
+            per_shard[0] > 4 * per_shard[7],
+            "skew must be steep: {per_shard:?}"
+        );
+        // theta = 0 degrades to (roughly) uniform shard traffic.
+        let flat = KeyDist::ShardSkewedZipf { shards, theta: 0.0 };
+        let zipf = flat.prepare();
+        let mut per_shard = [0usize; 8];
+        for _ in 0..draws {
+            let k = flat.sample(&mut rng, zipf.as_ref(), universe_bits);
+            per_shard[(k >> (universe_bits - 3)) as usize] += 1;
+        }
+        let (lo, hi) = (draws / 8 / 2, draws / 8 * 2);
+        assert!(
+            per_shard.iter().all(|&c| (lo..hi).contains(&c)),
+            "theta=0 is near-uniform: {per_shard:?}"
+        );
+    }
+
+    #[test]
+    fn shard_skewed_zipf_single_shard_full_universe() {
+        // Regression: shards = 1 over a 64-bit universe means low_bits = 64; the
+        // shard shift must not execute (debug-build shift overflow).
+        let dist = KeyDist::ShardSkewedZipf {
+            shards: 1,
+            theta: 0.9,
+        };
+        let zipf = dist.prepare();
+        let mut rng = SplitMix64::new(23);
+        let mut distinct = std::collections::HashSet::new();
+        for _ in 0..100 {
+            distinct.insert(dist.sample(&mut rng, zipf.as_ref(), 64));
+        }
+        assert!(distinct.len() > 90, "keys span the full universe");
     }
 
     #[test]

@@ -4,6 +4,8 @@
 //! and the cross-crate integration tests in `/tests`. It simply re-exports the
 //! member crates so that examples and tests can use a single import root.
 
+#![warn(missing_docs)]
+
 pub use skiptrie;
 pub use skiptrie_atomics as atomics;
 pub use skiptrie_baselines as baselines;

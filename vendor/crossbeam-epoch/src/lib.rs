@@ -1,6 +1,9 @@
 //! A lock-free epoch-based memory reclamation scheme exposing the subset of the
 //! `crossbeam-epoch` API this workspace uses: [`pin`], [`Guard`],
-//! [`Guard::defer_unchecked`], [`Guard::flush`], and [`Guard::repin`].
+//! [`Guard::defer_unchecked`], [`Guard::flush`], and [`Guard::repin`] — plus
+//! [`pin_domain`], a fixed pool of **independent epoch domains** (the moral
+//! equivalent of upstream crossbeam's `Collector`, statically allocated so domains
+//! are immortal and the hot path stays allocation- and lock-free).
 //!
 //! This crate is vendored because the build environment has no access to a crates.io
 //! registry. It is a from-scratch implementation of the design the real
@@ -15,14 +18,14 @@
 //!   records. Registration claims a retired record with a CAS on its `in_use` flag or
 //!   prepends a freshly leaked one with a CAS on the list head. Removal on thread
 //!   exit is *lazy*: the record is only flagged unused (never unlinked or freed), so
-//!   concurrent [`try_advance`](Global::try_advance) scans can traverse the list
+//!   concurrent `try_advance` scans can traverse the list
 //!   without any protection — records are immortal and the list only ever grows to
 //!   the maximum number of concurrently live threads.
 //! * **Per-thread garbage bags.** [`Guard::defer_unchecked`] pushes the closure into
 //!   an unsynchronized thread-local bag. When the bag fills (or on [`Guard::flush`]
 //!   and thread exit) it is *sealed* with the global epoch observed at that moment
 //!   and pushed onto a global Treiber stack of sealed bags with a single CAS.
-//! * **Amortized collection, piggybacked on pin.** Every [`PIN_INTERVAL`]-th pin (and
+//! * **Amortized collection, piggybacked on pin.** Every `PIN_INTERVAL`-th pin (and
 //!   every flush) attempts an epoch advance and then collects: it steals the whole
 //!   sealed-bag stack with one `swap`, runs every bag sealed at epoch `e` such that
 //!   `e + 2 <= global`, and pushes the rest back. Unpinning is a single release
@@ -40,17 +43,17 @@
 //!    announcement visible before any subsequent read of shared memory, so an
 //!    advancing thread either observes the announcement or the pinning thread
 //!    observes the newer epoch and re-announces.
-//! 2. **Sealing** ([`Global::push_sealed`]): a `SeqCst` fence orders every unlink CAS
+//! 2. **Sealing** (`Global::push_sealed`): a `SeqCst` fence orders every unlink CAS
 //!    performed by the retiring thread before the `Relaxed` load of the epoch the bag
 //!    is sealed with — a reader that obtained the unlinked object must therefore have
 //!    pinned an epoch the seal does not postdate by more than one advance.
-//! 3. **Advance** ([`Global::try_advance`]): the global epoch is loaded `Relaxed`, a
+//! 3. **Advance** (`Global::try_advance`): the global epoch is loaded `Relaxed`, a
 //!    `SeqCst` fence orders that load before the `Relaxed` participant scans, and an
 //!    `Acquire` fence before the final `Release` CAS makes everything the scanned
 //!    participants published visible to whoever observes the new epoch.
 //!
 //! Everything else is plain acquire/release: unpin is a `Release` store of
-//! [`INACTIVE`]; Treiber-stack pushes are `Release` CASes matched by an `Acquire`
+//! `INACTIVE`; Treiber-stack pushes are `Release` CASes matched by an `Acquire`
 //! swap in the collector; participant claim/release are an `Acquire` CAS matched by a
 //! `Release` store.
 //!
@@ -63,13 +66,35 @@
 //! object in the bag was pinned when that object was unlinked, i.e. at some epoch
 //! `r <= p + 1 <= s + 1`. Reaching `global >= s + 2` therefore required an advance
 //! past `r + 1`, which that reader — had it remained pinned — would have blocked.
+//!
+//! # Epoch domains
+//!
+//! The scheme above is instantiated [`NUM_DOMAINS`] times over a static array of
+//! fully independent `Global`s: separate epoch counters, participant registries, and
+//! garbage queues, so domains never contend on a shared cache line. [`pin`] pins the
+//! **default domain** (index 0), which is what every structure uses unless told
+//! otherwise; [`pin_domain`]`(d)` pins domain `d % NUM_DOMAINS`. A [`Guard`]
+//! remembers the domain it was pinned in, and `defer_unchecked`/`flush`/`repin`
+//! operate on that domain.
+//!
+//! The safety contract is **per domain**: garbage retired under a guard of domain
+//! `d` is reclaimed once no thread holds a pin *of domain `d`* — pins of other
+//! domains do not protect it. A data structure is safe as long as all of its
+//! operations (readers and retirers alike) pin the *same* domain, which is exactly
+//! how the sharded SkipTrie forest assigns one domain per shard: a long scan of one
+//! shard then stalls only that shard's reclamation, and shards never serialize on a
+//! shared epoch counter or garbage stack. Pins of different domains nest freely.
 
 #![warn(missing_docs)]
 
-use std::cell::{Cell, RefCell};
+use std::cell::{Cell, OnceCell, RefCell};
 use std::marker::PhantomData;
 use std::ptr;
 use std::sync::atomic::{self, AtomicBool, AtomicPtr, AtomicUsize, Ordering};
+
+/// Number of independent epoch domains (see the crate docs). Domain 0 is the default
+/// domain that [`pin`] uses; [`pin_domain`] indexes the rest modulo this constant.
+pub const NUM_DOMAINS: usize = 32;
 
 /// Sentinel meaning "this participant is not currently pinned".
 const INACTIVE: usize = usize::MAX;
@@ -105,10 +130,10 @@ struct SealedBag {
 /// the record with a CAS (lazy removal). This keeps the advance scan safe without any
 /// memory protection for the list itself.
 struct Participant {
-    /// The epoch this thread is pinned in, or [`INACTIVE`].
+    /// The epoch this thread is pinned in, or `INACTIVE`.
     epoch: AtomicUsize,
     /// Claimed by a live thread. Claim: CAS `false -> true` (Acquire). Release: store
-    /// `false` (Release) after storing [`INACTIVE`].
+    /// `false` (Release) after storing `INACTIVE`.
     in_use: AtomicBool,
     /// Next record in the registry; written once before the prepend CAS publishes it.
     next: AtomicPtr<Participant>,
@@ -129,14 +154,22 @@ struct Global {
     collected_at: AtomicUsize,
 }
 
-static GLOBAL: Global = Global {
-    epoch: AtomicUsize::new(0),
-    participants: AtomicPtr::new(ptr::null_mut()),
-    garbage: AtomicPtr::new(ptr::null_mut()),
-    collected_at: AtomicUsize::new(usize::MAX),
-};
+/// The independent epoch domains. Statically allocated: domains are immortal, so the
+/// participant registries stay traversable without protection and a domain can never
+/// disappear under garbage still queued in it (late garbage is simply collected by
+/// the next thread to pin that domain).
+static GLOBALS: [Global; NUM_DOMAINS] = [const { Global::new() }; NUM_DOMAINS];
 
 impl Global {
+    const fn new() -> Global {
+        Global {
+            epoch: AtomicUsize::new(0),
+            participants: AtomicPtr::new(ptr::null_mut()),
+            garbage: AtomicPtr::new(ptr::null_mut()),
+            collected_at: AtomicUsize::new(usize::MAX),
+        }
+    }
+
     /// Claims a retired participant record or registers a fresh one (lock-free).
     fn register(&self) -> &'static Participant {
         // First try to reuse a record abandoned by an exited thread.
@@ -282,6 +315,8 @@ impl Global {
 }
 
 struct LocalHandle {
+    /// The domain this handle participates in.
+    global: &'static Global,
     participant: &'static Participant,
     pin_depth: Cell<usize>,
     pins_since_collect: Cell<usize>,
@@ -289,9 +324,10 @@ struct LocalHandle {
 }
 
 impl LocalHandle {
-    fn register() -> LocalHandle {
+    fn register(global: &'static Global) -> LocalHandle {
         LocalHandle {
-            participant: GLOBAL.register(),
+            global,
+            participant: global.register(),
             pin_depth: Cell::new(0),
             pins_since_collect: Cell::new(0),
             bag: RefCell::new(Vec::new()),
@@ -301,10 +337,10 @@ impl LocalHandle {
     /// Publishes the current global epoch in this thread's slot (crate docs, item 1).
     fn publish_epoch(&self) {
         loop {
-            let e = GLOBAL.epoch.load(Ordering::Relaxed);
+            let e = self.global.epoch.load(Ordering::Relaxed);
             self.participant.epoch.store(e, Ordering::Relaxed);
             atomic::fence(Ordering::SeqCst);
-            if GLOBAL.epoch.load(Ordering::Relaxed) == e {
+            if self.global.epoch.load(Ordering::Relaxed) == e {
                 break;
             }
         }
@@ -313,7 +349,7 @@ impl LocalHandle {
     /// Seals and publishes the thread-local bag (no-op when empty).
     fn seal_and_push(&self) {
         let deferreds = std::mem::take(&mut *self.bag.borrow_mut());
-        GLOBAL.push_sealed(deferreds);
+        self.global.push_sealed(deferreds);
     }
 }
 
@@ -331,15 +367,42 @@ impl Drop for LocalHandle {
 }
 
 thread_local! {
-    static LOCAL: LocalHandle = LocalHandle::register();
+    /// One lazily-registered local handle per domain. The whole array is dropped at
+    /// thread exit, sealing each initialized domain's bag and releasing its
+    /// participant record.
+    static LOCALS: [OnceCell<LocalHandle>; NUM_DOMAINS] =
+        const { [const { OnceCell::new() }; NUM_DOMAINS] };
 }
 
-/// Pins the current thread, preventing any object retired from now on from being
-/// reclaimed until the returned [`Guard`] is dropped. Pins nest. Lock-free; every
-/// [`PIN_INTERVAL`]-th outermost pin also attempts an epoch advance and collects
-/// ready garbage.
+/// Runs `f` with this thread's local handle for `domain`, registering it on first
+/// use. Returns `None` during thread-local teardown (the caller falls back to
+/// pushing garbage straight to the domain's global queue).
+fn with_local<R>(domain: usize, f: impl FnOnce(&LocalHandle) -> R) -> Option<R> {
+    LOCALS
+        .try_with(
+            |locals| f(locals[domain].get_or_init(|| LocalHandle::register(&GLOBALS[domain]))),
+        )
+        .ok()
+}
+
+/// Pins the current thread in the **default domain** (domain 0), preventing any
+/// object retired in that domain from now on from being reclaimed until the returned
+/// [`Guard`] is dropped. Pins nest. Lock-free; every `PIN_INTERVAL`-th outermost
+/// pin also attempts an epoch advance and collects ready garbage.
 pub fn pin() -> Guard {
-    LOCAL.with(|local| {
+    pin_domain(0)
+}
+
+/// Pins the current thread in domain `domain % NUM_DOMAINS` (see the crate docs on
+/// epoch domains). Identical protocol to [`pin`], against that domain's own epoch
+/// counter, participant registry, and garbage queue. Pins of different domains nest
+/// freely and protect only retirements of their own domain.
+pub fn pin_domain(domain: usize) -> Guard {
+    let domain = domain % NUM_DOMAINS;
+    // `with` (not `try_with`): pinning during thread-local teardown cannot protect
+    // anything and must fail loudly rather than hand out a vacuous guard.
+    LOCALS.with(|locals| {
+        let local = locals[domain].get_or_init(|| LocalHandle::register(&GLOBALS[domain]));
         let depth = local.pin_depth.get();
         local.pin_depth.set(depth + 1);
         if depth == 0 {
@@ -347,20 +410,24 @@ pub fn pin() -> Guard {
             let pins = local.pins_since_collect.get() + 1;
             if pins >= PIN_INTERVAL {
                 local.pins_since_collect.set(0);
-                GLOBAL.collect();
+                local.global.collect();
             } else {
                 local.pins_since_collect.set(pins);
             }
         }
     });
     Guard {
+        domain,
         _not_send: PhantomData,
     }
 }
 
-/// A pinned-thread token; objects retired while any guard exists anywhere are only
-/// reclaimed once the epoch protocol proves no pinned thread can still reach them.
+/// A pinned-thread token; objects retired in the guard's domain while any guard of
+/// that domain exists anywhere are only reclaimed once the epoch protocol proves no
+/// thread pinned in that domain can still reach them.
 pub struct Guard {
+    /// The domain this guard pinned (index into [`GLOBALS`]).
+    domain: usize,
     /// Guards reference thread-local state and must not cross threads.
     _not_send: PhantomData<*mut ()>,
 }
@@ -390,7 +457,7 @@ impl Guard {
         let call: Box<dyn FnOnce() + 'static> =
             unsafe { std::mem::transmute::<Box<dyn FnOnce() + '_>, Box<dyn FnOnce()>>(call) };
         let mut slot = Some(Deferred { call });
-        let _ = LOCAL.try_with(|local| {
+        with_local(self.domain, |local| {
             let full = {
                 let mut bag = local.bag.borrow_mut();
                 bag.push(slot.take().expect("deferred moved twice"));
@@ -402,24 +469,25 @@ impl Guard {
         });
         if let Some(deferred) = slot {
             // Thread-local teardown: the handle is gone, so publish a single-item
-            // sealed bag directly.
-            GLOBAL.push_sealed(vec![deferred]);
+            // sealed bag directly to this guard's domain.
+            GLOBALS[self.domain].push_sealed(vec![deferred]);
         }
     }
 
-    /// Seals and publishes this thread's garbage bag, attempts an epoch advance, and
-    /// runs any deferred closures that became safe. Unlike the pre-rewrite version,
-    /// `flush` *does* advance the epoch, so a single-threaded program that defers and
-    /// then flushes a few times always reclaims (regression-tested).
+    /// Seals and publishes this thread's garbage bag for the guard's domain, attempts
+    /// an epoch advance, and runs any deferred closures that became safe. Unlike the
+    /// pre-rewrite version, `flush` *does* advance the epoch, so a single-threaded
+    /// program that defers and then flushes a few times always reclaims
+    /// (regression-tested).
     pub fn flush(&self) {
-        let _ = LOCAL.try_with(|local| local.seal_and_push());
-        GLOBAL.collect();
+        with_local(self.domain, |local| local.seal_and_push());
+        GLOBALS[self.domain].collect();
     }
 
-    /// Unpins and immediately re-pins the thread, allowing the epoch to advance past
-    /// any value this guard was holding back.
+    /// Unpins and immediately re-pins the thread in the guard's domain, allowing
+    /// that domain's epoch to advance past any value this guard was holding back.
     pub fn repin(&mut self) {
-        let _ = LOCAL.try_with(|local| {
+        with_local(self.domain, |local| {
             if local.pin_depth.get() == 1 {
                 local.participant.epoch.store(INACTIVE, Ordering::Release);
                 local.publish_epoch();
@@ -430,9 +498,10 @@ impl Guard {
 
 impl Drop for Guard {
     fn drop(&mut self) {
-        // `try_with`: the guard may be dropped during thread-local teardown, after
-        // LOCAL itself was destroyed (its Drop already marked the slot inactive).
-        let _ = LOCAL.try_with(|local| {
+        // `with_local` is `try_with`-based: the guard may be dropped during
+        // thread-local teardown, after LOCALS itself was destroyed (its Drop already
+        // marked every initialized slot inactive).
+        with_local(self.domain, |local| {
             let depth = local.pin_depth.get();
             debug_assert!(depth > 0, "guard dropped while not pinned");
             local.pin_depth.set(depth - 1);
@@ -450,14 +519,22 @@ mod tests {
     use std::sync::atomic::AtomicUsize;
     use std::sync::Arc;
 
-    /// The epoch this thread is currently pinned at (test helper; INACTIVE if not).
+    /// The default domain (what bare [`pin`] uses) — the pre-domain tests all run
+    /// against it.
+    fn global() -> &'static Global {
+        &GLOBALS[0]
+    }
+
+    /// The epoch this thread is currently pinned at in domain 0 (test helper;
+    /// INACTIVE if not).
     fn my_pin_epoch() -> usize {
-        LOCAL.with(|local| local.participant.epoch.load(Ordering::Relaxed))
+        with_local(0, |local| local.participant.epoch.load(Ordering::Relaxed))
+            .expect("thread-local alive")
     }
 
     fn participant_count() -> usize {
         let mut n = 0;
-        let mut curr = GLOBAL.participants.load(Ordering::Acquire);
+        let mut curr = global().participants.load(Ordering::Acquire);
         while let Some(p) = unsafe { curr.as_ref() } {
             n += 1;
             curr = p.next.load(Ordering::Relaxed);
@@ -518,12 +595,12 @@ mod tests {
         assert_ne!(p, INACTIVE);
         std::thread::spawn(|| {
             for _ in 0..256 {
-                GLOBAL.try_advance();
+                global().try_advance();
             }
         })
         .join()
         .unwrap();
-        let global = GLOBAL.epoch.load(Ordering::SeqCst);
+        let global = global().epoch.load(Ordering::SeqCst);
         assert!(
             global <= p.wrapping_add(1),
             "global epoch {global} advanced past pinned epoch {p} + 1"
@@ -542,7 +619,7 @@ mod tests {
             let observed = Arc::clone(&observed);
             unsafe {
                 g.defer_unchecked(move || {
-                    observed.store(GLOBAL.epoch.load(Ordering::SeqCst), Ordering::SeqCst)
+                    observed.store(global().epoch.load(Ordering::SeqCst), Ordering::SeqCst)
                 });
             }
             g.flush();
@@ -575,7 +652,7 @@ mod tests {
         // Drive the epoch forward from another thread; our repin must re-announce.
         std::thread::spawn(|| {
             for _ in 0..8 {
-                GLOBAL.try_advance();
+                global().try_advance();
             }
         })
         .join()
@@ -612,6 +689,89 @@ mod tests {
             "registry grew by {grown} records over {rounds} sequential threads — \
              exited participants are not being reused"
         );
+    }
+
+    /// Pin+flush a specific domain until `done` holds (the domain-aware twin of
+    /// [`drain_until`]).
+    fn drain_domain_until(domain: usize, mut done: impl FnMut() -> bool) -> bool {
+        for _ in 0..10_000 {
+            pin_domain(domain).flush();
+            if done() {
+                return true;
+            }
+            std::thread::yield_now();
+        }
+        done()
+    }
+
+    #[test]
+    fn pin_domain_wraps_modulo() {
+        let g = pin_domain(NUM_DOMAINS + 3);
+        assert_eq!(g.domain, 3);
+        let h = pin_domain(3);
+        assert_eq!(h.domain, 3);
+    }
+
+    #[test]
+    fn domains_reclaim_independently() {
+        static RAN: AtomicUsize = AtomicUsize::new(0);
+        // Use two domains nobody else in this test binary touches.
+        let (d1, d2) = (21, 22);
+        {
+            let g = pin_domain(d1);
+            unsafe { g.defer_unchecked(|| RAN.fetch_add(1, Ordering::SeqCst)) };
+        }
+        // Flushing a *different* domain must never run d1's garbage.
+        for _ in 0..64 {
+            pin_domain(d2).flush();
+        }
+        assert_eq!(
+            RAN.load(Ordering::SeqCst),
+            0,
+            "domain {d2} collected domain {d1}'s garbage"
+        );
+        assert!(drain_domain_until(d1, || RAN.load(Ordering::SeqCst) == 1));
+        assert_eq!(RAN.load(Ordering::SeqCst), 1, "ran more than once");
+    }
+
+    /// A guard held in one domain must not stall reclamation in another — the whole
+    /// point of per-shard domains.
+    #[test]
+    fn pinned_domain_does_not_block_other_domains() {
+        static RAN: AtomicUsize = AtomicUsize::new(0);
+        let (held, free) = (23, 24);
+        let _blocker = pin_domain(held);
+        {
+            let g = pin_domain(free);
+            unsafe { g.defer_unchecked(|| RAN.fetch_add(1, Ordering::SeqCst)) };
+        }
+        // Still holding `held`'s pin: `free` must reclaim regardless.
+        assert!(drain_domain_until(free, || RAN.load(Ordering::SeqCst) == 1));
+    }
+
+    /// The per-domain protocol invariant, per domain: a thread pinned in domain `d`
+    /// caps *that domain's* epoch at `p + 1` while other domains advance freely.
+    #[test]
+    fn pin_blocks_only_its_own_domains_epoch() {
+        let (da, db) = (25, 26);
+        let guard = pin_domain(da);
+        let pa = with_local(da, |l| l.participant.epoch.load(Ordering::Relaxed)).unwrap();
+        std::thread::spawn(move || {
+            for _ in 0..256 {
+                GLOBALS[da].try_advance();
+                GLOBALS[db].try_advance();
+            }
+        })
+        .join()
+        .unwrap();
+        let ea = GLOBALS[da].epoch.load(Ordering::SeqCst);
+        let eb = GLOBALS[db].epoch.load(Ordering::SeqCst);
+        assert!(
+            ea <= pa.wrapping_add(1),
+            "pinned domain advanced: {ea} > {pa}+1"
+        );
+        assert!(eb >= 64, "unpinned domain failed to advance: {eb}");
+        drop(guard);
     }
 
     #[test]
