@@ -1,0 +1,66 @@
+//! Criterion benchmark mirroring experiment E11: single-owner bulk load versus the
+//! concurrent insert protocol, and the snapshot/restore round trip.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use skiptrie::{ShardedSkipTrie, ShardedSkipTrieConfig, SkipTrie, SkipTrieConfig};
+
+const UNIVERSE_BITS: u32 = 32;
+
+fn entries(n: usize) -> Vec<(u64, u64)> {
+    // Strictly increasing, spread over the universe.
+    (0..n as u64).map(|k| (k * 21_001 + 5, k)).collect()
+}
+
+fn bench_cold_start(c: &mut Criterion) {
+    let mut group = c.benchmark_group("bulk_ingest_u32");
+    for &n in &[10_000usize, 50_000] {
+        let input = entries(n);
+        group.throughput(Throughput::Elements(n as u64));
+        group.bench_with_input(BenchmarkId::new("bulk_load", n), &input, |b, input| {
+            b.iter(|| {
+                SkipTrie::<u64>::from_sorted(
+                    SkipTrieConfig::for_universe_bits(UNIVERSE_BITS),
+                    input.iter().copied(),
+                )
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("sorted-loop", n), &input, |b, input| {
+            b.iter(|| {
+                let trie = SkipTrie::new(SkipTrieConfig::for_universe_bits(UNIVERSE_BITS));
+                for &(k, v) in input {
+                    trie.insert(k, v);
+                }
+                trie
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("forest8-bulk", n), &input, |b, input| {
+            b.iter(|| {
+                ShardedSkipTrie::<u64>::from_sorted(
+                    ShardedSkipTrieConfig::for_universe_bits(UNIVERSE_BITS).with_shards(8),
+                    input,
+                )
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_snapshot(c: &mut Criterion) {
+    let input = entries(50_000);
+    let trie: SkipTrie<u64> = SkipTrie::from_sorted(
+        SkipTrieConfig::for_universe_bits(UNIVERSE_BITS),
+        input.iter().copied(),
+    );
+    let forest: ShardedSkipTrie<u64> = ShardedSkipTrie::from_sorted(
+        ShardedSkipTrieConfig::for_universe_bits(UNIVERSE_BITS).with_shards(8),
+        &input,
+    );
+    let mut group = c.benchmark_group("snapshot_50k_u32");
+    group.throughput(Throughput::Elements(input.len() as u64));
+    group.bench_function("skiptrie", |b| b.iter(|| trie.snapshot()));
+    group.bench_function("forest8", |b| b.iter(|| forest.snapshot()));
+    group.finish();
+}
+
+criterion_group!(benches, bench_cold_start, bench_snapshot);
+criterion_main!(benches);

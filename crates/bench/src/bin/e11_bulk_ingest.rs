@@ -1,0 +1,255 @@
+//! Experiment E11 — bulk load and checkpoint/restore: single-owner `O(n)`
+//! construction vs the concurrent insert protocol.
+//!
+//! Production systems do not start empty: they restore a checkpoint, then serve.
+//! Before this subsystem, restoring `n` keys meant `n` full concurrent `insert`
+//! calls — per key an x-fast binary search, a multi-level descent, CAS retry loops
+//! and DCSS-guarded raises — paid even though the caller holds the data pre-sorted
+//! and nobody else is looking. `bulk_load` lays the towers out with plain appends
+//! instead.
+//!
+//! Four tables:
+//!
+//! * **E11a** — trie cold-start ingest of `n` sorted entries: `bulk_load` vs the
+//!   one-at-a-time *sorted* insert loop (the locality ceiling PR 4 measured as the
+//!   honest batching baseline) vs a single giant `insert_batch` vs the unsorted
+//!   loop. The headline ratio (`bulk_load` over the sorted loop) is the PR's
+//!   acceptance criterion (`>= 3x`).
+//! * **E11b** — forest ingest across shard counts: parallel per-shard `bulk_load`
+//!   vs the sorted insert loop on the same forest geometry.
+//! * **E11c** — checkpoint/restore round trip: `snapshot()` cost and
+//!   `from_sorted(snapshot)` cost, trie and forest.
+//! * **E11d** — ingest-then-serve (the new workload family): time-to-ready for
+//!   both ingest methods, then READ_HEAVY serve throughput on the restored forest.
+
+use skiptrie::{ShardedSkipTrie, ShardedSkipTrieConfig, SkipTrie, SkipTrieConfig};
+use skiptrie_bench::{max_threads, print_table, run_throughput, scaled, write_json_summary};
+use skiptrie_metrics::Stopwatch;
+use skiptrie_workloads::{SplitMix64, WorkloadSpec};
+
+const UNIVERSE_BITS: u32 = 32;
+
+fn ns_per_key(total_ns: u128, keys: usize) -> f64 {
+    total_ns as f64 / keys.max(1) as f64
+}
+
+/// Best-of-`reps` wall time for a cold-start build: construction noise (allocator
+/// state, scheduler interference on shared hosts) is strictly additive, so the
+/// minimum is the honest estimate of the method's cost.
+fn best_ns_per_key(reps: usize, keys: usize, mut build: impl FnMut()) -> f64 {
+    let mut best = f64::INFINITY;
+    for _ in 0..reps {
+        let sw = Stopwatch::start();
+        build();
+        best = best.min(ns_per_key(sw.elapsed().as_nanos(), keys));
+    }
+    best
+}
+
+/// Sorted, strictly increasing (key, value) entries spread over the universe.
+fn sorted_entries(n: usize, seed: u64) -> Vec<(u64, u64)> {
+    WorkloadSpec::ingest_then_serve(UNIVERSE_BITS, n, 0, 1, seed).sorted_prefill_entries()
+}
+
+fn trie_config() -> SkipTrieConfig {
+    SkipTrieConfig::for_universe_bits(UNIVERSE_BITS)
+}
+
+fn trie_cold_start(entries: &[(u64, u64)], reps: usize) -> f64 {
+    let n = entries.len();
+    let mut rows = Vec::new();
+
+    let bulk_ns = best_ns_per_key(reps, n, || {
+        let bulk: SkipTrie<u64> = SkipTrie::from_sorted(trie_config(), entries.iter().copied());
+        assert_eq!(bulk.len(), n);
+    });
+
+    let sorted_ns = best_ns_per_key(reps, n, || {
+        let sorted_loop = SkipTrie::new(trie_config());
+        for &(k, v) in entries {
+            sorted_loop.insert(k, v);
+        }
+    });
+
+    let batch_ns = best_ns_per_key(reps, n, || {
+        let batched = SkipTrie::new(trie_config());
+        batched.insert_batch(entries);
+    });
+
+    // The unsorted loop is what a caller without pre-sorted data pays (for context;
+    // key set identical, order shuffled deterministically).
+    let mut shuffled: Vec<(u64, u64)> = entries.to_vec();
+    let mut rng = SplitMix64::new(0xE11A);
+    for i in (1..shuffled.len()).rev() {
+        shuffled.swap(i, (rng.next() % (i as u64 + 1)) as usize);
+    }
+    let unsorted_ns = best_ns_per_key(reps, n, || {
+        let unsorted_loop = SkipTrie::new(trie_config());
+        for &(k, v) in &shuffled {
+            unsorted_loop.insert(k, v);
+        }
+    });
+
+    // The two construction paths must agree observationally.
+    let bulk: SkipTrie<u64> = SkipTrie::from_sorted(trie_config(), entries.iter().copied());
+    let sorted_loop = SkipTrie::new(trie_config());
+    for &(k, v) in entries {
+        sorted_loop.insert(k, v);
+    }
+    assert_eq!(
+        bulk.to_vec(),
+        sorted_loop.to_vec(),
+        "same resulting contents"
+    );
+    let headline = sorted_ns / bulk_ns.max(f64::EPSILON);
+    for (method, ns) in [
+        ("bulk_load", bulk_ns),
+        ("insert loop (sorted)", sorted_ns),
+        ("insert_batch (one batch)", batch_ns),
+        ("insert loop (unsorted)", unsorted_ns),
+    ] {
+        rows.push(vec![
+            method.to_string(),
+            format!("{ns:.0}"),
+            format!("{:.1}", sorted_ns / ns.max(f64::EPSILON)),
+        ]);
+    }
+    print_table(
+        &format!("E11a: trie cold-start ingest of n={n} sorted entries (u = 2^32)"),
+        &["method", "ns/key", "speedup_vs_sorted_loop"],
+        &rows,
+    );
+    println!(
+        "headline: bulk_load is {headline:.1}x faster than the one-at-a-time sorted \
+         insert loop (acceptance floor: 3x)"
+    );
+    println!();
+    headline
+}
+
+fn forest_cold_start(entries: &[(u64, u64)], reps: usize) {
+    let n = entries.len();
+    let mut rows = Vec::new();
+    for &shards in &[1usize, 4, 16] {
+        let config = ShardedSkipTrieConfig::for_universe_bits(UNIVERSE_BITS).with_shards(shards);
+        let bulk_ns = best_ns_per_key(reps, n, || {
+            let bulk: ShardedSkipTrie<u64> = ShardedSkipTrie::from_sorted(config, entries);
+            assert_eq!(bulk.len(), n);
+        });
+
+        let loop_ns = best_ns_per_key(reps, n, || {
+            let loop_forest: ShardedSkipTrie<u64> = ShardedSkipTrie::new(config);
+            for &(k, v) in entries {
+                loop_forest.insert(k, v);
+            }
+        });
+        rows.push(vec![
+            shards.to_string(),
+            format!("{bulk_ns:.0}"),
+            format!("{loop_ns:.0}"),
+            format!("{:.1}", loop_ns / bulk_ns.max(f64::EPSILON)),
+        ]);
+    }
+    print_table(
+        &format!(
+            "E11b: forest cold-start ingest of n={n} sorted entries (parallel per-shard build)"
+        ),
+        &["shards", "bulk_ns/key", "loop_ns/key", "speedup"],
+        &rows,
+    );
+}
+
+fn checkpoint_restore(entries: &[(u64, u64)], reps: usize) {
+    let n = entries.len();
+    let mut rows = Vec::new();
+
+    let trie: SkipTrie<u64> = SkipTrie::from_sorted(trie_config(), entries.iter().copied());
+    let snap_ns = best_ns_per_key(reps, n, || {
+        assert_eq!(trie.snapshot().len(), n);
+    });
+    let checkpoint = trie.snapshot();
+    let restore_ns = best_ns_per_key(reps, n, || {
+        let restored: SkipTrie<u64> =
+            SkipTrie::from_sorted(trie_config(), checkpoint.iter().copied());
+        assert_eq!(restored.len(), n);
+    });
+    rows.push(vec![
+        "skiptrie".to_string(),
+        format!("{snap_ns:.0}"),
+        format!("{restore_ns:.0}"),
+    ]);
+
+    let config = ShardedSkipTrieConfig::for_universe_bits(UNIVERSE_BITS).with_shards(8);
+    let forest: ShardedSkipTrie<u64> = ShardedSkipTrie::from_sorted(config, entries);
+    let snap_ns = best_ns_per_key(reps, n, || {
+        assert_eq!(forest.snapshot().len(), n);
+    });
+    let checkpoint = forest.snapshot();
+    let restore_ns = best_ns_per_key(reps, n, || {
+        let restored: ShardedSkipTrie<u64> = ShardedSkipTrie::from_sorted(config, &checkpoint);
+        assert_eq!(restored.len(), n);
+    });
+    rows.push(vec![
+        "sharded-skiptrie (S=8)".to_string(),
+        format!("{snap_ns:.0}"),
+        format!("{restore_ns:.0}"),
+    ]);
+
+    print_table(
+        &format!("E11c: checkpoint/restore round trip of n={n} entries (snapshot -> from_sorted)"),
+        &["structure", "snapshot_ns/key", "restore_ns/key"],
+        &rows,
+    );
+}
+
+fn ingest_then_serve(restored: usize) {
+    let threads = max_threads();
+    let spec =
+        WorkloadSpec::ingest_then_serve(UNIVERSE_BITS, restored, scaled(20_000), threads, 0xE11D);
+    let entries = spec.sorted_prefill_entries();
+    let mut rows = Vec::new();
+    for method in ["insert loop", "bulk_load"] {
+        let config = ShardedSkipTrieConfig::for_universe_bits(UNIVERSE_BITS).with_shards(8);
+        let sw = Stopwatch::start();
+        let forest: ShardedSkipTrie<u64> = if method == "bulk_load" {
+            ShardedSkipTrie::from_sorted(config, &entries)
+        } else {
+            let f = ShardedSkipTrie::new(config);
+            for &(k, v) in &entries {
+                f.insert(k, v);
+            }
+            f
+        };
+        let ready_ms = sw.elapsed().as_secs_f64() * 1_000.0;
+        let result = run_throughput(&forest, &spec);
+        rows.push(vec![
+            method.to_string(),
+            format!("{ready_ms:.0}"),
+            format!("{:.0}", result.ops_per_sec / 1_000.0),
+        ]);
+    }
+    print_table(
+        &format!(
+            "E11d: ingest-then-serve (restore {restored} keys, then READ_HEAVY at {threads} threads, S=8)"
+        ),
+        &["ingest_method", "time_to_ready_ms", "serve_kops/s"],
+        &rows,
+    );
+}
+
+fn main() {
+    let n = scaled(200_000);
+    // More repetitions at smoke scale cost little and kill more noise.
+    let reps = if n <= 50_000 { 5 } else { 3 };
+    let entries = sorted_entries(n, 0xE11);
+    let headline = trie_cold_start(&entries, reps);
+    forest_cold_start(&entries, reps);
+    checkpoint_restore(&entries, reps);
+    ingest_then_serve(scaled(100_000));
+    println!(
+        "expectation: bulk_load >= 3x over the sorted insert loop (measured {headline:.1}x); \
+         parallel shard builds widen the gap on multi-core hosts; restore == snapshot \
+         round-trips losslessly."
+    );
+    write_json_summary("e11_bulk_ingest");
+}

@@ -43,6 +43,7 @@
 use std::ops::RangeBounds;
 
 use skiptrie_atomics::dcss::DcssMode;
+use skiptrie_metrics::{self as metrics, Counter};
 use skiptrie_skiplist::{resolve_bounds, RangeIter};
 
 use crate::{prefix, SkipTrie, SkipTrieConfig};
@@ -436,14 +437,61 @@ where
     /// ascending order and popping the first shard that yields one. `None` if every
     /// shard was empty when visited. See the [module docs](self) for the cross-shard
     /// consistency contract.
+    ///
+    /// Shards whose occupancy counter ([`SkipTrie::len`]) reads 0 are **skipped
+    /// without a probe** — over a mostly-drained forest the old per-pop re-probe of
+    /// every empty shard made each pop `O(S)` searches instead of one. The counter
+    /// is a hint, not a guard: an insertion linearizes (its node becomes reachable)
+    /// an instant before the counter moves, so a racing 0 read can hide a present
+    /// key — the pop therefore falls back to one real probe per shard before
+    /// declaring the forest empty. Probes and skips are recorded as
+    /// [`Counter::ShardPopProbe`] / [`Counter::ShardPopSkip`] when metrics are on.
     pub fn pop_first(&self) -> Option<(u64, V)> {
-        self.shards.iter().find_map(|shard| shard.pop_first())
+        self.pop_over(self.shards.iter(), false)
     }
 
     /// Removes and returns the entry with the largest key; the mirror image of
-    /// [`ShardedSkipTrie::pop_first`], scanning shards in descending order.
+    /// [`ShardedSkipTrie::pop_first`], scanning shards in descending order, with the
+    /// same empty-shard skip (worth even more here: each probe of an empty shard
+    /// runs a full x-fast `LowestAncestor` search before discovering nothing).
     pub fn pop_last(&self) -> Option<(u64, V)> {
-        self.shards.iter().rev().find_map(|shard| shard.pop_last())
+        self.pop_over(self.shards.iter().rev(), true)
+    }
+
+    /// Shared two-phase pop: an occupancy-hinted pass over `shards` that skips
+    /// empty-reading ones, then — only if that pass found nothing — an
+    /// unconditional probe pass that makes the `None` answer authoritative despite
+    /// counter races. `shards` must visit shards from the end being popped
+    /// (ascending for `from_back = false`, descending for `true`).
+    fn pop_over<'a>(
+        &'a self,
+        mut shards: impl Iterator<Item = &'a SkipTrie<V>> + Clone,
+        from_back: bool,
+    ) -> Option<(u64, V)> {
+        let pop = |shard: &SkipTrie<V>| {
+            if from_back {
+                shard.pop_last()
+            } else {
+                shard.pop_first()
+            }
+        };
+        for shard in shards.clone() {
+            if shard.is_empty() {
+                metrics::record(Counter::ShardPopSkip);
+                continue;
+            }
+            metrics::record(Counter::ShardPopProbe);
+            if let Some(hit) = pop(shard) {
+                return Some(hit);
+            }
+        }
+        // Every shard read 0 (or lost its last key to a racing pop): re-scan with
+        // real probes so a key whose insert linearized just before its counter
+        // bump is still found.
+        shards.find_map(|shard| {
+            metrics::record(Counter::ShardPopProbe);
+            pop(shard)
+        })
     }
 
     // ------------------------------------------------------------------
@@ -556,6 +604,102 @@ where
             },
         );
         out
+    }
+
+    // ------------------------------------------------------------------
+    // Bulk load and snapshots (checkpoint / restore)
+    // ------------------------------------------------------------------
+
+    /// Builds a forest directly from a sorted, strictly increasing slice of
+    /// `(key, value)` entries: [`ShardedSkipTrie::new`] followed by
+    /// [`ShardedSkipTrie::bulk_load`].
+    ///
+    /// # Panics
+    ///
+    /// As [`ShardedSkipTrie::new`] and [`ShardedSkipTrie::bulk_load`].
+    pub fn from_sorted(config: ShardedSkipTrieConfig, entries: &[(u64, V)]) -> Self {
+        let mut forest = ShardedSkipTrie::new(config);
+        forest.bulk_load(entries);
+        forest
+    }
+
+    /// Single-owner bulk construction of the whole forest from a sorted, strictly
+    /// increasing slice, returning the number of keys loaded.
+    ///
+    /// Shard routing is by top key bits, so a sorted slice decomposes into `S`
+    /// contiguous sub-slices — one per shard — found with a single linear split.
+    /// Each non-empty shard is then built **in parallel** by its own worker thread
+    /// via [`SkipTrie::bulk_load`]: shards share no node pool and (by default) no
+    /// epoch domain, so the workers proceed with zero cross-shard coordination —
+    /// the construction-side payoff of the same isolation that keeps the serving
+    /// path contention-free. Restore a checkpoint by feeding
+    /// [`ShardedSkipTrie::snapshot`] back in.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the forest is not empty, if keys are not strictly increasing, or
+    /// if a key does not fit in the configured universe.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use skiptrie::{ShardedSkipTrie, ShardedSkipTrieConfig};
+    ///
+    /// let entries: Vec<(u64, u64)> = (0..10_000u64).map(|k| (k * 421, k)).collect();
+    /// let forest: ShardedSkipTrie<u64> = ShardedSkipTrie::from_sorted(
+    ///     ShardedSkipTrieConfig::for_universe_bits(32).with_shards(8),
+    ///     &entries,
+    /// );
+    /// assert_eq!(forest.len(), 10_000);
+    /// assert_eq!(forest.snapshot(), entries);
+    /// ```
+    pub fn bulk_load(&mut self, entries: &[(u64, V)]) -> usize {
+        assert!(self.is_empty(), "bulk_load requires an empty forest");
+        let mut prev: Option<u64> = None;
+        for &(key, _) in entries {
+            self.check_key(key);
+            assert!(
+                prev.is_none_or(|p| p < key),
+                "bulk_load requires strictly increasing keys (saw {key} after {prev:?})"
+            );
+            prev = Some(key);
+        }
+        // Split at shard boundaries: shard indices are non-decreasing over a sorted
+        // slice, so each shard's share is one contiguous run.
+        let mut slices: Vec<&[(u64, V)]> = vec![&[]; self.shards.len()];
+        let mut start = 0usize;
+        while start < entries.len() {
+            let shard = self.shard_of(entries[start].0);
+            let mut end = start + 1;
+            while end < entries.len() && self.shard_of(entries[end].0) == shard {
+                end += 1;
+            }
+            slices[shard] = &entries[start..end];
+            start = end;
+        }
+        std::thread::scope(|scope| {
+            for (shard, slice) in self.shards.iter_mut().zip(slices) {
+                if slice.is_empty() {
+                    continue;
+                }
+                scope.spawn(move || shard.bulk_load(slice.iter().cloned()));
+            }
+        });
+        entries.len()
+    }
+
+    /// Exports the contents as a sorted, duplicate-free `Vec<(u64, V)>` — the
+    /// checkpoint half of the checkpoint/restore pair (restore with
+    /// [`ShardedSkipTrie::from_sorted`] / [`ShardedSkipTrie::bulk_load`]).
+    ///
+    /// Stitches the per-shard range cursors in shard (= key) order, holding **one
+    /// epoch pin at a time** — the shard currently being walked — so a snapshot of
+    /// a large forest never stalls reclamation in the shards it has finished with.
+    /// Inherits the cursor contract: every key present in its shard for the whole
+    /// per-shard sub-scan appears exactly once, in increasing order; keys updated
+    /// concurrently may or may not appear.
+    pub fn snapshot(&self) -> Vec<(u64, V)> {
+        self.range(..).collect()
     }
 
     // ------------------------------------------------------------------
@@ -900,6 +1044,110 @@ mod tests {
             assert_eq!(batched.remove_batch(&victims), seq, "round {round}");
         }
         assert_eq!(batched.to_vec(), sequential.to_vec());
+    }
+
+    #[test]
+    fn bulk_load_matches_sequential_inserts_observationally() {
+        let entries: Vec<(u64, u64)> = (0..5_000u64).map(|k| (k * 13, k + 7)).collect();
+        let mut bulk = forest(16, 8);
+        assert_eq!(bulk.bulk_load(&entries), entries.len());
+        let seq = forest(16, 8);
+        for &(k, v) in &entries {
+            assert!(seq.insert(k, v));
+        }
+        assert_eq!(bulk.len(), seq.len());
+        assert_eq!(bulk.shard_lens(), seq.shard_lens());
+        assert_eq!(bulk.to_vec(), seq.to_vec());
+        for probe in (0..65_000u64).step_by(53) {
+            assert_eq!(bulk.predecessor(probe), seq.predecessor(probe), "{probe}");
+            assert_eq!(bulk.successor(probe), seq.successor(probe), "{probe}");
+            assert_eq!(bulk.get(probe), seq.get(probe), "{probe}");
+        }
+        let got: Vec<(u64, u64)> = bulk.range(10_000..=50_000).collect();
+        let want: Vec<(u64, u64)> = seq.range(10_000..=50_000).collect();
+        assert_eq!(got, want, "stitched ranges agree");
+        bulk.check_traversal_integrity();
+        // Pops and mutation still run the concurrent protocol.
+        assert_eq!(bulk.pop_first(), Some((0, 7)));
+        assert_eq!(bulk.pop_last(), Some((4_999 * 13, 5_006)));
+        assert!(bulk.insert(1, 1));
+        assert_eq!(bulk.len(), seq.len() - 1);
+    }
+
+    #[test]
+    fn from_sorted_snapshot_round_trip_across_shards() {
+        let entries: Vec<(u64, u64)> = (0..3_000u64).map(|k| (k * 21 + 1, k)).collect();
+        let original: ShardedSkipTrie<u64> = ShardedSkipTrie::from_sorted(
+            ShardedSkipTrieConfig::for_universe_bits(16)
+                .with_shards(16)
+                .with_seed(5),
+            &entries,
+        );
+        let checkpoint = original.snapshot();
+        assert_eq!(checkpoint, entries, "snapshot is sorted and complete");
+        // Restore into a *different* forest geometry: the checkpoint format is
+        // geometry-independent (just sorted pairs).
+        let restored: ShardedSkipTrie<u64> = ShardedSkipTrie::from_sorted(
+            ShardedSkipTrieConfig::for_universe_bits(16)
+                .with_shards(4)
+                .with_seed(9),
+            &checkpoint,
+        );
+        assert_eq!(restored.to_vec(), original.to_vec());
+        assert_eq!(restored.len(), original.len());
+    }
+
+    #[test]
+    fn bulk_load_handles_sparse_and_empty_shards() {
+        // All keys in the last shard: 15 workers idle, one builds.
+        let base = 15u64 << 12; // shard 15 of 16 (slices of 2^12 keys)
+        let hi: Vec<(u64, u64)> = (base..base + 1_000).map(|k| (k, k)).collect();
+        let mut f = forest(16, 16);
+        assert_eq!(f.bulk_load(&hi), 1_000);
+        assert_eq!(f.shard(15).len(), 1_000);
+        assert!((0..15).all(|i| f.shard(i).is_empty()));
+        assert_eq!(f.pop_first(), Some((base, base)));
+        // Empty load.
+        let mut f = forest(16, 4);
+        assert_eq!(f.bulk_load(&[]), 0);
+        assert!(f.is_empty());
+        assert!(f.insert(3, 3));
+    }
+
+    #[test]
+    #[should_panic(expected = "strictly increasing")]
+    fn bulk_load_rejects_unsorted_input() {
+        let mut f = forest(16, 4);
+        let _ = f.bulk_load(&[(5, 5), (4, 4)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "requires an empty forest")]
+    fn bulk_load_rejects_non_empty_forest() {
+        let mut f = forest(16, 4);
+        f.insert(1, 1);
+        let _ = f.bulk_load(&[(2, 2)]);
+    }
+
+    #[test]
+    fn one_hot_forest_pops_drain_correctly() {
+        // Occupancy-hinted pops over a one-hot forest (the probe-count regression
+        // itself lives in tests/forest_occupancy.rs, alone in its process so the
+        // process-wide metrics counters are not shared with concurrent tests).
+        let f = forest(16, 16);
+        let base = 8 << 12; // shard 8 of 16 (slices of 2^12 keys)
+        for k in 0..200u64 {
+            assert!(f.insert(base + k, k));
+        }
+        for k in 0..100u64 {
+            assert_eq!(f.pop_first(), Some((base + k, k)));
+        }
+        for k in (100..200u64).rev() {
+            assert_eq!(f.pop_last(), Some((base + k, k)));
+        }
+        assert_eq!(f.pop_first(), None);
+        assert_eq!(f.pop_last(), None);
+        assert!(f.is_empty());
     }
 
     #[test]

@@ -656,6 +656,102 @@ where
         }
     }
 
+    // ------------------------------------------------------------------
+    // Bulk load and snapshots (checkpoint / restore)
+    // ------------------------------------------------------------------
+
+    /// Builds a SkipTrie directly from a sorted, strictly increasing `(key, value)`
+    /// sequence: [`SkipTrie::new`] followed by [`SkipTrie::bulk_load`].
+    ///
+    /// # Panics
+    ///
+    /// As [`SkipTrie::new`] and [`SkipTrie::bulk_load`].
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use skiptrie::{SkipTrie, SkipTrieConfig};
+    ///
+    /// let trie: SkipTrie<u64> = SkipTrie::from_sorted(
+    ///     SkipTrieConfig::for_universe_bits(32),
+    ///     (0..10_000u64).map(|k| (k * 5, k)),
+    /// );
+    /// assert_eq!(trie.len(), 10_000);
+    /// assert_eq!(trie.predecessor(11), Some((10, 2)));
+    /// ```
+    pub fn from_sorted<I>(config: SkipTrieConfig, entries: I) -> Self
+    where
+        I: IntoIterator<Item = (u64, V)>,
+    {
+        let mut trie = SkipTrie::new(config);
+        trie.bulk_load(entries);
+        trie
+    }
+
+    /// Single-owner `O(n)` construction from a sorted, strictly increasing
+    /// `(key, value)` sequence, returning the number of keys loaded.
+    ///
+    /// A cold start (checkpoint restore, sorted-file ingest) through `n`
+    /// [`SkipTrie::insert`] calls pays, per key, an x-fast binary search, a
+    /// multi-level skiplist descent, CAS retry loops, DCSS-guarded tower raises and
+    /// prefix swings — machinery that exists solely to survive concurrent threads.
+    /// `&mut self` proves there are none: towers are laid out with plain appends
+    /// ([`SkipList::bulk_load_sorted`]) and the prefix table is populated bottom-up
+    /// with plain stores, one pass over the top-level keys in order. The result is
+    /// observationally identical to sequential inserts of the same entries; in
+    /// debug builds both integrity audits ([`SkipTrie::check_traversal_integrity`]
+    /// and [`SkipTrie::check_trie_integrity`]) verify that claim on every load.
+    ///
+    /// Typical restore pairing: feed a [`SkipTrie::snapshot`] back in.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the trie is not empty, if keys are not strictly increasing, or if a
+    /// key does not fit in the configured universe. Keys are validated as the
+    /// iterator yields them (the input need not be materialized), so a mid-input
+    /// violation panics after earlier entries were already linked — the trie stays
+    /// consistent (every linked key is counted and queryable; the x-fast table,
+    /// populated last, is a performance hint whose absence queries tolerate), but a
+    /// caller that catches the unwind holds a partial load, not an empty trie.
+    pub fn bulk_load<I>(&mut self, entries: I) -> usize
+    where
+        I: IntoIterator<Item = (u64, V)>,
+    {
+        assert!(self.is_empty(), "bulk_load requires an empty trie");
+        let max_key = self.max_key();
+        let universe_bits = self.config.universe_bits;
+        let checked = entries.into_iter().inspect(move |&(key, _)| {
+            assert!(
+                key <= max_key,
+                "key {key} exceeds the configured universe of {universe_bits} bits"
+            );
+        });
+        let report = self.skiplist.bulk_load_sorted(checked);
+        if !report.tops.is_empty() {
+            let guard = self.skiplist.pin();
+            self.bulk_publish_prefixes(&report.tops, &guard);
+        }
+        if cfg!(debug_assertions) {
+            self.check_traversal_integrity();
+            self.check_trie_integrity();
+        }
+        report.keys
+    }
+
+    /// Exports the contents as a sorted, duplicate-free `Vec<(u64, V)>` — the
+    /// checkpoint half of the checkpoint/restore pair (restore with
+    /// [`SkipTrie::from_sorted`] / [`SkipTrie::bulk_load`]).
+    ///
+    /// Runs over the range cursor under a single epoch pin, so it inherits the
+    /// cursor's weak-consistency contract: every key present for the whole call
+    /// appears exactly once, in increasing order; concurrently inserted or removed
+    /// keys may or may not appear. (Unlike [`SkipTrie::to_vec`], whose raw level-0
+    /// walk is only meaningful quiescently, a snapshot is safe to take under
+    /// churn.)
+    pub fn snapshot(&self) -> Vec<(u64, V)> {
+        self.range(..).collect()
+    }
+
     /// A (non-linearizable) snapshot of the contents in key order.
     pub fn to_vec(&self) -> Vec<(u64, V)> {
         self.skiplist.to_vec()
@@ -1056,6 +1152,86 @@ mod tests {
     fn batched_oversized_key_panics_before_mutating() {
         let t = trie(8);
         let _ = t.insert_batch(&[(1, 1), (256, 0)]);
+    }
+
+    #[test]
+    fn bulk_load_matches_sequential_inserts_observationally() {
+        let entries: Vec<(u64, u64)> = (0..4_000u64).map(|k| (k * 13, k ^ 0xfff)).collect();
+        let mut bulk = trie(16);
+        assert_eq!(bulk.bulk_load(entries.iter().copied()), entries.len());
+        let seq = trie(16);
+        for &(k, v) in &entries {
+            assert!(seq.insert(k, v));
+        }
+        assert_eq!(bulk.len(), seq.len());
+        assert_eq!(bulk.to_vec(), seq.to_vec());
+        for probe in (0..60_000u64).step_by(61) {
+            assert_eq!(bulk.predecessor(probe), seq.predecessor(probe), "{probe}");
+            assert_eq!(bulk.successor(probe), seq.successor(probe), "{probe}");
+            assert_eq!(bulk.get(probe), seq.get(probe), "{probe}");
+            assert_eq!(bulk.contains(probe), seq.contains(probe), "{probe}");
+        }
+        let window: Vec<(u64, u64)> = bulk.range(1_000..=9_000).collect();
+        let seq_window: Vec<(u64, u64)> = seq.range(1_000..=9_000).collect();
+        assert_eq!(window, seq_window);
+        // Both audits hold on both construction paths.
+        assert!(bulk.check_traversal_integrity() >= bulk.len());
+        assert!(bulk.check_trie_integrity() > 0);
+        assert!(seq.check_trie_integrity() > 0);
+        // Mutation after a bulk load uses the regular concurrent protocol.
+        assert!(!bulk.insert(0, 1), "0 already present");
+        assert_eq!(bulk.pop_first(), Some((0, 0xfff)));
+        assert_eq!(bulk.pop_last(), Some((3_999 * 13, 3_999 ^ 0xfff)));
+        assert_eq!(bulk.remove(13), Some(1 ^ 0xfff));
+        assert_eq!(bulk.len(), seq.len() - 3);
+    }
+
+    #[test]
+    fn from_sorted_snapshot_round_trip() {
+        let entries: Vec<(u64, u64)> = (0..2_500u64).map(|k| (k * 19 + 3, k)).collect();
+        let original: SkipTrie<u64> = SkipTrie::from_sorted(
+            SkipTrieConfig::for_universe_bits(16).with_seed(7),
+            entries.iter().copied(),
+        );
+        let checkpoint = original.snapshot();
+        assert_eq!(checkpoint, entries, "snapshot is sorted and complete");
+        let restored: SkipTrie<u64> = SkipTrie::from_sorted(
+            SkipTrieConfig::for_universe_bits(16).with_seed(8),
+            checkpoint,
+        );
+        assert_eq!(restored.to_vec(), original.to_vec());
+        assert_eq!(restored.len(), original.len());
+        assert_eq!(restored.predecessor(40_000), original.predecessor(40_000));
+    }
+
+    #[test]
+    fn bulk_load_small_and_single_level_universes() {
+        // universe_bits = 2 → a single skiplist level, no prefixes ever published.
+        let mut t = trie(2);
+        assert_eq!(t.bulk_load([(0u64, 10u64), (2, 12), (3, 13)]), 3);
+        assert_eq!(t.prefix_count(), 1, "only ε, as with sequential inserts");
+        assert_eq!(t.predecessor(1), Some((0, 10)));
+        assert_eq!(t.pop_last(), Some((3, 13)));
+        // Empty load is a no-op.
+        let mut empty = trie(16);
+        assert_eq!(empty.bulk_load(std::iter::empty()), 0);
+        assert!(empty.is_empty());
+        assert!(empty.insert(5, 5));
+    }
+
+    #[test]
+    #[should_panic(expected = "requires an empty trie")]
+    fn bulk_load_rejects_non_empty_trie() {
+        let mut t = trie(16);
+        t.insert(1, 1);
+        let _ = t.bulk_load([(2u64, 2u64)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds the configured universe")]
+    fn bulk_load_rejects_oversized_keys() {
+        let mut t = trie(8);
+        let _ = t.bulk_load([(0u64, 0u64), (256, 1)]);
     }
 
     #[test]

@@ -396,4 +396,128 @@ where
     pub fn prefix_count(&self) -> usize {
         self.prefixes.len()
     }
+
+    /// Single-owner counterpart of [`SkipTrie::insert_prefixes`], used by
+    /// [`SkipTrie::bulk_load`]: populate the whole prefix table from the sorted
+    /// `(key, packed word)` list of top-level nodes, with **one hash-table insert
+    /// per distinct prefix and no lookups at all** (the per-key formulation costs
+    /// `universe_bits` lookups per top key; this layered one is what makes bulk
+    /// ingest land well clear of the sequential-insert baseline).
+    ///
+    /// Layer by layer (prefix length 0, 1, …): the keys sharing a prefix form one
+    /// contiguous *run* of the sorted list, and within a run the `0`-direction keys
+    /// precede the `1`-direction keys, so the trie node's final contents read off
+    /// directly — `pointers[0]` = last key of the run's 0-half (the subtree
+    /// maximum), `pointers[1]` = first key of its 1-half (the subtree minimum).
+    /// Each node is built complete, and the whole batch lands in the hash table
+    /// through one [`SplitOrderedMap::bulk_load`](skiptrie_splitorder::SplitOrderedMap::bulk_load)
+    /// merge (ε, which is permanent, is stored through in place instead). The
+    /// quiescent result is field-for-field what sequential `insert_prefixes` calls
+    /// would have produced.
+    pub(crate) fn bulk_publish_prefixes(&mut self, tops: &[(u64, u64)], guard: &Guard) {
+        use std::sync::atomic::Ordering;
+        let b = self.universe_bits();
+        let mut batch: Vec<(Prefix, TrieNodePtr)> = Vec::new();
+        for len in 0..b as u8 {
+            let mut i = 0usize;
+            while i < tops.len() {
+                let p = Prefix::of(tops[i].0, len, b);
+                let mut j = i + 1;
+                while j < tops.len() && Prefix::of(tops[j].0, len, b) == p {
+                    j += 1;
+                }
+                let run = &tops[i..j];
+                let split = run.partition_point(|&(k, _)| key_bit(k, len, b) == 0);
+                let p0 = if split > 0 { run[split - 1].1 } else { 0 };
+                let p1 = if split < run.len() { run[split].1 } else { 0 };
+                if len == 0 {
+                    // ε exists from construction; fill its pointers in place.
+                    let tnp = self.prefixes.get(&Prefix::EMPTY).expect("ε is permanent");
+                    // SAFETY: pinned; ε is never removed.
+                    let tn = unsafe { tnp.deref(guard) };
+                    if p0 != 0 {
+                        tn.pointers[0].store(p0, Ordering::SeqCst);
+                    }
+                    if p1 != 0 {
+                        tn.pointers[1].store(p1, Ordering::SeqCst);
+                    }
+                } else {
+                    let tn = Box::new(TrieNode::new());
+                    tn.pointers[0].store(p0, Ordering::Relaxed);
+                    tn.pointers[1].store(p1, Ordering::Relaxed);
+                    batch.push((p, TrieNodePtr::from_box(tn)));
+                }
+                i = j;
+            }
+        }
+        self.prefixes.bulk_load(batch);
+    }
+
+    /// Audits the x-fast trie against the skiplist's top level under one pin,
+    /// panicking on a violated invariant; returns the number of `(top key, prefix)`
+    /// pairs checked. **Quiescent-only** (like [`SkipTrie::to_vec`]): concurrent
+    /// updates legitimately leave transient states this audit would reject.
+    ///
+    /// For every key currently on the top level and every proper prefix `p` of it,
+    /// the audit requires:
+    ///
+    /// * the trie node for `p` exists in the hash table;
+    /// * `pointers[d]` (where `d` is the key's direction under `p`) is non-null and
+    ///   references a live, unmarked node of the top level;
+    /// * the target's key lies inside the `p·d` subtree, and brackets the audited
+    ///   key from the correct side (`>= key` for `d = 0` — the subtree maximum —
+    ///   and `<= key` for `d = 1`, the subtree minimum).
+    ///
+    /// Together with [`SkipTrie::check_traversal_integrity`] this is the "bulk load
+    /// is indistinguishable from sequential inserts" proof obligation: both passes
+    /// run automatically (debug builds) at the end of [`SkipTrie::bulk_load`].
+    pub fn check_trie_integrity(&self) -> usize {
+        let top = self.skiplist().top_level();
+        if top == 0 {
+            // Single-level lists never publish prefixes (the insert path reports no
+            // top node when the raise loop has no levels to raise through).
+            return 0;
+        }
+        let b = self.universe_bits();
+        let guard = self.skiplist().pin();
+        let mut checked = 0usize;
+        for key in self.skiplist().top_level_keys() {
+            for len in 0..b as u8 {
+                let p = Prefix::of(key, len, b);
+                let direction = key_bit(key, len, b) as usize;
+                let tnp = self
+                    .prefixes
+                    .get(&p)
+                    .unwrap_or_else(|| panic!("prefix {p:?} of top key {key} missing"));
+                // SAFETY: pinned; retired only after hash-table removal.
+                let tn = unsafe { tnp.deref(&guard) };
+                let word = read_resolved(&tn.pointers[direction], &guard);
+                // SAFETY: trie pointers reference pool-kept skiplist nodes.
+                let target =
+                    unsafe { NodeRef::<V>::from_packed(word, &guard) }.unwrap_or_else(|| {
+                        panic!("prefix {p:?} of top key {key}: pointers[{direction}] is null")
+                    });
+                assert!(
+                    target.is_data() && target.level() == top && !target.is_marked(&guard),
+                    "prefix {p:?} of top key {key}: pointer targets a dead or non-top node"
+                );
+                assert!(
+                    in_subtree(p, direction as u8, target.key(), b),
+                    "prefix {p:?} of top key {key}: target {} outside the {direction}-subtree",
+                    target.key()
+                );
+                assert!(
+                    if direction == 0 {
+                        target.key() >= key
+                    } else {
+                        target.key() <= key
+                    },
+                    "prefix {p:?} of top key {key}: target {} brackets the wrong side",
+                    target.key()
+                );
+                checked += 1;
+            }
+        }
+        checked
+    }
 }

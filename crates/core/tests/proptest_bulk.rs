@@ -1,0 +1,138 @@
+//! Property-based tests for the bulk-load subsystem: for arbitrary sorted,
+//! deduplicated inputs (over arbitrary universe widths and shard counts),
+//! `bulk_load` must be observationally equivalent to sequential `insert` calls of
+//! the same entries — on point operations, ordered queries, range scans, pops, and
+//! the snapshot round trip — for both the plain [`SkipTrie`] and the
+//! [`ShardedSkipTrie`] forest.
+
+use proptest::prelude::*;
+use skiptrie::{ShardedSkipTrie, ShardedSkipTrieConfig, SkipTrie, SkipTrieConfig};
+
+/// Sorted, strictly increasing entries within `bits` plus a probe stream: raw u64
+/// seeds are clamped into the universe and deduplicated.
+fn sorted_input(bits: u32, raw: Vec<(u64, u64)>) -> Vec<(u64, u64)> {
+    let max = skiptrie::max_key(bits);
+    let mut entries: Vec<(u64, u64)> = raw.into_iter().map(|(k, v)| (k & max, v)).collect();
+    entries.sort_by_key(|&(k, _)| k);
+    entries.dedup_by_key(|&mut (k, _)| k);
+    entries
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn trie_bulk_load_equals_sequential_inserts(
+        bits in 2u32..=64,
+        raw in proptest::collection::vec((any::<u64>(), any::<u64>()), 0..400),
+        probes in proptest::collection::vec(any::<u64>(), 0..64),
+    ) {
+        let entries = sorted_input(bits, raw);
+        let mut bulk: SkipTrie<u64> =
+            SkipTrie::new(SkipTrieConfig::for_universe_bits(bits).with_seed(21));
+        prop_assert_eq!(bulk.bulk_load(entries.iter().copied()), entries.len());
+        let seq: SkipTrie<u64> =
+            SkipTrie::new(SkipTrieConfig::for_universe_bits(bits).with_seed(22));
+        for &(k, v) in &entries {
+            prop_assert!(seq.insert(k, v));
+        }
+        prop_assert_eq!(bulk.len(), seq.len());
+        prop_assert_eq!(bulk.to_vec(), seq.to_vec());
+        prop_assert_eq!(bulk.snapshot(), entries.clone());
+        let max = skiptrie::max_key(bits);
+        for &p in &probes {
+            let p = p & max;
+            prop_assert_eq!(bulk.predecessor(p), seq.predecessor(p));
+            prop_assert_eq!(bulk.successor(p), seq.successor(p));
+            prop_assert_eq!(bulk.get(p), seq.get(p));
+            prop_assert_eq!(bulk.contains(p), seq.contains(p));
+            let hi = p.saturating_add(1 << (bits.min(16) - 1)).min(max);
+            let b_range: Vec<(u64, u64)> = bulk.range(p..=hi).collect();
+            let s_range: Vec<(u64, u64)> = seq.range(p..=hi).collect();
+            prop_assert_eq!(b_range, s_range);
+        }
+        // Drain both from alternating ends: pops agree step for step.
+        loop {
+            let a = bulk.pop_first();
+            prop_assert_eq!(a, seq.pop_first());
+            if a.is_none() {
+                break;
+            }
+            let b = bulk.pop_last();
+            prop_assert_eq!(b, seq.pop_last());
+            if b.is_none() {
+                break;
+            }
+        }
+        prop_assert!(bulk.is_empty() && seq.is_empty());
+    }
+
+    #[test]
+    fn forest_bulk_load_equals_sequential_inserts(
+        bits in 2u32..=64,
+        shard_bits in 0u32..=4,
+        raw in proptest::collection::vec((any::<u64>(), any::<u64>()), 0..400),
+        probes in proptest::collection::vec(any::<u64>(), 0..48),
+    ) {
+        let entries = sorted_input(bits, raw);
+        let shard_bits = shard_bits.min(bits);
+        let mut config = ShardedSkipTrieConfig::for_universe_bits(bits).with_seed(31);
+        config.shard_bits = shard_bits;
+        let mut bulk: ShardedSkipTrie<u64> = ShardedSkipTrie::new(config);
+        prop_assert_eq!(bulk.bulk_load(&entries), entries.len());
+        let mut seq_config = ShardedSkipTrieConfig::for_universe_bits(bits).with_seed(32);
+        seq_config.shard_bits = shard_bits;
+        let seq: ShardedSkipTrie<u64> = ShardedSkipTrie::new(seq_config);
+        for &(k, v) in &entries {
+            prop_assert!(seq.insert(k, v));
+        }
+        prop_assert_eq!(bulk.len(), seq.len());
+        prop_assert_eq!(bulk.shard_lens(), seq.shard_lens());
+        prop_assert_eq!(bulk.to_vec(), seq.to_vec());
+        prop_assert_eq!(bulk.snapshot(), entries.clone());
+        let max = skiptrie::max_key(bits);
+        for &p in &probes {
+            let p = p & max;
+            prop_assert_eq!(bulk.predecessor(p), seq.predecessor(p));
+            prop_assert_eq!(bulk.successor(p), seq.successor(p));
+            prop_assert_eq!(bulk.get(p), seq.get(p));
+            let hi = p.saturating_add(1 << (bits.min(16) - 1)).min(max);
+            let b_range: Vec<(u64, u64)> = bulk.range(p..=hi).collect();
+            let s_range: Vec<(u64, u64)> = seq.range(p..=hi).collect();
+            prop_assert_eq!(b_range, s_range);
+        }
+        loop {
+            let a = bulk.pop_first();
+            prop_assert_eq!(a, seq.pop_first());
+            if a.is_none() {
+                break;
+            }
+            let b = bulk.pop_last();
+            prop_assert_eq!(b, seq.pop_last());
+            if b.is_none() {
+                break;
+            }
+        }
+        prop_assert!(bulk.is_empty() && seq.is_empty());
+    }
+
+    #[test]
+    fn snapshot_restore_round_trip_is_lossless(
+        bits in 2u32..=64,
+        raw in proptest::collection::vec((any::<u64>(), any::<u64>()), 0..300),
+    ) {
+        let entries = sorted_input(bits, raw);
+        let trie: SkipTrie<u64> = SkipTrie::from_sorted(
+            SkipTrieConfig::for_universe_bits(bits).with_seed(41),
+            entries.iter().copied(),
+        );
+        let checkpoint = trie.snapshot();
+        prop_assert_eq!(&checkpoint, &entries);
+        let restored: SkipTrie<u64> = SkipTrie::from_sorted(
+            SkipTrieConfig::for_universe_bits(bits).with_seed(42),
+            checkpoint,
+        );
+        prop_assert_eq!(restored.to_vec(), trie.to_vec());
+        prop_assert_eq!(restored.len(), trie.len());
+    }
+}

@@ -68,6 +68,14 @@ pub use stopwatch::Stopwatch;
 ///   interference.
 /// * [`Counter::TrieLevelCrossed`] — levels of the x-fast trie crossed by an insert
 ///   or delete (used by the amortization experiment E3).
+/// * [`Counter::ShardPopProbe`] / [`Counter::ShardPopSkip`] — shards actually probed
+///   (a real search-and-remove attempt) versus skipped on a 0 occupancy read by the
+///   sharded forest's `pop_first` / `pop_last` (the drained-forest regression of
+///   experiment E11 pins probes, not pops).
+/// * [`Counter::HashSaturated`] — inserts into a split-ordered hash map that wanted
+///   to double the bucket directory but found it at its configured cap; chains grow
+///   past this point, so a climbing value is the observable form of what used to be
+///   a silent latency cliff.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
 #[allow(missing_docs)]
 pub enum Counter {
@@ -85,11 +93,14 @@ pub enum Counter {
     MarkedNodeSkipped,
     NodeAllocated,
     NodeRetired,
+    ShardPopProbe,
+    ShardPopSkip,
+    HashSaturated,
 }
 
 impl Counter {
     /// All counters, in a stable order used for display and serialization.
-    pub const ALL: [Counter; 14] = [
+    pub const ALL: [Counter; 17] = [
         Counter::PtrRead,
         Counter::HashOp,
         Counter::CasAttempt,
@@ -104,6 +115,9 @@ impl Counter {
         Counter::MarkedNodeSkipped,
         Counter::NodeAllocated,
         Counter::NodeRetired,
+        Counter::ShardPopProbe,
+        Counter::ShardPopSkip,
+        Counter::HashSaturated,
     ];
 
     /// Number of distinct counters.
@@ -133,6 +147,9 @@ impl Counter {
             Counter::MarkedNodeSkipped => "marked_node_skipped",
             Counter::NodeAllocated => "node_allocated",
             Counter::NodeRetired => "node_retired",
+            Counter::ShardPopProbe => "shard_pop_probe",
+            Counter::ShardPopSkip => "shard_pop_skip",
+            Counter::HashSaturated => "hash_saturated",
         }
     }
 }

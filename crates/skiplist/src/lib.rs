@@ -48,6 +48,7 @@
 
 #![warn(missing_docs)]
 
+pub mod bulk;
 pub mod height;
 pub mod iter;
 mod node;
@@ -62,6 +63,7 @@ use crossbeam_epoch::{self as epoch, Guard};
 use skiptrie_atomics::dcss::DcssMode;
 use skiptrie_atomics::tagged;
 
+pub use bulk::BulkLoadReport;
 pub use iter::{resolve_bounds, Cursor, RangeIter};
 pub use node::NodeRef;
 pub use ops::{DeleteOutcome, InsertOutcome};
@@ -257,7 +259,6 @@ where
         unsafe { &*self.heads[level as usize] }
     }
 
-    #[allow(dead_code)]
     pub(crate) fn tail(&self, level: u8) -> &Node<V> {
         // SAFETY: sentinels live as long as the structure.
         unsafe { &*self.tails[level as usize] }

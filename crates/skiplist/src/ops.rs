@@ -60,7 +60,7 @@ where
 
     /// Initializes a pooled node for publication. The status word is deliberately left
     /// untouched (its sequence number identifies the incarnation).
-    fn init_node(
+    pub(crate) fn init_node(
         &self,
         ptr: *mut Node<V>,
         key: u64,
@@ -71,21 +71,48 @@ where
         next: u64,
         value: Option<V>,
     ) {
+        self.init_node_ordered(
+            ptr,
+            key,
+            level,
+            orig_height,
+            down,
+            root,
+            next,
+            value,
+            Ordering::SeqCst,
+        );
+    }
+
+    /// [`SkipList::init_node`] with an explicit store ordering: `SeqCst` on the
+    /// concurrent insert path (publication racing readers), `Relaxed` on the
+    /// single-owner bulk path, where `&mut self` excludes observers and the eventual
+    /// structure handoff carries the publishing edge.
+    pub(crate) fn init_node_ordered(
+        &self,
+        ptr: *mut Node<V>,
+        key: u64,
+        level: u8,
+        orig_height: u8,
+        down: u64,
+        root: u64,
+        next: u64,
+        value: Option<V>,
+        ordering: Ordering,
+    ) {
         // SAFETY: the node is not yet published; we have exclusive access.
         unsafe {
             let n = &*ptr;
-            n.key.store(key, Ordering::SeqCst);
-            n.meta.store(
-                pack_meta(NodeKind::Data, level, orig_height),
-                Ordering::SeqCst,
-            );
-            n.back.store(tagged::NULL, Ordering::SeqCst);
-            n.prev.store(tagged::NULL, Ordering::SeqCst);
-            n.ready.store(0, Ordering::SeqCst);
-            n.down.store(down, Ordering::SeqCst);
-            n.root.store(root, Ordering::SeqCst);
+            n.key.store(key, ordering);
+            n.meta
+                .store(pack_meta(NodeKind::Data, level, orig_height), ordering);
+            n.back.store(tagged::NULL, ordering);
+            n.prev.store(tagged::NULL, ordering);
+            n.ready.store(0, ordering);
+            n.down.store(down, ordering);
+            n.root.store(root, ordering);
             *n.value.get() = value;
-            n.next.store(next, Ordering::SeqCst);
+            n.next.store(next, ordering);
         }
     }
 

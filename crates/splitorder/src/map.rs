@@ -1,7 +1,6 @@
 //! The split-ordered hash map proper: a lazily-initialized, doubling bucket directory
 //! over the single lock-free list of [`crate::list`].
 
-use std::collections::hash_map::DefaultHasher;
 use std::hash::{Hash, Hasher};
 use std::sync::atomic::{AtomicPtr, AtomicU64, AtomicUsize, Ordering};
 
@@ -40,6 +39,11 @@ pub struct SplitOrderedMap<K, V> {
     size: AtomicUsize,
     /// Number of regular (non-dummy) items.
     count: AtomicUsize,
+    /// Bucket-count ceiling (a power of two, at most `MAX_SEGMENTS * SEGMENT_SIZE`).
+    /// Once `size` reaches it the table stops doubling: lookups stay correct but
+    /// expected chain length grows linearly with further inserts — every insert past
+    /// the cap records [`Counter::HashSaturated`] so the cliff is observable.
+    max_buckets: usize,
     /// Dummy node of bucket 0 — the head of the entire list.
     head: *const ListNode<K, V>,
 }
@@ -59,8 +63,53 @@ where
     }
 }
 
+/// A fast, non-cryptographic hasher: multiply-rotate mixing per 8-byte word with a
+/// splitmix64-style finalizer.
+///
+/// The split-ordered map consumes hashes in two bit-sensitive ways — the bucket
+/// index is the hash's *low* bits, the list position its *reversed* bits — so the
+/// finalizer must diffuse every input bit into every output bit, which the
+/// splitmix64 finalizer is built for. SipHash (the std default) gives the same
+/// property at several times the cost per hash, and this map is on the hot path of
+/// every x-fast-trie probe (the `LowestAncestor` binary search hashes `log u`
+/// prefixes per query, and a bulk load hashes every distinct prefix once). HashDoS
+/// resistance is not part of this crate's contract.
+struct FastHasher {
+    state: u64,
+}
+
+impl Hasher for FastHasher {
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        for chunk in bytes.chunks(8) {
+            let mut word = [0u8; 8];
+            word[..chunk.len()].copy_from_slice(chunk);
+            self.write_u64(u64::from_le_bytes(word));
+        }
+    }
+
+    #[inline]
+    fn write_u64(&mut self, word: u64) {
+        self.state = (self.state ^ word)
+            .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+            .rotate_left(23);
+    }
+
+    #[inline]
+    fn finish(&self) -> u64 {
+        // splitmix64 finalizer: full avalanche, so low bits (bucket index) and high
+        // bits (list order after reversal) are equally well mixed.
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+}
+
 fn hash_key<K: Hash>(key: &K) -> u64 {
-    let mut hasher = DefaultHasher::new();
+    let mut hasher = FastHasher {
+        state: 0x5bd1_e995_9e37_79b9,
+    };
     key.hash(&mut hasher);
     hasher.finish()
 }
@@ -91,6 +140,28 @@ where
 {
     /// Creates an empty map with a single bucket.
     pub fn new() -> Self {
+        Self::with_bucket_cap(MAX_SEGMENTS * SEGMENT_SIZE)
+    }
+
+    /// Creates an empty map whose bucket directory never grows past `max_buckets`
+    /// (rounded up to a power of two; clamped to the directory's hard ceiling of
+    /// `2^24` buckets, which [`SplitOrderedMap::new`] uses).
+    ///
+    /// Past the cap the map keeps every guarantee except the `O(1)` expected chain
+    /// length: items never move (split-ordering), lookups and removals stay correct,
+    /// and each capped insert records [`Counter::HashSaturated`] so the degradation
+    /// shows up in metrics instead of only in latency. Lowering the cap is also how
+    /// the saturation path is unit-tested without fifty million inserts.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `max_buckets` is zero.
+    pub fn with_bucket_cap(max_buckets: usize) -> Self {
+        assert!(max_buckets > 0, "the table needs at least one bucket");
+        let max_buckets = max_buckets
+            .min(MAX_SEGMENTS * SEGMENT_SIZE)
+            .next_power_of_two()
+            .min(MAX_SEGMENTS * SEGMENT_SIZE);
         let directory: Box<[AtomicPtr<Segment>]> = (0..MAX_SEGMENTS)
             .map(|_| AtomicPtr::new(std::ptr::null_mut()))
             .collect();
@@ -99,6 +170,7 @@ where
             directory,
             size: AtomicUsize::new(1),
             count: AtomicUsize::new(0),
+            max_buckets,
             head,
         };
         map.set_bucket_entry(0, head);
@@ -224,12 +296,33 @@ where
 
     fn maybe_grow(&self, count: usize) {
         let size = self.size.load(Ordering::SeqCst);
-        if count > size * LOAD_FACTOR && size < MAX_SEGMENTS * SEGMENT_SIZE {
+        if count > size * LOAD_FACTOR {
+            if size >= self.max_buckets {
+                // The directory is at its cap: this insert wanted a doubling it
+                // cannot have. Chains now grow with every further insert — record
+                // it so the cliff is visible in metrics, not just in latency.
+                metrics::record(Counter::HashSaturated);
+                return;
+            }
             // Doubling is a single CAS; items never move thanks to split-ordering.
             let _ = self
                 .size
                 .compare_exchange(size, size * 2, Ordering::SeqCst, Ordering::SeqCst);
         }
+    }
+
+    /// Number of buckets currently in use (a power of two).
+    pub fn bucket_count(&self) -> usize {
+        self.size.load(Ordering::SeqCst)
+    }
+
+    /// True once the table has stopped resizing: the bucket directory is at its cap
+    /// *and* the load factor calls for another doubling. From this point expected
+    /// chain length — and therefore expected cost of every operation — grows
+    /// linearly with further inserts (see [`SplitOrderedMap::with_bucket_cap`]).
+    pub fn is_saturated(&self) -> bool {
+        let size = self.size.load(Ordering::SeqCst);
+        size >= self.max_buckets && self.len() > size * LOAD_FACTOR
     }
 
     /// Returns a clone of the value mapped to `key`, if present.
@@ -334,6 +427,162 @@ where
             }
             return Some(removed);
         }
+    }
+
+    /// Single-owner bulk insertion of `items`, returning how many were inserted
+    /// (always `items.len()`): the hash-table face of the workspace's bulk-load
+    /// subsystem, used by the SkipTrie to install every prefix of a bulk-loaded key
+    /// set in one pass.
+    ///
+    /// Inserting `n` items one at a time costs `n` bucket localizations, `n` chain
+    /// walks and `n` CAS publications, plus the lazy dummy-initialization cascades
+    /// of every directory doubling along the way. Under `&mut self` none of that
+    /// machinery is needed: the items are sorted by their split-order position once,
+    /// the directory is sized to its final power of two up front (replaying the
+    /// incremental doubling rule, including the [`Counter::HashSaturated`]
+    /// accounting at the cap), dummies for every not-yet-initialized bucket are
+    /// generated in split order, and one three-way merge relinks the entire list —
+    /// existing nodes, new items, new dummies — with plain stores. `O(n log n)` for
+    /// the sort, `O(existing + n + buckets)` for the merge, and the result is
+    /// exactly the list the `n` individual inserts would have produced.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a key equals another item's key or a key already present (the map
+    /// must stay duplicate-free), or if the map is not quiescent (a logically
+    /// deleted node still linked means a concurrent remove — incompatible with
+    /// `&mut self`).
+    pub fn bulk_load(&mut self, items: Vec<(K, V)>) -> usize {
+        let n = items.len();
+        if n == 0 {
+            return 0;
+        }
+        // (1) Sort the new items by their final list position (so_key, key).
+        let mut new_nodes: Vec<(u64, K, V)> = items
+            .into_iter()
+            .map(|(k, v)| (regular_so_key(hash_key(&k)), k, v))
+            .collect();
+        new_nodes.sort_by(|a, b| a.0.cmp(&b.0).then_with(|| a.1.cmp(&b.1)));
+
+        // (2) Final directory size: replay the one-doubling-per-insert growth rule,
+        // recording saturation for every insert that wanted a doubling past the cap.
+        let existing = self.count.load(Ordering::SeqCst);
+        let mut size = self.size.load(Ordering::SeqCst);
+        let mut saturated = 0u64;
+        for i in 1..=n {
+            if existing + i > size * LOAD_FACTOR {
+                if size < self.max_buckets {
+                    size *= 2;
+                } else {
+                    saturated += 1;
+                }
+            }
+        }
+        metrics::add(Counter::HashSaturated, saturated);
+
+        // (3) The existing list, in order (under `&mut self` it must be quiescent:
+        // no marked node is still linked once its remover has returned).
+        let mut old: Vec<*mut ListNode<K, V>> = Vec::with_capacity(existing + 2);
+        unsafe {
+            let mut cur = self.head as *mut ListNode<K, V>;
+            while !cur.is_null() {
+                let next = (*cur).next.load(Ordering::SeqCst);
+                assert!(
+                    !tagged::is_marked(next),
+                    "bulk_load requires a quiescent map (marked node still linked)"
+                );
+                old.push(cur);
+                cur = tagged::unpack::<ListNode<K, V>>(next) as *mut _;
+            }
+        }
+
+        // (4) Buckets of the final directory that still lack a dummy, in split
+        // order: bucket `rev(i)` has the i-th smallest dummy so_key, because
+        // `dummy_so_key(rev(i) >> (64 - s)) == i << (64 - s)` is monotone in `i`.
+        let s = size.trailing_zeros();
+        let missing: Vec<u64> = (0..size as u64)
+            .map(|i| {
+                if s == 0 {
+                    0
+                } else {
+                    i.reverse_bits() >> (64 - s)
+                }
+            })
+            .filter(|&b| tagged::is_null(self.bucket_entry(b).load(Ordering::SeqCst)))
+            .collect();
+
+        // Within-batch duplicates surface as adjacent equal positions after the sort.
+        for w in new_nodes.windows(2) {
+            assert!(
+                (w[0].0, &w[0].1) < (w[1].0, &w[1].1),
+                "bulk_load requires distinct keys"
+            );
+        }
+
+        // (5) Three-way merge by (so_key, dummy-before-regular, key), relinking the
+        // whole list with plain stores and installing new bucket entries. The
+        // descriptor tuple `(so_key, is_regular, key)` carries the total list order:
+        // dummies sort before regular nodes at the same so_key, and `Option<&K>`
+        // breaks regular-vs-regular hash collisions exactly as `list::find` does.
+        let mut merged: Vec<*mut ListNode<K, V>> =
+            Vec::with_capacity(old.len() + new_nodes.len() + missing.len());
+        let mut oi = 0usize;
+        let mut di = 0usize;
+        let mut new_iter = new_nodes.into_iter().peekable();
+        loop {
+            let old_desc = old.get(oi).map(|&p| {
+                // SAFETY: a live node of this map's list; exclusive access.
+                let node = unsafe { &*p };
+                (node.so_key, node.key.is_some(), node.key.as_ref())
+            });
+            let new_desc = new_iter.peek().map(|(so, k, _)| (*so, true, Some(k)));
+            let dummy_desc = missing.get(di).map(|&b| (dummy_so_key(b), false, None));
+            let smallest = [old_desc, new_desc, dummy_desc].into_iter().flatten().min();
+            let Some(smallest) = smallest else {
+                break;
+            };
+            if old_desc == Some(smallest) {
+                assert!(
+                    new_desc != Some(smallest),
+                    "bulk_load key already present in the map"
+                );
+                merged.push(old[oi]);
+                oi += 1;
+            } else if dummy_desc == Some(smallest) {
+                merged.push(self.new_bucket_dummy(missing[di]));
+                di += 1;
+            } else {
+                let (so, k, v) = new_iter.next().expect("peeked");
+                merged.push(Box::into_raw(ListNode::new_regular(so, k, v)));
+            }
+        }
+
+        debug_assert_eq!(merged[0], self.head as *mut _, "head dummy stays first");
+        for pair in merged.windows(2) {
+            // SAFETY: every node is owned by this map; exclusive access.
+            unsafe {
+                (*pair[0])
+                    .next
+                    .store(tagged::pack(pair[1]), Ordering::Relaxed)
+            };
+        }
+        // SAFETY: as above.
+        unsafe {
+            (*merged[merged.len() - 1])
+                .next
+                .store(tagged::NULL, Ordering::Relaxed)
+        };
+
+        self.size.store(size, Ordering::SeqCst);
+        self.count.fetch_add(n, Ordering::SeqCst);
+        n
+    }
+
+    /// Allocates a dummy for `bucket` and installs its directory entry (bulk path).
+    fn new_bucket_dummy(&self, bucket: u64) -> *mut ListNode<K, V> {
+        let dummy = Box::into_raw(ListNode::<K, V>::new_dummy(dummy_so_key(bucket)));
+        self.set_bucket_entry(bucket, dummy);
+        dummy
     }
 
     /// Calls `f` for every `(key, value)` currently reachable. Intended for tests,
@@ -444,6 +693,146 @@ mod tests {
             assert_eq!(map.get(&i), expected);
         }
         assert_eq!(map.len(), (n / 2) as usize);
+    }
+
+    #[test]
+    fn saturated_table_stays_correct_and_is_observable() {
+        use skiptrie_metrics::Counter;
+
+        // A 4-bucket cap saturates after ~12 items; the real cap (2^24 buckets)
+        // behaves identically at ~50M items, which no unit test should insert.
+        let map: SplitOrderedMap<u64, u64> = SplitOrderedMap::with_bucket_cap(4);
+        assert!(!map.is_saturated());
+        let n = 500u64;
+        let ((), delta) = skiptrie_metrics::measure(|| {
+            for i in 0..n {
+                assert!(map.insert(i, i * 3));
+            }
+        });
+        // The directory stopped at the cap instead of doubling to ~n/3 buckets...
+        assert_eq!(map.bucket_count(), 4);
+        assert!(map.is_saturated());
+        // ...and said so: every post-cap insert that wanted a doubling recorded the
+        // saturation counter (once per insert past the load-factor threshold).
+        assert!(
+            delta.get(Counter::HashSaturated) >= n - 4 * LOAD_FACTOR as u64 - 1,
+            "saturation must be observable: {} records",
+            delta.get(Counter::HashSaturated)
+        );
+        // Correctness is unaffected — the chains are just long.
+        for i in 0..n {
+            assert_eq!(map.get(&i), Some(i * 3), "lookup {i} past saturation");
+        }
+        assert!(!map.insert(7, 0), "duplicate rejection still works");
+        for i in (0..n).step_by(2) {
+            assert_eq!(map.remove(&i), Some(i * 3));
+        }
+        for i in 0..n {
+            let expected = (i % 2 == 1).then_some(i * 3);
+            assert_eq!(map.get(&i), expected, "post-removal lookup {i}");
+        }
+        assert_eq!(map.len(), n as usize / 2);
+    }
+
+    #[test]
+    fn bucket_cap_is_clamped_and_rounded() {
+        let map: SplitOrderedMap<u64, u64> = SplitOrderedMap::with_bucket_cap(5);
+        for i in 0..200u64 {
+            map.insert(i, i);
+        }
+        assert_eq!(
+            map.bucket_count(),
+            8,
+            "cap 5 rounds up to 8 and stops there"
+        );
+        let unbounded: SplitOrderedMap<u64, u64> = SplitOrderedMap::new();
+        for i in 0..200u64 {
+            unbounded.insert(i, i);
+        }
+        assert!(unbounded.bucket_count() > 8, "the default cap is far away");
+        assert!(!unbounded.is_saturated());
+    }
+
+    #[test]
+    fn bulk_load_equals_incremental_inserts() {
+        let mut bulk: SplitOrderedMap<u64, u64> = SplitOrderedMap::new();
+        // Pre-existing entries (the SkipTrie's permanent ε is the real-world case).
+        assert!(bulk.insert(1_000_000, 42));
+        assert!(bulk.insert(2_000_000, 43));
+        let incremental: SplitOrderedMap<u64, u64> = SplitOrderedMap::new();
+        incremental.insert(1_000_000, 42);
+        incremental.insert(2_000_000, 43);
+
+        let n = 20_000u64;
+        let items: Vec<(u64, u64)> = (0..n).map(|i| (i, i * 7)).collect();
+        assert_eq!(bulk.bulk_load(items.clone()), n as usize);
+        for (k, v) in items {
+            incremental.insert(k, v);
+        }
+        assert_eq!(bulk.len(), incremental.len());
+        assert_eq!(
+            bulk.bucket_count(),
+            incremental.bucket_count(),
+            "bulk replays the incremental doubling rule"
+        );
+        for i in 0..n {
+            assert_eq!(bulk.get(&i), Some(i * 7), "bulk get {i}");
+        }
+        assert_eq!(
+            bulk.get(&1_000_000),
+            Some(42),
+            "pre-existing entry survives"
+        );
+        assert_eq!(bulk.get(&n), None);
+        // The loaded map keeps working through the concurrent protocol.
+        assert!(!bulk.insert(5, 0), "duplicates still rejected");
+        assert!(bulk.insert(n + 1, 1));
+        for i in (0..n).step_by(3) {
+            assert_eq!(bulk.remove(&i), Some(i * 7));
+        }
+        let mut live = 0usize;
+        bulk.for_each(|_, _| live += 1);
+        assert_eq!(live, bulk.len());
+    }
+
+    #[test]
+    fn bulk_load_respects_the_bucket_cap() {
+        let mut capped: SplitOrderedMap<u64, u64> = SplitOrderedMap::with_bucket_cap(4);
+        let ((), delta) = skiptrie_metrics::measure(|| {
+            capped.bulk_load((0..200u64).map(|i| (i, i)).collect());
+        });
+        assert_eq!(capped.bucket_count(), 4);
+        assert!(capped.is_saturated());
+        assert!(
+            delta.get(skiptrie_metrics::Counter::HashSaturated) >= 180,
+            "capped bulk inserts record saturation too"
+        );
+        for i in 0..200u64 {
+            assert_eq!(capped.get(&i), Some(i));
+        }
+    }
+
+    #[test]
+    fn empty_bulk_load_is_a_noop() {
+        let mut map: SplitOrderedMap<u64, u64> = SplitOrderedMap::new();
+        assert_eq!(map.bulk_load(Vec::new()), 0);
+        assert!(map.is_empty());
+        assert!(map.insert(1, 1));
+    }
+
+    #[test]
+    #[should_panic(expected = "distinct keys")]
+    fn bulk_load_rejects_within_batch_duplicates() {
+        let mut map: SplitOrderedMap<u64, u64> = SplitOrderedMap::new();
+        map.bulk_load(vec![(1, 1), (2, 2), (1, 3)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "already present")]
+    fn bulk_load_rejects_present_keys() {
+        let mut map: SplitOrderedMap<u64, u64> = SplitOrderedMap::new();
+        map.insert(7, 7);
+        map.bulk_load(vec![(7, 8)]);
     }
 
     #[test]

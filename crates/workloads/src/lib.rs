@@ -269,6 +269,40 @@ impl WorkloadSpec {
         }
     }
 
+    /// The ingest-then-serve workload family (experiment E11): a checkpoint-restore
+    /// shaped run whose prefill is a *restored snapshot* of `restored` keys —
+    /// consumed in bulk through [`WorkloadSpec::sorted_prefill_entries`] — followed
+    /// by a read-mostly serve phase ([`OpMix::READ_HEAVY`]) over the same key
+    /// distribution. This is how production systems actually start: not empty, but
+    /// from a checkpoint, with traffic arriving the moment the restore finishes.
+    pub fn ingest_then_serve(
+        universe_bits: u32,
+        restored: usize,
+        ops_per_thread: usize,
+        threads: usize,
+        seed: u64,
+    ) -> Self {
+        WorkloadSpec {
+            universe_bits,
+            prefill: restored,
+            ops_per_thread,
+            threads,
+            dist: KeyDist::Uniform,
+            mix: OpMix::READ_HEAVY,
+            seed,
+        }
+    }
+
+    /// The prefill as sorted, strictly increasing `(key, value = key)` entries —
+    /// exactly the input shape the bulk loaders (`SkipTrie::bulk_load`,
+    /// `ShardedSkipTrie::bulk_load`) consume, and byte-for-byte the key set
+    /// [`WorkloadSpec::prefill_keys`] would insert one at a time.
+    pub fn sorted_prefill_entries(&self) -> Vec<(u64, u64)> {
+        let mut keys = self.prefill_keys();
+        keys.sort_unstable();
+        keys.into_iter().map(|k| (k, k)).collect()
+    }
+
     /// The keys inserted during the prefill phase (deterministic, duplicate-free).
     pub fn prefill_keys(&self) -> Vec<u64> {
         let mut rng = SplitMix64::new(self.seed ^ 0xbeef_cafe_f00d_0001);
@@ -379,6 +413,25 @@ mod tests {
         assert_eq!(spec.prefill_keys(), spec.prefill_keys());
         assert_eq!(spec.prefill_keys().len(), 100);
         assert_eq!(spec.total_ops(), 2_000);
+    }
+
+    #[test]
+    fn ingest_then_serve_is_restore_shaped() {
+        let spec = WorkloadSpec::ingest_then_serve(20, 2_000, 300, 4, 77);
+        assert_eq!(spec.prefill, 2_000);
+        assert_eq!(spec.mix, OpMix::READ_HEAVY);
+        let entries = spec.sorted_prefill_entries();
+        assert_eq!(entries.len(), 2_000);
+        assert!(
+            entries.windows(2).all(|w| w[0].0 < w[1].0),
+            "strictly increasing — the bulk loaders' input contract"
+        );
+        assert!(entries.iter().all(|&(k, v)| k == v && k < (1 << 20)));
+        // Same key *set* as the one-at-a-time prefill, just sorted.
+        let mut unsorted = spec.prefill_keys();
+        unsorted.sort_unstable();
+        let sorted_keys: Vec<u64> = entries.iter().map(|&(k, _)| k).collect();
+        assert_eq!(sorted_keys, unsorted);
     }
 
     #[test]

@@ -1,0 +1,75 @@
+//! Checkpoint/restore: snapshot a serving forest, then cold-start a fresh one from
+//! the checkpoint with the parallel bulk loader.
+//!
+//! Run with:
+//!
+//! ```text
+//! cargo run --example checkpoint_restore --release
+//! ```
+//!
+//! Production systems do not start empty — they restore a checkpoint and serve.
+//! This example walks the whole loop: build a sharded forest under simulated
+//! traffic, export a `snapshot()` (sorted, duplicate-free, taken under one epoch
+//! pin per shard), restore it into a *differently sharded* forest via
+//! `from_sorted` (single-owner `O(n)` construction, one worker thread per shard),
+//! and verify the restored forest serves identically.
+
+use std::time::Instant;
+
+use skiptrie_suite::skiptrie::{ShardedSkipTrie, ShardedSkipTrieConfig};
+
+fn main() {
+    let n: u64 = 200_000;
+
+    println!("== phase 1: a serving forest accumulates state ==");
+    let serving: ShardedSkipTrie<u64> =
+        ShardedSkipTrie::new(ShardedSkipTrieConfig::for_universe_bits(32).with_shards(8));
+    let start = Instant::now();
+    for i in 0..n {
+        // Scattered keys (Fibonacci spread) — the worst case for one-at-a-time
+        // ingest, which is exactly why checkpoints should restore via bulk_load.
+        let key = i.wrapping_mul(0x9E37_79B9_7F4A_7C15) & 0xffff_ffff;
+        serving.insert(key, i);
+    }
+    println!(
+        "   {} keys inserted one at a time in {:?}",
+        serving.len(),
+        start.elapsed()
+    );
+
+    println!("== phase 2: checkpoint ==");
+    let start = Instant::now();
+    let checkpoint = serving.snapshot();
+    println!(
+        "   snapshot of {} entries in {:?} (sorted: {})",
+        checkpoint.len(),
+        start.elapsed(),
+        checkpoint.windows(2).all(|w| w[0].0 < w[1].0),
+    );
+
+    println!("== phase 3: restore into a wider forest ==");
+    let start = Instant::now();
+    let restored: ShardedSkipTrie<u64> = ShardedSkipTrie::from_sorted(
+        ShardedSkipTrieConfig::for_universe_bits(32).with_shards(16),
+        &checkpoint,
+    );
+    println!(
+        "   bulk-loaded {} keys into 16 shards in {:?} (parallel per-shard build)",
+        restored.len(),
+        start.elapsed()
+    );
+
+    println!("== phase 4: the restored forest serves identically ==");
+    assert_eq!(restored.len(), serving.len());
+    for probe in [0u64, 1 << 16, 1 << 24, (1 << 32) - 1] {
+        assert_eq!(restored.predecessor(probe), serving.predecessor(probe));
+        assert_eq!(restored.successor(probe), serving.successor(probe));
+    }
+    assert_eq!(restored.snapshot(), checkpoint, "round trip is lossless");
+    let window: Vec<(u64, u64)> = restored.range(1 << 20..1 << 21).collect();
+    println!(
+        "   predecessor/successor/range agree; e.g. {} keys in [2^20, 2^21)",
+        window.len()
+    );
+    println!("done.");
+}

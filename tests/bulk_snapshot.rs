@@ -1,0 +1,155 @@
+//! Concurrent correctness of the checkpoint/restore pair: `snapshot()` taken while
+//! writers churn must honour the PR 3 cursor contract — sorted, duplicate-free,
+//! every *stable* key (present for the whole snapshot) included exactly once, every
+//! yielded key one that was actually present at some point — and a quiesced
+//! snapshot must restore losslessly through `bulk_load` on a fresh structure.
+//!
+//! Key classes by residue mod 3: class 0 is stable (inserted before the workload,
+//! never written again), classes 1 and 2 are churned throughout. All orchestration
+//! goes through `skiptrie_workloads::harness` (barrier start, deterministic
+//! per-worker RNGs, `SKIPTRIE_SCALE` sizing).
+
+use std::collections::HashSet;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Mutex;
+
+use skiptrie_suite::skiptrie::{ShardedSkipTrie, ShardedSkipTrieConfig, SkipTrie, SkipTrieConfig};
+use skiptrie_suite::workloads::harness::{scaled, Workload};
+
+const UNIVERSE_BITS: u32 = 32;
+const MAX: u64 = 1 << UNIVERSE_BITS;
+const SHARDS: usize = 8;
+
+/// Stable keys: multiples of 3 spread across the whole universe (every shard).
+fn stable_keys(n: u64) -> HashSet<u64> {
+    let stride = MAX / (n + 1);
+    (0..n).map(|i| i * stride / 3 * 3).collect()
+}
+
+/// A churn key: class 1 or 2 mod 3, never colliding with the stable class. The
+/// draw is clamped below `MAX - 3` so the `+1`/`+2` cannot leave the universe.
+fn churn_key(raw: u64, parity: u64) -> u64 {
+    let k = raw % (MAX - 3);
+    k - k % 3 + 1 + (parity % 2)
+}
+
+fn check_snapshot(snap: &[(u64, u64)], stable: &HashSet<u64>, context: &str) {
+    assert!(
+        snap.windows(2).all(|w| w[0].0 < w[1].0),
+        "{context}: snapshot must be sorted and duplicate-free"
+    );
+    let snap_keys: HashSet<u64> = snap.iter().map(|&(k, _)| k).collect();
+    for &k in stable {
+        assert!(
+            snap_keys.contains(&k),
+            "{context}: stable key {k} missing from a snapshot taken under churn"
+        );
+    }
+    for &(k, v) in snap {
+        // Values encode their key, so a torn or misattributed read shows up here.
+        assert_eq!(v, k ^ 0xabcd, "{context}: value of {k} corrupted");
+        // Only keys somebody actually inserted may appear.
+        assert!(
+            stable.contains(&k) || k % 3 != 0,
+            "{context}: key {k} was never inserted by anyone"
+        );
+    }
+}
+
+#[test]
+fn forest_snapshot_under_churn_keeps_the_cursor_contract() {
+    let f: ShardedSkipTrie<u64> = ShardedSkipTrie::new(
+        ShardedSkipTrieConfig::for_universe_bits(UNIVERSE_BITS).with_shards(SHARDS),
+    );
+    let stable = stable_keys(scaled(3_000) as u64);
+    for &k in &stable {
+        f.insert(k, k ^ 0xabcd);
+    }
+    let done = AtomicBool::new(false);
+    let snapshots: Mutex<Vec<Vec<(u64, u64)>>> = Mutex::new(Vec::new());
+    let writers = 4usize;
+    let iters = scaled(20_000);
+    Workload::new(0xb51c)
+        .workers(writers, |mut ctx| {
+            for _ in 0..iters {
+                let k = churn_key(ctx.rng.next(), ctx.rng.next());
+                if ctx.rng.next().is_multiple_of(2) {
+                    f.insert(k, k ^ 0xabcd);
+                } else {
+                    f.remove(k);
+                }
+            }
+            done.store(true, Ordering::SeqCst);
+        })
+        .worker(|_| {
+            // Snapshot continuously while the writers churn (at least once even if
+            // the writers finish first — the contract must hold then too).
+            loop {
+                let snap = f.snapshot();
+                snapshots.lock().unwrap().push(snap);
+                if done.load(Ordering::SeqCst) {
+                    break;
+                }
+            }
+        })
+        .run();
+    let snaps = snapshots.into_inner().unwrap();
+    assert!(!snaps.is_empty());
+    for (i, snap) in snaps.iter().enumerate() {
+        check_snapshot(snap, &stable, &format!("forest snapshot {i}"));
+    }
+    // Quiesced: snapshot equals to_vec equals a full restore — into a different
+    // forest geometry, since the checkpoint format is just sorted pairs.
+    let final_snap = f.snapshot();
+    assert_eq!(final_snap, f.to_vec());
+    let restored: ShardedSkipTrie<u64> = ShardedSkipTrie::from_sorted(
+        ShardedSkipTrieConfig::for_universe_bits(UNIVERSE_BITS).with_shards(4),
+        &final_snap,
+    );
+    assert_eq!(restored.len(), f.len());
+    assert_eq!(restored.snapshot(), final_snap, "restore is lossless");
+    assert!(restored.check_traversal_integrity() >= restored.len());
+}
+
+#[test]
+fn trie_snapshot_under_churn_keeps_the_cursor_contract() {
+    let t: SkipTrie<u64> = SkipTrie::new(SkipTrieConfig::for_universe_bits(UNIVERSE_BITS));
+    let stable = stable_keys(scaled(2_000) as u64);
+    for &k in &stable {
+        t.insert(k, k ^ 0xabcd);
+    }
+    let done = AtomicBool::new(false);
+    let checked = Mutex::new(0usize);
+    let writers = 3usize;
+    let iters = scaled(15_000);
+    Workload::new(0x5a4e)
+        .workers(writers, |mut ctx| {
+            for _ in 0..iters {
+                let k = churn_key(ctx.rng.next(), ctx.rng.next());
+                if ctx.rng.next().is_multiple_of(2) {
+                    t.insert(k, k ^ 0xabcd);
+                } else {
+                    t.remove(k);
+                }
+            }
+            done.store(true, Ordering::SeqCst);
+        })
+        .worker(|_| loop {
+            let snap = t.snapshot();
+            check_snapshot(&snap, &stable, "trie snapshot");
+            *checked.lock().unwrap() += 1;
+            if done.load(Ordering::SeqCst) {
+                break;
+            }
+        })
+        .run();
+    assert!(*checked.lock().unwrap() > 0);
+    // Round trip after quiescence.
+    let checkpoint = t.snapshot();
+    let restored: SkipTrie<u64> = SkipTrie::from_sorted(
+        SkipTrieConfig::for_universe_bits(UNIVERSE_BITS),
+        checkpoint.iter().copied(),
+    );
+    assert_eq!(restored.to_vec(), checkpoint);
+    assert_eq!(restored.len(), t.len());
+}

@@ -1,0 +1,70 @@
+//! Regression test for the ROADMAP-recorded drained-forest pop bug: `pop_first` /
+//! `pop_last` over a mostly-empty forest used to re-probe **every** empty shard on
+//! **every** pop — `O(S)` real searches (each `pop_last` probe running a full x-fast
+//! `LowestAncestor` descent) to extract one key. The fix skips shards whose relaxed
+//! occupancy counter reads 0 and verifies the skip is real by counting actual probes
+//! through the `shard_pop_probe` / `shard_pop_skip` metrics counters.
+//!
+//! This file deliberately holds **only this test**: the counters are process-wide,
+//! so it runs alone in its own integration-test binary — any concurrently running
+//! test that popped a forest would pollute the probe counts.
+
+use skiptrie_suite::metrics::{self, Counter};
+use skiptrie_suite::skiptrie::{ShardedSkipTrie, ShardedSkipTrieConfig};
+use skiptrie_suite::workloads::harness::scaled;
+
+#[test]
+fn drained_forest_pops_probe_only_occupied_shards() {
+    const SHARDS: usize = 16;
+    const UNIVERSE_BITS: u32 = 32;
+    const SHARD_SPAN: u64 = (1 << UNIVERSE_BITS) / SHARDS as u64;
+
+    // One-hot occupancy: every key lives in shard 9 of 16, so 9 empty shards sit in
+    // front of the hot one on the pop_first path (6 on the pop_last path).
+    let f: ShardedSkipTrie<u64> = ShardedSkipTrie::new(
+        ShardedSkipTrieConfig::for_universe_bits(UNIVERSE_BITS).with_shards(SHARDS),
+    );
+    let n = scaled(1_000) as u64;
+    let base = 9 * SHARD_SPAN;
+    for k in 0..n {
+        assert!(f.insert(base + k, k));
+    }
+
+    let ((), delta) = metrics::measure(|| {
+        // Drain from the front, then re-fill and drain from the back, then ask the
+        // empty forest once more from each end (the authoritative fallback pass).
+        for k in 0..n {
+            assert_eq!(f.pop_first(), Some((base + k, k)), "ordered front drain");
+        }
+        assert_eq!(f.pop_first(), None);
+        for k in 0..n {
+            assert!(f.insert(base + k, k));
+        }
+        for k in (0..n).rev() {
+            assert_eq!(f.pop_last(), Some((base + k, k)), "ordered back drain");
+        }
+        assert_eq!(f.pop_last(), None);
+    });
+
+    let probes = delta.get(Counter::ShardPopProbe);
+    let skips = delta.get(Counter::ShardPopSkip);
+    let pops = 2 * n;
+    // One real probe per successful pop, plus 2 * SHARDS fallback probes for the
+    // two authoritative None answers (and a little slack for the final pop of each
+    // drain, which may fall through to the fallback pass after the hot shard's
+    // counter hits 0). Before the fix this was ~10 probes per pop_first and ~7 per
+    // pop_last — `pops * 8`-ish in total.
+    let ceiling = pops + 4 * SHARDS as u64;
+    assert!(
+        probes <= ceiling,
+        "empty shards must not be probed per pop: {probes} probes for {pops} pops \
+         (ceiling {ceiling})"
+    );
+    // The empty shards in front of the hot one are skipped on every pop: at least
+    // 9 skips per pop_first and 6 per pop_last.
+    assert!(
+        skips >= n * 9 + n * 6,
+        "occupancy skips must happen: {skips} skips for {pops} pops"
+    );
+    assert!(f.is_empty());
+}
