@@ -45,6 +45,7 @@ use std::ops::RangeBounds;
 use skiptrie_atomics::dcss::DcssMode;
 use skiptrie_metrics::{self as metrics, Counter};
 use skiptrie_skiplist::{resolve_bounds, RangeIter};
+use skiptrie_splitorder::DirectoryConfig;
 
 use crate::{prefix, SkipTrie, SkipTrieConfig};
 
@@ -68,6 +69,9 @@ pub struct ShardedSkipTrieConfig {
     /// shards in the process-wide default domain — useful only for apples-to-apples
     /// ablations of the domain isolation itself.
     pub isolate_epochs: bool,
+    /// Shape of every shard's prefix-table bucket directory (unbounded growable
+    /// segment tree by default); see [`SkipTrieConfig::with_hash_directory`].
+    pub hash_dir: DirectoryConfig,
 }
 
 impl Default for ShardedSkipTrieConfig {
@@ -94,6 +98,7 @@ impl ShardedSkipTrieConfig {
             mode: DcssMode::Descriptor,
             seed: 0x5eed_5eed_5eed_5eed,
             isolate_epochs: true,
+            hash_dir: DirectoryConfig::default(),
         }
     }
 
@@ -127,6 +132,20 @@ impl ShardedSkipTrieConfig {
     /// domain per shard (see [`ShardedSkipTrieConfig::isolate_epochs`]).
     pub fn with_shared_epoch(mut self) -> Self {
         self.isolate_epochs = false;
+        self
+    }
+
+    /// Overrides the shape of every shard's prefix-table bucket directory — see
+    /// [`DirectoryConfig`].
+    pub fn with_hash_directory(mut self, hash_dir: DirectoryConfig) -> Self {
+        self.hash_dir = hash_dir;
+        self
+    }
+
+    /// Caps every shard's prefix-table directory at `cap` buckets (the legacy
+    /// bounded mode); see [`SkipTrieConfig::with_hash_bucket_cap`].
+    pub fn with_hash_bucket_cap(mut self, cap: usize) -> Self {
+        self.hash_dir = self.hash_dir.with_bucket_cap(cap);
         self
     }
 }
@@ -202,6 +221,7 @@ where
             .map(|i| {
                 let mut shard_config = SkipTrieConfig::for_universe_bits(config.universe_bits)
                     .with_mode(config.mode)
+                    .with_hash_directory(config.hash_dir)
                     // Decorrelate tower heights across shards.
                     .with_seed(
                         config

@@ -68,6 +68,7 @@ pub use skiptrie_atomics::dcss::DcssMode;
 pub use skiptrie_skiplist::{
     levels_for_universe_bits, resolve_bounds, Cursor, NodeRef, RangeIter, SkipList, SkipListConfig,
 };
+pub use skiptrie_splitorder::DirectoryConfig;
 
 use std::ops::RangeBounds;
 
@@ -90,6 +91,11 @@ pub struct SkipTrieConfig {
     /// domain). Set by [`ShardedSkipTrie`] so each shard reclaims independently; see
     /// [`SkipTrieConfig::with_domain`].
     pub domain: Option<usize>,
+    /// Shape of the prefix table's bucket directory. The default is the unbounded
+    /// growable segment tree, which keeps every `LowestAncestor` hash probe `O(1)`
+    /// expected at any size; see [`SkipTrieConfig::with_hash_bucket_cap`] for the
+    /// legacy bounded mode.
+    pub hash_dir: DirectoryConfig,
 }
 
 impl Default for SkipTrieConfig {
@@ -114,6 +120,7 @@ impl SkipTrieConfig {
             mode: DcssMode::Descriptor,
             seed: 0x5eed_5eed_5eed_5eed,
             domain: None,
+            hash_dir: DirectoryConfig::default(),
         }
     }
 
@@ -139,6 +146,26 @@ impl SkipTrieConfig {
     /// the default domain (it is self-contained either way).
     pub fn with_domain(mut self, domain: usize) -> Self {
         self.domain = Some(domain);
+        self
+    }
+
+    /// Overrides the full shape of the prefix table's bucket directory (fanout for
+    /// growth-at-test-scale, optional cap) — see [`DirectoryConfig`].
+    pub fn with_hash_directory(mut self, hash_dir: DirectoryConfig) -> Self {
+        self.hash_dir = hash_dir;
+        self
+    }
+
+    /// Caps the prefix table's bucket directory at `cap` buckets — the legacy
+    /// *bounded* hash-directory mode.
+    ///
+    /// Past the cap, prefix probes stay correct but their expected cost grows
+    /// linearly with the number of stored prefixes, and each capped insert records
+    /// [`skiptrie_metrics::Counter::HashSaturated`]. This knob exists for A/B
+    /// experiments against the unbounded default (E12) and for saturation tests; it
+    /// is never what a production configuration wants.
+    pub fn with_hash_bucket_cap(mut self, cap: usize) -> Self {
+        self.hash_dir = self.hash_dir.with_bucket_cap(cap);
         self
     }
 }
@@ -183,7 +210,7 @@ where
             .with_seed(config.seed);
         list_config.domain = config.domain;
         let skiplist = SkipList::new(list_config);
-        let prefixes = SplitOrderedMap::new();
+        let prefixes = SplitOrderedMap::with_directory(config.hash_dir);
         // The empty prefix ε is permanent (Algorithm 3 line 4 starts from it).
         prefixes.insert(
             Prefix::EMPTY,
@@ -227,6 +254,20 @@ where
     /// True if no keys are stored (quiescently accurate).
     pub fn is_empty(&self) -> bool {
         self.len() == 0
+    }
+
+    /// Current height of the prefix table's bucket-directory segment tree —
+    /// diagnostics for growth tests and the E12 experiment. Grows as the number of
+    /// published prefixes crosses each `fanout^height` capacity.
+    pub fn prefix_directory_height(&self) -> u32 {
+        self.prefixes.directory_height()
+    }
+
+    /// True once the prefix table has stopped resizing — possible only in the legacy
+    /// bounded mode ([`SkipTrieConfig::with_hash_bucket_cap`]); the unbounded
+    /// default never saturates.
+    pub fn prefix_table_saturated(&self) -> bool {
+        self.prefixes.is_saturated()
     }
 
     fn check_key(&self, key: u64) {
@@ -1248,5 +1289,76 @@ mod tests {
         assert_eq!(t.predecessor(3), Some((2, 12)));
         assert_eq!(t.remove(0), Some(10));
         assert_eq!(t.successor(0), Some((1, 11)));
+    }
+
+    #[test]
+    fn bounded_prefix_table_still_saturates_observably() {
+        use skiptrie_metrics::Counter;
+
+        // The legacy bounded mode (PR 5 semantics) survives behind the knob: a
+        // 4-bucket prefix directory saturates after a handful of published
+        // prefixes, and says so.
+        let config = SkipTrieConfig::for_universe_bits(16)
+            .with_seed(7)
+            .with_hash_bucket_cap(4);
+        assert_eq!(config.hash_dir.bucket_cap, Some(4));
+        let t: SkipTrie<u64> = SkipTrie::new(config);
+        assert!(!t.prefix_table_saturated());
+        let ((), delta) = skiptrie_metrics::measure(|| {
+            for key in 0..2_000u64 {
+                t.insert(key * 31 % (1 << 16), key);
+            }
+        });
+        assert!(t.prefix_table_saturated());
+        assert!(
+            delta.get(Counter::HashSaturated) > 0,
+            "capped prefix inserts must record saturation"
+        );
+        // Correctness survives saturation; only the chains are long.
+        assert_eq!(t.get(31), Some(1));
+        assert!(t.predecessor(1 << 15).is_some());
+    }
+
+    #[test]
+    fn default_prefix_directory_grows_instead_of_saturating() {
+        // Fanout 16 puts root growth within unit-test reach: enough published
+        // prefixes push the directory through several heights, and the default
+        // (unbounded) mode never reports saturation.
+        let config = SkipTrieConfig::for_universe_bits(32)
+            .with_seed(7)
+            .with_hash_directory(DirectoryConfig::default().with_segment_bits(4));
+        let t: SkipTrie<u64> = SkipTrie::new(config);
+        assert_eq!(t.prefix_directory_height(), 1);
+        for key in 0..6_000u64 {
+            t.insert(key * 2_654_435_761 % (1 << 32), key);
+        }
+        assert!(
+            t.prefix_directory_height() >= 3,
+            "prefix growth crossed at least two tree capacities, height {}",
+            t.prefix_directory_height()
+        );
+        assert!(!t.prefix_table_saturated());
+        assert!(t.check_trie_integrity() > 0);
+    }
+
+    #[test]
+    fn forest_passes_the_hash_directory_knob_to_every_shard() {
+        let hash_dir = DirectoryConfig::default()
+            .with_segment_bits(4)
+            .with_bucket_cap(64);
+        let config = ShardedSkipTrieConfig::for_universe_bits(32)
+            .with_shards(4)
+            .with_hash_directory(hash_dir);
+        let forest: ShardedSkipTrie<u64> = ShardedSkipTrie::new(config);
+        for i in 0..forest.shard_count() {
+            assert_eq!(forest.shard(i).config().hash_dir, hash_dir);
+        }
+        // And the cap-only convenience knob composes with the default fanout.
+        let capped = ShardedSkipTrieConfig::for_universe_bits(32).with_hash_bucket_cap(128);
+        assert_eq!(capped.hash_dir.bucket_cap, Some(128));
+        assert_eq!(
+            capped.hash_dir.segment_bits,
+            DirectoryConfig::default().segment_bits
+        );
     }
 }

@@ -111,6 +111,13 @@ where
 {
     /// Algorithm 3: binary search on prefix length for the lowest ancestor of `key`,
     /// returning the best top-level pointer encountered.
+    ///
+    /// Each probe is one `prefixes.get` — `O(1)` *expected* only while the hash
+    /// table's chains stay short, which the unbounded bucket directory (the default)
+    /// guarantees at every size. Under a legacy bounded directory
+    /// ([`crate::SkipTrieConfig::with_hash_bucket_cap`]) every probe past saturation
+    /// degrades into a chain walk, and with it the whole `O(log log u)` bound — the
+    /// degradation the E12 experiment measures.
     pub(crate) fn lowest_ancestor<'g>(&'g self, key: u64, guard: &'g Guard) -> NodeRef<'g, V> {
         let b = self.universe_bits();
         let head = self.skiplist().head_top();

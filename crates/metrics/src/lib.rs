@@ -75,7 +75,14 @@ pub use stopwatch::Stopwatch;
 /// * [`Counter::HashSaturated`] — inserts into a split-ordered hash map that wanted
 ///   to double the bucket directory but found it at its configured cap; chains grow
 ///   past this point, so a climbing value is the observable form of what used to be
-///   a silent latency cliff.
+///   a silent latency cliff. The default (unbounded) directory never records this —
+///   only the legacy bounded mode can.
+/// * [`Counter::DirGrow`] — successful root-CAS growths of a hash map's segment
+///   tree (the directory gained one level of height).
+/// * [`Counter::DirNodeAlloc`] / [`Counter::DirNodeFreed`] — directory tree nodes
+///   allocated (lazily, or eagerly by a bulk pre-size) and freed at map drop; a
+///   matched pair over a map's lifetime is the leak-freedom invariant the
+///   reclamation canary pins.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
 #[allow(missing_docs)]
 pub enum Counter {
@@ -96,11 +103,14 @@ pub enum Counter {
     ShardPopProbe,
     ShardPopSkip,
     HashSaturated,
+    DirGrow,
+    DirNodeAlloc,
+    DirNodeFreed,
 }
 
 impl Counter {
     /// All counters, in a stable order used for display and serialization.
-    pub const ALL: [Counter; 17] = [
+    pub const ALL: [Counter; 20] = [
         Counter::PtrRead,
         Counter::HashOp,
         Counter::CasAttempt,
@@ -118,6 +128,9 @@ impl Counter {
         Counter::ShardPopProbe,
         Counter::ShardPopSkip,
         Counter::HashSaturated,
+        Counter::DirGrow,
+        Counter::DirNodeAlloc,
+        Counter::DirNodeFreed,
     ];
 
     /// Number of distinct counters.
@@ -150,6 +163,9 @@ impl Counter {
             Counter::ShardPopProbe => "shard_pop_probe",
             Counter::ShardPopSkip => "shard_pop_skip",
             Counter::HashSaturated => "hash_saturated",
+            Counter::DirGrow => "dir_grow",
+            Counter::DirNodeAlloc => "dir_node_alloc",
+            Counter::DirNodeFreed => "dir_node_freed",
         }
     }
 }

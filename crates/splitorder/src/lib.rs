@@ -33,7 +33,9 @@
 
 #![warn(missing_docs)]
 
+mod dir;
 mod list;
 mod map;
 
+pub use dir::DirectoryConfig;
 pub use map::SplitOrderedMap;

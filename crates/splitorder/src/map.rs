@@ -1,26 +1,19 @@
-//! The split-ordered hash map proper: a lazily-initialized, doubling bucket directory
-//! over the single lock-free list of [`crate::list`].
+//! The split-ordered hash map proper: a growable, lazily-initialized bucket
+//! directory (the segment tree of [`crate::dir`]) over the single lock-free list of
+//! [`crate::list`].
 
 use std::hash::{Hash, Hasher};
-use std::sync::atomic::{AtomicPtr, AtomicU64, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 
 use crossbeam_epoch::{self as epoch, Guard};
 use skiptrie_atomics::{retire_box, tagged};
 use skiptrie_metrics::{self as metrics, Counter};
 
+use crate::dir::{Directory, DirectoryConfig};
 use crate::list::{self, ListNode};
 
-/// Buckets per directory segment (segments are allocated lazily).
-const SEGMENT_BITS: usize = 12;
-const SEGMENT_SIZE: usize = 1 << SEGMENT_BITS;
-/// Maximum number of segments; the table stops growing past
-/// `MAX_SEGMENTS * SEGMENT_SIZE` buckets (lookups stay correct, just with longer
-/// expected chains).
-const MAX_SEGMENTS: usize = 1 << 12;
 /// The table doubles once the average chain length exceeds this.
 const LOAD_FACTOR: usize = 3;
-
-type Segment = [AtomicU64; SEGMENT_SIZE];
 
 /// A lock-free, linearizable, resizable hash map with *insert-if-absent* semantics.
 ///
@@ -32,17 +25,18 @@ type Segment = [AtomicU64; SEGMENT_SIZE];
 /// list) in addition to the usual `Hash + Eq`. Values are returned by clone; use
 /// `Copy` types (the SkipTrie stores raw trie-node pointers) when reads are hot.
 pub struct SplitOrderedMap<K, V> {
-    /// Directory of lazily allocated segments; each bucket entry is a tagged pointer
-    /// to that bucket's dummy list node (null = uninitialized bucket).
-    directory: Box<[AtomicPtr<Segment>]>,
+    /// Growable segment tree; each leaf slot is a tagged pointer to that bucket's
+    /// dummy list node (null = uninitialized bucket). See [`crate::dir`].
+    directory: Directory,
     /// Current number of buckets in use (always a power of two).
     size: AtomicUsize,
     /// Number of regular (non-dummy) items.
     count: AtomicUsize,
-    /// Bucket-count ceiling (a power of two, at most `MAX_SEGMENTS * SEGMENT_SIZE`).
-    /// Once `size` reaches it the table stops doubling: lookups stay correct but
-    /// expected chain length grows linearly with further inserts — every insert past
-    /// the cap records [`Counter::HashSaturated`] so the cliff is observable.
+    /// Bucket-count ceiling (a power of two). In the default unbounded mode this is
+    /// the directory's own astronomical [`max_capacity`](Directory::max_capacity)
+    /// and is never reached; in the legacy bounded mode
+    /// ([`SplitOrderedMap::with_bucket_cap`]) `size` stops doubling here and every
+    /// capped insert records [`Counter::HashSaturated`] so the cliff is observable.
     max_buckets: usize,
     /// Dummy node of bucket 0 — the head of the entire list.
     head: *const ListNode<K, V>,
@@ -138,33 +132,53 @@ where
     K: Hash + Eq + Ord + Clone + Send + Sync + 'static,
     V: Clone + Send + Sync + 'static,
 {
-    /// Creates an empty map with a single bucket.
+    /// Creates an empty map with a single bucket and an *unbounded* bucket
+    /// directory: the segment tree behind [`DirectoryConfig`] grows a level whenever the
+    /// doubling rule outruns it, so the expected `O(1)` chain length holds at every
+    /// size and [`Counter::HashSaturated`] is never recorded.
     pub fn new() -> Self {
-        Self::with_bucket_cap(MAX_SEGMENTS * SEGMENT_SIZE)
+        Self::with_directory(DirectoryConfig::default())
     }
 
-    /// Creates an empty map whose bucket directory never grows past `max_buckets`
-    /// (rounded up to a power of two; clamped to the directory's hard ceiling of
-    /// `2^24` buckets, which [`SplitOrderedMap::new`] uses).
+    /// Creates an empty map in the legacy *bounded* mode: the bucket directory never
+    /// grows past `max_buckets` (rounded up to a power of two; clamped to the
+    /// segment tree's ceiling at its maximum height — `2^63` with the default
+    /// fanout, so the clamp only matters for tiny test fanouts).
     ///
     /// Past the cap the map keeps every guarantee except the `O(1)` expected chain
     /// length: items never move (split-ordering), lookups and removals stay correct,
     /// and each capped insert records [`Counter::HashSaturated`] so the degradation
-    /// shows up in metrics instead of only in latency. Lowering the cap is also how
-    /// the saturation path is unit-tested without fifty million inserts.
+    /// shows up in metrics instead of only in latency. This mode exists for A/B
+    /// experiments against the unbounded default (E12 reproduces the old saturation
+    /// cliff with it) and to unit-test the saturation path without fifty million
+    /// inserts.
     ///
     /// # Panics
     ///
     /// Panics if `max_buckets` is zero.
     pub fn with_bucket_cap(max_buckets: usize) -> Self {
-        assert!(max_buckets > 0, "the table needs at least one bucket");
-        let max_buckets = max_buckets
-            .min(MAX_SEGMENTS * SEGMENT_SIZE)
-            .next_power_of_two()
-            .min(MAX_SEGMENTS * SEGMENT_SIZE);
-        let directory: Box<[AtomicPtr<Segment>]> = (0..MAX_SEGMENTS)
-            .map(|_| AtomicPtr::new(std::ptr::null_mut()))
-            .collect();
+        Self::with_directory(DirectoryConfig::default().with_bucket_cap(max_buckets))
+    }
+
+    /// Creates an empty map with an explicitly shaped bucket directory — fanout for
+    /// growth-at-test-scale, optional cap for the legacy bounded mode. See
+    /// [`DirectoryConfig`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `config.segment_bits` is outside `2..=16`, or if
+    /// `config.bucket_cap` is `Some(0)`.
+    pub fn with_directory(config: DirectoryConfig) -> Self {
+        let directory = Directory::new(config.segment_bits);
+        let max_buckets = match config.bucket_cap {
+            Some(cap) => {
+                assert!(cap > 0, "the table needs at least one bucket");
+                cap.min(1usize << 62)
+                    .next_power_of_two()
+                    .min(directory.max_capacity())
+            }
+            None => directory.max_capacity(),
+        };
         let head = Box::into_raw(ListNode::<K, V>::new_dummy(dummy_so_key(0)));
         let map = SplitOrderedMap {
             directory,
@@ -187,35 +201,10 @@ where
         self.len() == 0
     }
 
-    fn segment(&self, index: usize) -> &Segment {
-        let seg_idx = index >> SEGMENT_BITS;
-        assert!(seg_idx < MAX_SEGMENTS, "bucket index out of range");
-        let ptr = self.directory[seg_idx].load(Ordering::SeqCst);
-        if !ptr.is_null() {
-            // SAFETY: segments are never freed while the map is alive.
-            return unsafe { &*ptr };
-        }
-        // Allocate a zeroed segment and race to install it.
-        let fresh: Box<Segment> = Box::new(std::array::from_fn(|_| AtomicU64::new(0)));
-        let fresh_ptr = Box::into_raw(fresh);
-        match self.directory[seg_idx].compare_exchange(
-            std::ptr::null_mut(),
-            fresh_ptr,
-            Ordering::SeqCst,
-            Ordering::SeqCst,
-        ) {
-            Ok(_) => unsafe { &*fresh_ptr },
-            Err(existing) => {
-                // Lost the race: free ours, use theirs.
-                unsafe { drop(Box::from_raw(fresh_ptr)) };
-                unsafe { &*existing }
-            }
-        }
-    }
-
     fn bucket_entry(&self, bucket: u64) -> &AtomicU64 {
-        let index = bucket as usize;
-        &self.segment(index)[index & (SEGMENT_SIZE - 1)]
+        // The directory grows itself if the doubling rule outran its eager growth;
+        // no bucket index below `size` is ever out of range.
+        self.directory.entry(bucket as usize)
     }
 
     fn set_bucket_entry(&self, bucket: u64, dummy: *const ListNode<K, V>) {
@@ -305,15 +294,36 @@ where
                 return;
             }
             // Doubling is a single CAS; items never move thanks to split-ordering.
-            let _ = self
+            if self
                 .size
-                .compare_exchange(size, size * 2, Ordering::SeqCst, Ordering::SeqCst);
+                .compare_exchange(size, size * 2, Ordering::SeqCst, Ordering::SeqCst)
+                .is_ok()
+            {
+                // Eagerly give the directory the height the new size needs so the
+                // probe path almost never pays the grow CAS itself (entry() still
+                // grows on demand if it races ahead of us).
+                self.directory.ensure_capacity(size * 2);
+            }
         }
     }
 
     /// Number of buckets currently in use (a power of two).
     pub fn bucket_count(&self) -> usize {
         self.size.load(Ordering::SeqCst)
+    }
+
+    /// Current height of the bucket directory's segment tree (`1..=7`); grows by one
+    /// whenever the bucket count outgrows `fanout^height`. Diagnostics for tests and
+    /// the E12 experiment.
+    pub fn directory_height(&self) -> u32 {
+        self.directory.height()
+    }
+
+    /// Number of allocated directory tree nodes (quiescently accurate). Together
+    /// with the `dir_node_alloc`/`dir_node_freed` counters this pins the
+    /// leak-freedom of drop in the reclamation canary tests.
+    pub fn directory_node_count(&self) -> usize {
+        self.directory.node_count()
     }
 
     /// True once the table has stopped resizing: the bucket directory is at its cap
@@ -479,6 +489,9 @@ where
             }
         }
         metrics::add(Counter::HashSaturated, saturated);
+        // Build the segment tree at its final height directly: one grow loop here
+        // instead of a grow CAS discovered lazily on some later probe's path.
+        self.directory.ensure_capacity(size);
 
         // (3) The existing list, in order (under `&mut self` it must be quiescent:
         // no marked node is still linked once its remover has returned).
@@ -607,19 +620,14 @@ where
 
 impl<K, V> Drop for SplitOrderedMap<K, V> {
     fn drop(&mut self) {
-        // Exclusive access: free every list node (dummies included) and every segment.
+        // Exclusive access: free every list node (dummies included); the directory
+        // frees its own tree, every level, in its own Drop.
         unsafe {
             let mut cur: *mut ListNode<K, V> = self.head as *mut _;
             while !cur.is_null() {
                 let node = Box::from_raw(cur);
                 let next = node.next.load(Ordering::SeqCst);
                 cur = tagged::unpack::<ListNode<K, V>>(next) as *mut _;
-            }
-            for slot in self.directory.iter() {
-                let seg = slot.load(Ordering::SeqCst);
-                if !seg.is_null() {
-                    drop(Box::from_raw(seg));
-                }
             }
         }
     }
@@ -699,8 +707,9 @@ mod tests {
     fn saturated_table_stays_correct_and_is_observable() {
         use skiptrie_metrics::Counter;
 
-        // A 4-bucket cap saturates after ~12 items; the real cap (2^24 buckets)
-        // behaves identically at ~50M items, which no unit test should insert.
+        // A 4-bucket cap saturates after ~12 items; any larger cap behaves
+        // identically at `cap * LOAD_FACTOR` items. (The default config has no cap
+        // at all — see the unbounded tests below.)
         let map: SplitOrderedMap<u64, u64> = SplitOrderedMap::with_bucket_cap(4);
         assert!(!map.is_saturated());
         let n = 500u64;
@@ -749,8 +758,61 @@ mod tests {
         for i in 0..200u64 {
             unbounded.insert(i, i);
         }
-        assert!(unbounded.bucket_count() > 8, "the default cap is far away");
+        assert!(unbounded.bucket_count() > 8, "there is no default cap");
         assert!(!unbounded.is_saturated());
+    }
+
+    #[test]
+    fn bucket_cap_is_no_longer_clamped_at_the_former_ceiling() {
+        // Before the growable directory, caps were clamped to the fixed directory's
+        // 2^24-bucket ceiling; the segment tree accepts (much) larger bounds.
+        let map: SplitOrderedMap<u64, u64> = SplitOrderedMap::with_bucket_cap(1 << 26);
+        assert_eq!(map.max_buckets, 1 << 26);
+        let map: SplitOrderedMap<u64, u64> = SplitOrderedMap::with_bucket_cap(usize::MAX);
+        assert_eq!(map.max_buckets, 1 << 62, "overflow-safety clamp, not 2^24");
+    }
+
+    #[test]
+    fn unbounded_small_fanout_grows_through_many_heights() {
+        // Fanout 16 makes root growth reachable: 16 -> 256 -> 4096 -> 65536 buckets.
+        let config = DirectoryConfig::default().with_segment_bits(4);
+        let map: SplitOrderedMap<u64, u64> = SplitOrderedMap::with_directory(config);
+        assert_eq!(map.directory_height(), 1);
+        let n = 20_000u64;
+        for i in 0..n {
+            assert!(map.insert(i, i + 1));
+        }
+        assert!(
+            map.bucket_count() > 4096,
+            "the doubling rule crossed three former tree capacities"
+        );
+        assert!(map.directory_height() >= 4);
+        assert!(!map.is_saturated(), "unbounded mode never saturates");
+        for i in 0..n {
+            assert_eq!(map.get(&i), Some(i + 1), "key {i}");
+        }
+    }
+
+    #[test]
+    fn bulk_load_builds_the_tree_at_its_final_height() {
+        let config = DirectoryConfig::default().with_segment_bits(4);
+        let mut bulk: SplitOrderedMap<u64, u64> = SplitOrderedMap::with_directory(config);
+        let incremental: SplitOrderedMap<u64, u64> = SplitOrderedMap::with_directory(config);
+        let n = 20_000u64;
+        bulk.bulk_load((0..n).map(|i| (i, i * 5)).collect());
+        for i in 0..n {
+            incremental.insert(i, i * 5);
+        }
+        assert_eq!(bulk.bucket_count(), incremental.bucket_count());
+        assert_eq!(
+            bulk.directory_height(),
+            incremental.directory_height(),
+            "pre-sizing reaches the same height as incremental growth"
+        );
+        assert!(bulk.directory_height() >= 4);
+        for i in (0..n).step_by(97) {
+            assert_eq!(bulk.get(&i), Some(i * 5));
+        }
     }
 
     #[test]

@@ -183,3 +183,39 @@ fn deferred_closures_run_exactly_once() {
         );
     }
 }
+
+#[test]
+fn trie_drop_frees_every_prefix_directory_level() {
+    use skiptrie_suite::metrics::{self, Counter};
+    use skiptrie_suite::skiptrie::DirectoryConfig;
+
+    // Directory nodes bypass the epoch machinery entirely (they are never unlinked
+    // while the map is alive), so their leak-freedom is pinned by alloc/free
+    // counters instead of the poison canary: after dropping a trie whose prefix
+    // directory grew several levels, at least as many nodes must have been freed as
+    // the tree held. `>=` keeps the assertion sound against concurrent tests.
+    let ((), _) = metrics::measure(|| {
+        let config = SkipTrieConfig::for_universe_bits(UNIVERSE_BITS)
+            .with_seed(0xD06)
+            .with_hash_directory(DirectoryConfig::default().with_segment_bits(4));
+        let trie: SkipTrie<u64> = SkipTrie::new(config);
+        // Fixed count (not `scaled`): the point is reaching height >= 3, not stress.
+        for i in 0..6_000 {
+            trie.insert(spread(i), i);
+        }
+        let height = trie.prefix_directory_height();
+        assert!(
+            height >= 3,
+            "the prefix set must outgrow at least two tree capacities, height {height}"
+        );
+        let before = metrics::snapshot();
+        drop(trie);
+        let freed = metrics::snapshot()
+            .since(&before)
+            .get(Counter::DirNodeFreed);
+        assert!(
+            freed >= u64::from(height),
+            "dropping the trie must free a node on every tree level, freed {freed}"
+        );
+    });
+}
