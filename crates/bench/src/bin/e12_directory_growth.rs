@@ -34,13 +34,13 @@ use skiptrie_workloads::WorkloadSpec;
 const UNIVERSE_BITS: u32 = 32;
 
 /// Bucket cap for the bounded (legacy-mode) structures; small enough that the
-/// sweep crosses it early and chains grow visibly long.
+/// sweep crosses it early and chains grow visibly long. Malformed or zero
+/// `SKIPTRIE_E12_CAP` values panic (unset/empty keeps the default) so a typo'd
+/// knob cannot silently relabel the experiment.
 fn bounded_cap() -> usize {
-    std::env::var("SKIPTRIE_E12_CAP")
-        .ok()
-        .and_then(|v| v.parse().ok())
-        .filter(|&c| c > 0)
-        .unwrap_or(1024)
+    let cap = skiptrie_bench::env_knob("SKIPTRIE_E12_CAP").unwrap_or(1024);
+    assert!(cap > 0, "SKIPTRIE_E12_CAP must be a positive bucket count");
+    cap
 }
 
 /// Population sizes swept by E12a/E12b: geometric, starting below the bounded cap
@@ -210,6 +210,10 @@ fn growth_trajectory() {
     }
     let delta = metrics::snapshot().since(&before);
     metrics::set_enabled(was_enabled);
+    // Exact zero is sound here by binary isolation: this experiment binary is
+    // single-threaded and the bounded-mode sweeps above run *outside* this
+    // measurement window, so nothing else can bump the process-wide counter
+    // between `before` and the snapshot.
     assert_eq!(
         delta.get(Counter::HashSaturated),
         0,

@@ -20,7 +20,7 @@
 
 use std::time::Duration;
 
-use skiptrie::{ShardedSkipTrie, SkipTrie};
+use skiptrie::{ShardedSkipTrie, SkipTrie, TieredSkipTrie};
 use skiptrie_baselines::{FullSkipList, LockedBTreeMap};
 use skiptrie_metrics::{self as metrics, Counter, Snapshot};
 use skiptrie_skiplist::SkipList;
@@ -111,6 +111,36 @@ impl ConcurrentPredecessorMap for SkipTrie<u64> {
             .iter()
             .filter(|v| v.is_some())
             .count()
+    }
+}
+
+impl ConcurrentPredecessorMap for TieredSkipTrie<u64> {
+    fn name(&self) -> &'static str {
+        "tiered-skiptrie"
+    }
+    fn insert(&self, key: u64, value: u64) -> bool {
+        TieredSkipTrie::insert(self, key, value)
+    }
+    fn remove(&self, key: u64) -> Option<u64> {
+        TieredSkipTrie::remove(self, key)
+    }
+    fn get(&self, key: u64) -> Option<u64> {
+        TieredSkipTrie::get(self, key)
+    }
+    fn predecessor(&self, key: u64) -> Option<(u64, u64)> {
+        TieredSkipTrie::predecessor(self, key)
+    }
+    fn successor(&self, key: u64) -> Option<(u64, u64)> {
+        TieredSkipTrie::successor(self, key)
+    }
+    fn scan(&self, from: u64, limit: usize) -> usize {
+        TieredSkipTrie::range(self, from..).count_up_to(limit)
+    }
+    fn pop_first(&self) -> Option<(u64, u64)> {
+        TieredSkipTrie::pop_first(self)
+    }
+    fn len(&self) -> usize {
+        TieredSkipTrie::len(self)
     }
 }
 
@@ -475,20 +505,31 @@ pub fn write_json_summary(bin: &str) {
 }
 
 /// Number of worker threads to sweep up to (respects `SKIPTRIE_MAX_THREADS`).
+///
+/// # Panics
+///
+/// Panics if `SKIPTRIE_MAX_THREADS` is set to a malformed or zero value
+/// (unset/empty falls back to the machine's available parallelism) — a typo'd
+/// knob must fail the run, not silently sweep a different thread range.
 pub fn max_threads() -> usize {
-    if let Ok(v) = std::env::var("SKIPTRIE_MAX_THREADS") {
-        if let Ok(n) = v.parse::<usize>() {
-            return n.max(1);
+    match env_knob::<usize>("SKIPTRIE_MAX_THREADS") {
+        Some(n) => {
+            assert!(
+                n > 0,
+                "SKIPTRIE_MAX_THREADS must be a positive thread count"
+            );
+            n
         }
+        None => std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(4),
     }
-    std::thread::available_parallelism()
-        .map(|n| n.get())
-        .unwrap_or(4)
 }
 
-// The scale knob lives in the shared test/experiment harness; re-exported here so
-// every experiment binary keeps its historical `skiptrie_bench::{scale, scaled}` path.
-pub use skiptrie_workloads::harness::{scale, scaled};
+// The scale and env-parsing knobs live in the shared test/experiment harness;
+// re-exported here so every experiment binary keeps its historical
+// `skiptrie_bench::{scale, scaled}` path (and parses its own knobs loudly).
+pub use skiptrie_workloads::harness::{env_knob, parse_knob, scale, scaled};
 
 /// Standard thread counts for sweep experiments: 1, 2, 4, ... up to [`max_threads`].
 pub fn thread_sweep() -> Vec<usize> {

@@ -60,6 +60,7 @@
 
 pub mod forest;
 mod prefix;
+pub mod tiered;
 mod xfast;
 
 pub use forest::{ShardedRangeIter, ShardedSkipTrie, ShardedSkipTrieConfig};
@@ -69,6 +70,7 @@ pub use skiptrie_skiplist::{
     levels_for_universe_bits, resolve_bounds, Cursor, NodeRef, RangeIter, SkipList, SkipListConfig,
 };
 pub use skiptrie_splitorder::DirectoryConfig;
+pub use tiered::{TieredRangeIter, TieredSkipTrie, TieredSkipTrieConfig};
 
 use std::ops::RangeBounds;
 
@@ -140,10 +142,11 @@ impl SkipTrieConfig {
     /// [`crossbeam_epoch::NUM_DOMAINS`]) instead of the process-wide default.
     ///
     /// Every operation on the trie — skiplist traversals, x-fast-trie node
-    /// retirement, cursors — then pins and retires in that domain, so a long scan of
-    /// a domain-isolated trie never stalls reclamation of tries in other domains.
-    /// The split-ordered hash table backing the prefix map manages its *own* nodes in
-    /// the default domain (it is self-contained either way).
+    /// retirement, cursors, *and* the split-ordered hash table backing the prefix
+    /// map — then pins and retires in that domain, so a long scan of a
+    /// domain-isolated trie never stalls reclamation of tries in other domains
+    /// (and a reader parked in another domain never stalls this trie's prefix-table
+    /// garbage).
     pub fn with_domain(mut self, domain: usize) -> Self {
         self.domain = Some(domain);
         self
@@ -210,7 +213,10 @@ where
             .with_seed(config.seed);
         list_config.domain = config.domain;
         let skiplist = SkipList::new(list_config);
-        let prefixes = SplitOrderedMap::with_directory(config.hash_dir);
+        // The prefix table pins and retires in the trie's own domain: routing it
+        // through the global domain would let one stalled global-domain reader block
+        // every shard's prefix-table reclamation.
+        let prefixes = SplitOrderedMap::with_directory_in_domain(config.hash_dir, config.domain);
         // The empty prefix ε is permanent (Algorithm 3 line 4 starts from it).
         prefixes.insert(
             Prefix::EMPTY,

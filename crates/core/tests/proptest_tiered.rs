@@ -1,0 +1,107 @@
+//! Property-based test for the tiered read path: single-threaded, a
+//! [`TieredSkipTrie`] is observationally equal to a plain [`SkipTrie`] over
+//! arbitrary operation histories — including merges injected at arbitrary points,
+//! which must be invisible to every subsequent read.
+
+use proptest::prelude::*;
+use skiptrie::{max_key, SkipTrie, SkipTrieConfig, TieredSkipTrie, TieredSkipTrieConfig};
+
+#[derive(Debug, Clone)]
+enum TOp {
+    Insert(u64),
+    Remove(u64),
+    Get(u64),
+    Pred(u64),
+    Succ(u64),
+    Range(u64, u64),
+    PopFirst,
+    Merge,
+}
+
+fn op_strategy() -> impl Strategy<Value = TOp> {
+    prop_oneof![
+        any::<u64>().prop_map(TOp::Insert),
+        any::<u64>().prop_map(TOp::Remove),
+        any::<u64>().prop_map(TOp::Get),
+        any::<u64>().prop_map(TOp::Pred),
+        any::<u64>().prop_map(TOp::Succ),
+        (any::<u64>(), any::<u64>()).prop_map(|(a, b)| TOp::Range(a, b)),
+        any::<bool>().prop_map(|_| TOp::PopFirst),
+        any::<bool>().prop_map(|_| TOp::Merge),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn tiered_trie_is_observationally_a_skiptrie(
+        bits in 2u32..=64,
+        seed_keys in proptest::collection::vec(any::<u64>(), 0..40),
+        ops in proptest::collection::vec(op_strategy(), 1..200),
+    ) {
+        let clamp = max_key(bits);
+        // Seed the frozen tier directly so histories start with a non-trivial
+        // frozen/delta split, not just an empty frozen tier.
+        let seeded: Vec<(u64, u64)> = seed_keys
+            .into_iter()
+            .map(|k| k & clamp)
+            .collect::<std::collections::BTreeSet<_>>()
+            .into_iter()
+            .map(|k| (k, !k))
+            .collect();
+        let tiered: TieredSkipTrie<u64> = TieredSkipTrie::from_sorted(
+            TieredSkipTrieConfig::for_universe_bits(bits),
+            seeded.iter().copied(),
+        );
+        let model: SkipTrie<u64> = SkipTrie::from_sorted(
+            SkipTrieConfig::for_universe_bits(bits).with_seed(42),
+            seeded.iter().copied(),
+        );
+        for op in ops {
+            match op {
+                TOp::Insert(k) => {
+                    let k = k & clamp;
+                    prop_assert_eq!(tiered.insert(k, k ^ 1), model.insert(k, k ^ 1));
+                }
+                TOp::Remove(k) => {
+                    let k = k & clamp;
+                    prop_assert_eq!(tiered.remove(k), model.remove(k));
+                }
+                TOp::Get(k) => {
+                    let k = k & clamp;
+                    prop_assert_eq!(tiered.get(k), model.get(k));
+                    prop_assert_eq!(tiered.contains(k), model.contains(k));
+                }
+                TOp::Pred(k) => {
+                    let k = k & clamp;
+                    prop_assert_eq!(tiered.predecessor(k), model.predecessor(k));
+                }
+                TOp::Succ(k) => {
+                    let k = k & clamp;
+                    prop_assert_eq!(tiered.successor(k), model.successor(k));
+                }
+                TOp::Range(a, b) => {
+                    let (lo, hi) = (a.min(b) & clamp, a.max(b) & clamp);
+                    let got: Vec<(u64, u64)> = tiered.range(lo..=hi).collect();
+                    let want: Vec<(u64, u64)> = model.range(lo..=hi).collect();
+                    prop_assert_eq!(got, want);
+                }
+                TOp::PopFirst => {
+                    prop_assert_eq!(tiered.pop_first(), model.pop_first());
+                }
+                TOp::Merge => {
+                    // A merge is pure bookkeeping: nothing observable may change.
+                    tiered.merge();
+                    prop_assert_eq!(tiered.delta_len(), 0, "merge drains the delta");
+                }
+            }
+            prop_assert_eq!(tiered.len(), model.len());
+            prop_assert_eq!(tiered.is_empty(), model.is_empty());
+        }
+        prop_assert_eq!(tiered.snapshot(), model.to_vec());
+        tiered.merge();
+        prop_assert_eq!(tiered.snapshot(), model.to_vec(), "post-merge snapshot");
+        prop_assert_eq!(tiered.frozen_len(), model.len(), "fully folded");
+    }
+}

@@ -83,6 +83,13 @@ pub use stopwatch::Stopwatch;
 ///   allocated (lazily, or eagerly by a bulk pre-size) and freed at map drop; a
 ///   matched pair over a map's lifetime is the leak-freedom invariant the
 ///   reclamation canary pins.
+/// * [`Counter::TierHit`] / [`Counter::TierMissDelta`] — tiered reads served
+///   entirely from the frozen flat tier (no delta lookup, no epoch pin) versus
+///   reads that had to consult the live delta first; the E13 experiment's measure
+///   of how completely a merge has quiesced the read path.
+/// * [`Counter::TierMerge`] / [`Counter::TierSwap`] — background folds of the live
+///   delta into a fresh frozen tier, and atomic publications of a new tier state
+///   (two swaps per merge: the delta seal and the frozen-tier install).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
 #[allow(missing_docs)]
 pub enum Counter {
@@ -106,11 +113,15 @@ pub enum Counter {
     DirGrow,
     DirNodeAlloc,
     DirNodeFreed,
+    TierHit,
+    TierMissDelta,
+    TierMerge,
+    TierSwap,
 }
 
 impl Counter {
     /// All counters, in a stable order used for display and serialization.
-    pub const ALL: [Counter; 20] = [
+    pub const ALL: [Counter; 24] = [
         Counter::PtrRead,
         Counter::HashOp,
         Counter::CasAttempt,
@@ -131,6 +142,10 @@ impl Counter {
         Counter::DirGrow,
         Counter::DirNodeAlloc,
         Counter::DirNodeFreed,
+        Counter::TierHit,
+        Counter::TierMissDelta,
+        Counter::TierMerge,
+        Counter::TierSwap,
     ];
 
     /// Number of distinct counters.
@@ -166,6 +181,10 @@ impl Counter {
             Counter::DirGrow => "dir_grow",
             Counter::DirNodeAlloc => "dir_node_alloc",
             Counter::DirNodeFreed => "dir_node_freed",
+            Counter::TierHit => "tier_hit",
+            Counter::TierMissDelta => "tier_miss_delta",
+            Counter::TierMerge => "tier_merge",
+            Counter::TierSwap => "tier_swap",
         }
     }
 }
@@ -462,6 +481,19 @@ pub fn now() -> Instant {
 mod tests {
     use super::*;
 
+    /// Serializes the tests that flip the process-global [`ENABLED`] switch or
+    /// assert exact deltas on the process-wide counters: without it,
+    /// `disabled_recording_is_a_noop`'s exact-zero asserts race against a
+    /// concurrent test enabling recording (or recording counters of its own)
+    /// inside the measurement window.
+    static RECORDING_LOCK: std::sync::Mutex<()> = std::sync::Mutex::new(());
+
+    fn recording_lock() -> std::sync::MutexGuard<'static, ()> {
+        RECORDING_LOCK
+            .lock()
+            .unwrap_or_else(|poisoned| poisoned.into_inner())
+    }
+
     #[test]
     fn counters_have_unique_indices() {
         let mut seen = std::collections::HashSet::new();
@@ -485,17 +517,22 @@ mod tests {
 
     #[test]
     fn disabled_recording_is_a_noop() {
+        let _serial = recording_lock();
         set_enabled(false);
         let before = snapshot();
         record(Counter::PtrRead);
         add(Counter::CasAttempt, 10);
         let delta = snapshot().since(&before);
+        // Exact zeros are sound only while `recording_lock` is held: it keeps the
+        // other recording tests (the only recorders in this binary) out of the
+        // window, so nothing can flip `ENABLED` back on or inflate the counters.
         assert_eq!(delta.get(Counter::PtrRead), 0);
         assert_eq!(delta.get(Counter::CasAttempt), 0);
     }
 
     #[test]
     fn enabled_recording_accumulates() {
+        let _serial = recording_lock();
         let (_, delta) = measure(|| {
             record(Counter::PtrRead);
             record(Counter::PtrRead);
@@ -526,6 +563,7 @@ mod tests {
 
     #[test]
     fn multi_threaded_recording_is_aggregated() {
+        let _serial = recording_lock();
         set_enabled(true);
         let before = snapshot();
         let handles: Vec<_> = (0..4)

@@ -24,8 +24,14 @@ where
     V: Clone + Send + Sync + 'static,
 {
     /// Turns a start hint into a usable traversal start for `level`: a node on that
-    /// level that is (best-effort) unmarked and has key `< x`. Falls back to the
-    /// level's head sentinel whenever the hint looks unusable.
+    /// level that is (best-effort) unmarked and has key `< x`. Marked hints retreat
+    /// along their `back` pointer; live hints whose key is not strictly below `x`
+    /// retreat along the top level's `prev` guide — the x-fast walk stops at
+    /// `key <= x` (Algorithm 4), so a query for a key that is itself linked on the
+    /// top level arrives here pointing at its own node, and discarding that hint
+    /// would turn every present-top-level-key query into an O(n) walk from the head
+    /// sentinel. Falls back to the head whenever no guide is available (lower levels
+    /// keep `prev` null) or the walk looks unproductive.
     fn valid_start<'g>(
         &'g self,
         level: u8,
@@ -43,25 +49,32 @@ where
             if node.is_head() && node.level() == level {
                 return node;
             }
-            // Wrong level, a tail, or a key that is not strictly smaller than the
-            // target: the hint cannot be used on this level.
-            if node.level() != level || node.is_tail() || (node.is_data() && node.key_ge(x)) {
+            // Wrong level or a tail: the hint cannot be used on this level.
+            if node.level() != level || node.is_tail() {
                 return self.head(level);
             }
             let next = read_resolved(&node.next, guard);
-            if !tagged::is_marked(next) {
+            let marked = tagged::is_marked(next);
+            if !marked && !node.key_ge(x) {
                 return node;
             }
-            // The hint is logically deleted: retreat along its back pointer.
-            metrics::record(Counter::BackPointerFollowed);
-            let back = node.back.load(Ordering::SeqCst);
+            let hop = if marked {
+                // The hint is logically deleted: retreat along its back pointer.
+                metrics::record(Counter::BackPointerFollowed);
+                node.back.load(Ordering::SeqCst)
+            } else {
+                // Live but key >= x (exact-match hint): retreat one `prev` guide.
+                metrics::record(Counter::PrevPointerFollowed);
+                read_resolved(&node.prev, guard)
+            };
             hops += 1;
-            if tagged::is_null(back) || hops > WALK_HOP_LIMIT {
+            if tagged::is_null(hop) || hops > WALK_HOP_LIMIT {
                 return self.head(level);
             }
-            // SAFETY: back pointers reference nodes of this structure; the pool keeps
-            // the memory valid and poisoned fields route us to the head above.
-            node = unsafe { &*tagged::unpack(back) };
+            // SAFETY: `back`/`prev` guides reference nodes of this structure; the
+            // pool keeps the memory valid and poisoned fields route us to the head
+            // above.
+            node = unsafe { &*tagged::unpack(hop) };
         }
     }
 

@@ -207,6 +207,12 @@ mod tests {
     use super::*;
     use crossbeam_epoch as epoch;
 
+    /// These tests drive the raw list (no owning map), so they pin an explicit
+    /// domain the way `SplitOrderedMap::pin` would — the workspace rule is that no
+    /// call site outside the vendored crate pins the default domain via
+    /// `epoch::pin()` directly.
+    const TEST_DOMAIN: usize = 11;
+
     fn new_dummy_head() -> Box<ListNode<u64, u64>> {
         ListNode::new_dummy(0)
     }
@@ -234,7 +240,7 @@ mod tests {
     #[test]
     fn insert_and_find_in_order() {
         let head = Box::into_raw(new_dummy_head());
-        let guard = epoch::pin();
+        let guard = epoch::pin_domain(TEST_DOMAIN);
         unsafe {
             for so in [9u64, 3, 7, 5] {
                 let node = ListNode::new_regular(so, so, so * 10);
@@ -276,7 +282,7 @@ mod tests {
     #[test]
     fn find_unlinks_marked_nodes() {
         let head = Box::into_raw(new_dummy_head());
-        let guard = epoch::pin();
+        let guard = epoch::pin_domain(TEST_DOMAIN);
         unsafe {
             let a = insert_at(head, ListNode::new_regular(3, 3u64, 30u64), &guard)
                 .map_err(|_| "duplicate")

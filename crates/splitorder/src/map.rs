@@ -38,6 +38,12 @@ pub struct SplitOrderedMap<K, V> {
     /// ([`SplitOrderedMap::with_bucket_cap`]) `size` stops doubling here and every
     /// capped insert records [`Counter::HashSaturated`] so the cliff is observable.
     max_buckets: usize,
+    /// Epoch domain every operation pins and retires in (`0` = the process-wide
+    /// default). Set through [`SplitOrderedMap::with_directory_in_domain`] so a
+    /// domain-isolated owner (e.g. one shard of a sharded SkipTrie) keeps its
+    /// prefix-table garbage out of the global domain: every pin goes through the
+    /// owning structure's domain, never `epoch::pin()` directly.
+    domain: usize,
     /// Dummy node of bucket 0 — the head of the entire list.
     head: *const ListNode<K, V>,
 }
@@ -169,6 +175,24 @@ where
     /// Panics if `config.segment_bits` is outside `2..=16`, or if
     /// `config.bucket_cap` is `Some(0)`.
     pub fn with_directory(config: DirectoryConfig) -> Self {
+        Self::with_directory_in_domain(config, None)
+    }
+
+    /// Creates an empty map with an explicitly shaped bucket directory that pins and
+    /// retires in epoch domain `domain` (modulo the number of domains; `None` = the
+    /// process-wide default domain 0).
+    ///
+    /// Every operation on the map — bucket initialization, chain walks, node
+    /// retirement — then rides that domain's epoch counter, so a stalled reader
+    /// pinned in the default domain can never stall this map's reclamation (and
+    /// vice versa). The x-fast trie passes its own domain here so a domain-isolated
+    /// trie's prefix table reclaims independently too.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `config.segment_bits` is outside `2..=16`, or if
+    /// `config.bucket_cap` is `Some(0)`.
+    pub fn with_directory_in_domain(config: DirectoryConfig, domain: Option<usize>) -> Self {
         let directory = Directory::new(config.segment_bits);
         let max_buckets = match config.bucket_cap {
             Some(cap) => {
@@ -185,10 +209,20 @@ where
             size: AtomicUsize::new(1),
             count: AtomicUsize::new(0),
             max_buckets,
+            domain: domain.unwrap_or(0),
             head,
         };
         map.set_bucket_entry(0, head);
         map
+    }
+
+    /// Pins the calling thread in this map's epoch domain (see
+    /// [`SplitOrderedMap::with_directory_in_domain`]). Every operation acquires its
+    /// guard here, so all of the map's pins and retirements stay in one domain.
+    pub fn pin(&self) -> Guard {
+        // `pin_domain(0)` is the default domain, so an un-configured map behaves
+        // exactly as before — but without a direct `epoch::pin()` call site.
+        epoch::pin_domain(self.domain)
     }
 
     /// Number of items currently in the map (linearizable only in quiescent states).
@@ -266,7 +300,7 @@ where
     /// place, `false` if the key was already present (the existing value is kept).
     pub fn insert(&self, key: K, value: V) -> bool {
         metrics::record(Counter::HashOp);
-        let guard = epoch::pin();
+        let guard = self.pin();
         let hash = hash_key(&key);
         let so = regular_so_key(hash);
         let bucket = self.bucket_for_hash(hash);
@@ -338,7 +372,7 @@ where
     /// Returns a clone of the value mapped to `key`, if present.
     pub fn get(&self, key: &K) -> Option<V> {
         metrics::record(Counter::HashOp);
-        let guard = epoch::pin();
+        let guard = self.pin();
         let hash = hash_key(key);
         let so = regular_so_key(hash);
         let bucket = self.bucket_for_hash(hash);
@@ -372,7 +406,7 @@ where
 
     fn remove_with(&self, key: &K, predicate: impl Fn(&V) -> bool) -> Option<V> {
         metrics::record(Counter::HashOp);
-        let guard = epoch::pin();
+        let guard = self.pin();
         let hash = hash_key(key);
         let so = regular_so_key(hash);
         let bucket = self.bucket_for_hash(hash);
@@ -601,7 +635,7 @@ where
     /// Calls `f` for every `(key, value)` currently reachable. Intended for tests,
     /// debugging and drop-time accounting; it is *not* a linearizable snapshot.
     pub fn for_each(&self, mut f: impl FnMut(&K, &V)) {
-        let guard = epoch::pin();
+        let guard = self.pin();
         let _ = &guard;
         let mut cur = unsafe { (*self.head).next.load(Ordering::SeqCst) };
         while !tagged::is_null(cur) {

@@ -30,16 +30,56 @@ use std::sync::Barrier;
 
 use crate::SplitMix64;
 
+/// Parses a `SKIPTRIE_*`-style knob value, panicking with the variable name and
+/// the offending value on malformed input.
+///
+/// This is the pure half of [`env_knob`], split out so tests can pin the panic
+/// path without racing on process-global environment variables.
+///
+/// # Panics
+///
+/// Panics if `raw` does not parse as a `T`.
+pub fn parse_knob<T: std::str::FromStr>(name: &str, raw: &str) -> T {
+    raw.parse().unwrap_or_else(|_| {
+        panic!(
+            "{name}={raw:?} is not a valid {}; unset it or fix the value",
+            std::any::type_name::<T>()
+        )
+    })
+}
+
+/// Reads environment knob `name`: `None` when unset or empty (callers fall back
+/// to their default), the parsed value otherwise.
+///
+/// # Panics
+///
+/// Panics (via [`parse_knob`]) when the variable is set to a malformed value — a
+/// typo like `SKIPTRIE_SCALE=2x` must fail the run loudly instead of silently
+/// running at the default scale and mislabeling the experiment.
+pub fn env_knob<T: std::str::FromStr>(name: &str) -> Option<T> {
+    let raw = std::env::var(name).ok()?;
+    if raw.is_empty() {
+        return None;
+    }
+    Some(parse_knob(name, &raw))
+}
+
 /// The global test/experiment scale factor (`SKIPTRIE_SCALE`, default 1.0).
 ///
 /// Values below 1 shrink workloads for smoke runs; values above 1 grow them for
 /// stress runs and publication-quality measurements.
+///
+/// # Panics
+///
+/// Panics if `SKIPTRIE_SCALE` is set to a malformed or non-positive value
+/// (unset/empty stays the default).
 pub fn scale() -> f64 {
-    std::env::var("SKIPTRIE_SCALE")
-        .ok()
-        .and_then(|v| v.parse::<f64>().ok())
-        .filter(|v| *v > 0.0)
-        .unwrap_or(1.0)
+    let scale = env_knob::<f64>("SKIPTRIE_SCALE").unwrap_or(1.0);
+    assert!(
+        scale > 0.0 && scale.is_finite(),
+        "SKIPTRIE_SCALE={scale} must be a positive finite number"
+    );
+    scale
 }
 
 /// Applies [`scale`] to a nominal iteration count, with a floor of 16 so even extreme
@@ -54,14 +94,15 @@ pub fn scaled(nominal: usize) -> usize {
 /// shards). The E10 experiment bins and the sharded stress tests read their
 /// forest width through this, so one environment variable re-shapes every
 /// sharded run.
+///
+/// # Panics
+///
+/// Panics if `SKIPTRIE_SHARDS` is set to a malformed or zero value (unset/empty
+/// stays `default`).
 pub fn shards(default: usize) -> usize {
-    std::env::var("SKIPTRIE_SHARDS")
-        .ok()
-        .and_then(|v| v.parse::<usize>().ok())
-        .filter(|v| *v > 0)
-        .unwrap_or(default)
-        .min(1 << 16)
-        .next_power_of_two()
+    let shards = env_knob::<usize>("SKIPTRIE_SHARDS").unwrap_or(default);
+    assert!(shards > 0, "SKIPTRIE_SHARDS must be a positive shard count");
+    shards.min(1 << 16).next_power_of_two()
 }
 
 /// The deterministic RNG for worker `index` of a workload seeded with `seed`.
@@ -225,6 +266,36 @@ mod tests {
             assert_eq!(shards(100_000), 1 << 16);
             assert_eq!(shards(usize::MAX), 1 << 16);
         }
+    }
+
+    #[test]
+    fn knobs_parse_valid_values() {
+        assert_eq!(parse_knob::<f64>("SKIPTRIE_SCALE", "2.5"), 2.5);
+        assert_eq!(parse_knob::<usize>("SKIPTRIE_SHARDS", "8"), 8);
+        assert_eq!(parse_knob::<u64>("SKIPTRIE_TIER_MERGE_EVERY", "250"), 250);
+    }
+
+    #[test]
+    fn unset_and_empty_knobs_fall_back_to_defaults() {
+        // A name no other test or CI job sets: unset must read as None...
+        assert_eq!(env_knob::<usize>("SKIPTRIE_TEST_UNSET_KNOB"), None);
+        // ...and so must set-but-empty (`SKIPTRIE_X= cargo test` idiom). The var
+        // name is unique to this test, so the process-global write cannot race
+        // with another test's read.
+        std::env::set_var("SKIPTRIE_TEST_EMPTY_KNOB", "");
+        assert_eq!(env_knob::<usize>("SKIPTRIE_TEST_EMPTY_KNOB"), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "SKIPTRIE_SCALE=\"2x\"")]
+    fn malformed_scale_panics_with_name_and_value() {
+        parse_knob::<f64>("SKIPTRIE_SCALE", "2x");
+    }
+
+    #[test]
+    #[should_panic(expected = "SKIPTRIE_SHARDS=\"eight\"")]
+    fn malformed_shards_panics_with_name_and_value() {
+        parse_knob::<usize>("SKIPTRIE_SHARDS", "eight");
     }
 
     #[test]

@@ -177,6 +177,15 @@ impl OpMix {
         remove_pct: 50,
         scan_pct: 0,
     };
+    /// 95% predecessor / 4% insert / 1% remove — the read-mostly mix of experiment
+    /// E13: steady-state serving traffic where writes are rare enough for a tiered
+    /// read path's frozen tier to stay warm between merges.
+    pub const READ_MOSTLY: OpMix = OpMix {
+        predecessor_pct: 95,
+        insert_pct: 4,
+        remove_pct: 1,
+        scan_pct: 0,
+    };
     /// 50% range scans / 20% insert / 20% remove / 10% predecessor — the scan-heavy
     /// mix of experiment E9 (calendar-queue / routing-table shaped traffic: windows
     /// are walked while the key population churns underneath).
@@ -365,6 +374,7 @@ mod tests {
             OpMix::READ_HEAVY,
             OpMix::UPDATE_HEAVY,
             OpMix::READ_ONLY,
+            OpMix::READ_MOSTLY,
             OpMix::CHURN,
             OpMix::SCAN_HEAVY,
         ] {

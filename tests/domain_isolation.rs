@@ -1,0 +1,139 @@
+//! Epoch-domain isolation regressions.
+//!
+//! The workspace rule (DESIGN.md §Memory reclamation) is that **every** pin and
+//! retirement goes through the owning structure's epoch domain — the only direct
+//! `epoch::pin()` call site outside `vendor/` is `SkipList::pin`'s documented
+//! fallback for the un-configured (`domain: None`) case. These tests pin the rule
+//! for the split-ordered prefix table, which used to pin the *global* domain on
+//! every operation: under that bug one stalled global-domain reader stalls every
+//! shard's prefix-table garbage, defeating the whole point of per-shard domains.
+//!
+//! Both tests share one binary and serialize on a lock: each stages a canary in
+//! the default domain (0) and draws conclusions from whether default-domain
+//! garbage moves, so running them concurrently would let one test's domain-0
+//! activity contaminate the other's verdict.
+
+use std::sync::atomic::{AtomicU8, Ordering};
+use std::sync::{Arc, Mutex};
+
+use skiptrie_suite::skiptrie::{DirectoryConfig, SkipTrie, SkipTrieConfig};
+use skiptrie_suite::splitorder::SplitOrderedMap;
+
+/// Serializes the tests in this binary (see the module docs).
+static DOMAIN_ZERO_LOCK: Mutex<()> = Mutex::new(());
+
+/// Retries `done` after flushing via `flush` — reclamation is eventual (garbage
+/// becomes collectable two epochs after sealing), so drains retry, never assert a
+/// deadline.
+fn drain_until(flush: impl Fn(), mut done: impl FnMut() -> bool) -> bool {
+    for _ in 0..10_000 {
+        flush();
+        if done() {
+            return true;
+        }
+        std::thread::yield_now();
+    }
+    done()
+}
+
+/// A map built in its own domain must retire its nodes *in that domain*: with a
+/// reader parked in the default domain for the whole test (stalling domain 0's
+/// epoch), removed values must still become reclaimable by flushing only the
+/// map's domain. Under the old bug — operations pinning `epoch::pin()` directly —
+/// the removed nodes sit in domain-0 bags behind the parked guard and the drain
+/// below never balances.
+#[test]
+fn map_in_domain_reclaims_despite_stalled_global_reader() {
+    let _serial = DOMAIN_ZERO_LOCK
+        .lock()
+        .unwrap_or_else(|poisoned| poisoned.into_inner());
+
+    const MAP_DOMAIN: usize = 7;
+    const KEYS: u64 = 512;
+
+    let map: SplitOrderedMap<u64, Arc<()>> =
+        SplitOrderedMap::with_directory_in_domain(DirectoryConfig::default(), Some(MAP_DOMAIN));
+    // Park a guard in the *default* domain before any map traffic and hold it
+    // across the whole churn + drain: domain 0 cannot advance past it.
+    let parked = skiptrie_suite::atomics::pin();
+
+    // Every stored value clones one tracker; a value only drops its clone when the
+    // node that carried it is actually reclaimed.
+    let tracker = Arc::new(());
+    for key in 0..KEYS {
+        assert!(map.insert(key, Arc::clone(&tracker)));
+    }
+    for key in 0..KEYS {
+        assert!(map.remove(&key).is_some());
+    }
+
+    // Drain through the map's own domain only. If retirement rode the global
+    // domain, these flushes touch the wrong bags and the parked guard keeps the
+    // right ones frozen, so the count never returns to 1.
+    let drained = drain_until(|| map.pin().flush(), || Arc::strong_count(&tracker) == 1);
+    assert!(
+        drained,
+        "removed values never reclaimed through the map's domain \
+         (still {} live clones): operations must pin the map's domain, \
+         not the global one",
+        Arc::strong_count(&tracker) - 1
+    );
+    drop(parked);
+}
+
+/// The inverse direction: churning a domain-isolated trie must not *advance* the
+/// default domain. A canary closure is deferred into domain 0, then a
+/// `with_domain` trie absorbs thousands of operations (each touching the prefix
+/// table). Under the old bug every prefix-table operation pinned domain 0, whose
+/// periodic collect would run the canary mid-churn; with domain routing the
+/// canary only runs once we drain domain 0 explicitly at the end.
+#[test]
+fn churning_isolated_trie_leaves_default_domain_untouched() {
+    let _serial = DOMAIN_ZERO_LOCK
+        .lock()
+        .unwrap_or_else(|poisoned| poisoned.into_inner());
+
+    const TRIE_DOMAIN: usize = 7;
+
+    let canary = Arc::new(AtomicU8::new(0));
+    {
+        let guard = skiptrie_suite::atomics::pin();
+        let flag = Arc::clone(&canary);
+        // SAFETY: the closure only touches an Arc-kept atomic and runs once.
+        unsafe {
+            guard.defer_unchecked(move || {
+                flag.store(1, Ordering::SeqCst);
+            });
+        }
+        guard.flush();
+    }
+
+    let trie: SkipTrie<u64> = SkipTrie::new(
+        SkipTrieConfig::for_universe_bits(32)
+            .with_seed(0xD0_0D)
+            .with_domain(TRIE_DOMAIN),
+    );
+    // Scattered keys so inserts and removes keep creating and deleting prefix
+    // branches (= heavy split-ordered map traffic), not just skiplist nodes.
+    for i in 0..2_000u64 {
+        let key = i.wrapping_mul(0x9E37_79B9_7F4A_7C15) & 0xFFFF_FFFF;
+        trie.insert(key, i);
+        trie.predecessor(key);
+        trie.remove(key);
+    }
+
+    assert_eq!(
+        canary.load(Ordering::SeqCst),
+        0,
+        "churning a domain-isolated trie collected default-domain garbage: \
+         the prefix table must pin the trie's domain, not the global one"
+    );
+
+    // Prove the canary was live (not lost): an explicit default-domain drain must
+    // run it.
+    let ran = drain_until(
+        || skiptrie_suite::atomics::pin().flush(),
+        || canary.load(Ordering::SeqCst) == 1,
+    );
+    assert!(ran, "canary closure was leaked, not merely deferred");
+}

@@ -55,6 +55,9 @@ fn drained_forest_pops_probe_only_occupied_shards() {
     // counter hits 0). Before the fix this was ~10 probes per pop_first and ~7 per
     // pop_last — `pops * 8`-ish in total.
     let ceiling = pops + 4 * SHARDS as u64;
+    // An upper bound on a process-wide counter is inflation-UNsafe; it is sound
+    // only because this test is alone in its binary (see the module docs), so no
+    // concurrent test can add probes inside the measurement window.
     assert!(
         probes <= ceiling,
         "empty shards must not be probed per pop: {probes} probes for {pops} pops \

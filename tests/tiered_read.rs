@@ -1,0 +1,172 @@
+//! Race tests for the tiered read path: readers run flat out while churn writers
+//! dirty the delta and a merger keeps sealing, folding and atomically swapping
+//! frozen tiers underneath them.
+//!
+//! The invariants under test are the tiered structure's consistency contract for
+//! keys that are stable across the whole run:
+//!
+//! * a key inserted (and merged into the frozen tier) before the race and never
+//!   touched again is visible to every `get`, `predecessor` and `range` — no
+//!   reader may catch a half-built tier or a swap window where the key is absent;
+//! * a key removed before the race and never re-inserted stays dead: its delta
+//!   tombstone must shadow the frozen entry, ride every fold, and never let the
+//!   frozen copy "resurrect".
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+use skiptrie_suite::skiptrie::{TieredSkipTrie, TieredSkipTrieConfig};
+use skiptrie_suite::workloads::harness::{scaled, worker_rng, Workload};
+
+const UNIVERSE_BITS: u32 = 32;
+/// Stable/dead keys live well below this; churn writers stay at or above it, so
+/// churn can never perturb a predecessor query aimed at the stable range.
+const CHURN_BASE: u64 = 0x8000_0000;
+
+/// Stable keys `stable_key(i)` and their shadows `stable_key(i) + 1` (the keys we
+/// kill before the race): spread out, strictly below `CHURN_BASE`.
+fn stable_key(i: u64) -> u64 {
+    (i + 1) * 2_000_003
+}
+
+fn build(merge_every: Option<std::time::Duration>) -> (TieredSkipTrie<u64>, u64) {
+    let mut config = TieredSkipTrieConfig::for_universe_bits(UNIVERSE_BITS);
+    if let Some(every) = merge_every {
+        config = config.with_merge_every(every);
+    }
+    let t: TieredSkipTrie<u64> = TieredSkipTrie::new(config);
+    let stable = 512u64;
+    for i in 0..stable {
+        assert!(t.insert(stable_key(i), i));
+        assert!(t.insert(stable_key(i) + 1, i));
+    }
+    // Fold everything into the frozen tier, then kill the shadows: their
+    // tombstones now sit in the delta, shadowing live frozen entries, and every
+    // merge of the race must carry them until the frozen copies are gone. A
+    // configured background merger may win (or be mid-fold, making our explicit
+    // call a no-op), so loop until the fold has landed either way.
+    for _ in 0..10_000 {
+        t.merge();
+        if t.delta_len() == 0 && t.frozen_len() == 2 * stable as usize {
+            break;
+        }
+        std::thread::yield_now();
+    }
+    assert_eq!(
+        t.frozen_len(),
+        2 * stable as usize,
+        "prefill fold never landed"
+    );
+    assert_eq!(t.delta_len(), 0);
+    for i in 0..stable {
+        assert_eq!(t.remove(stable_key(i) + 1), Some(i));
+    }
+    (t, stable)
+}
+
+fn run_race(t: &TieredSkipTrie<u64>, stable: u64, explicit_merger: bool) {
+    let writers = 3usize;
+    let per_writer = scaled(8_000) as u64;
+    let writers_done = AtomicUsize::new(0);
+    let merges = AtomicUsize::new(0);
+
+    let mut workload = Workload::new(0xE13)
+        .workers(writers, |ctx| {
+            // Churn confined to a per-writer slice above CHURN_BASE: inserts and
+            // removes keep the delta dirty so folds always have work to do.
+            let mut rng = worker_rng(0xE13, ctx.index);
+            let base = CHURN_BASE + ctx.index as u64 * 0x0100_0000;
+            for _ in 0..per_writer {
+                let key = base + (rng.next() & 0x00FF_FFFF);
+                if rng.next().is_multiple_of(3) {
+                    t.remove(key);
+                } else {
+                    t.insert(key, key);
+                }
+            }
+            writers_done.fetch_add(1, Ordering::SeqCst);
+        })
+        .workers(2, |ctx| {
+            let mut rng = worker_rng(0xE14, ctx.index);
+            loop {
+                // Point reads against stable and dead keys.
+                for _ in 0..64 {
+                    let i = rng.next() % stable;
+                    let k = stable_key(i);
+                    assert_eq!(t.get(k), Some(i), "stable key {k} lost");
+                    assert_eq!(t.get(k + 1), None, "dead key {} resurrected", k + 1);
+                    // The dead key's predecessor is exactly the stable key: the
+                    // tombstone must hide the frozen entry from ordered queries
+                    // too, in every tier generation.
+                    assert_eq!(
+                        t.predecessor(k + 1),
+                        Some((k, i)),
+                        "pred through a tombstone"
+                    );
+                }
+                // An ordered window over a few stable keys: all present, no dead
+                // keys, strictly increasing.
+                let i = rng.next() % (stable - 8);
+                let lo = stable_key(i);
+                let hi = stable_key(i + 7) + 1;
+                let window: Vec<(u64, u64)> = t.range(lo..=hi).collect();
+                let expect: Vec<(u64, u64)> = (i..i + 8).map(|j| (stable_key(j), j)).collect();
+                assert_eq!(window, expect, "stable window must survive tier swaps");
+                if writers_done.load(Ordering::SeqCst) == writers {
+                    break;
+                }
+            }
+        });
+    if explicit_merger {
+        workload = workload.worker(|_| {
+            // Merge as fast as the fold allows, so readers cross as many seal and
+            // publish swaps as possible.
+            while writers_done.load(Ordering::SeqCst) < writers {
+                if t.merge() {
+                    merges.fetch_add(1, Ordering::SeqCst);
+                }
+                std::thread::yield_now();
+            }
+        });
+    }
+    workload.run();
+
+    if explicit_merger {
+        assert!(
+            merges.load(Ordering::SeqCst) >= 2,
+            "the race must actually cross tier folds"
+        );
+    }
+    // Quiesce: fold until the delta drains (an explicit merge can no-op against a
+    // background fold in flight), then the frozen tier alone must show every
+    // stable key and no dead key.
+    for _ in 0..10_000 {
+        t.merge();
+        if t.delta_len() == 0 && t.generation().is_multiple_of(2) {
+            break;
+        }
+        std::thread::yield_now();
+    }
+    assert_eq!(t.delta_len(), 0, "quiesced delta drains");
+    for i in 0..stable {
+        let k = stable_key(i);
+        assert_eq!(t.get(k), Some(i));
+        assert_eq!(t.get(k + 1), None, "tombstone must survive the final fold");
+    }
+}
+
+#[test]
+fn readers_race_explicit_merge_swaps() {
+    let (t, stable) = build(None);
+    run_race(&t, stable, true);
+    assert!(
+        t.generation() >= 5,
+        "prefill fold + >=2 race folds, two swaps each: generation {}",
+        t.generation()
+    );
+}
+
+#[test]
+fn readers_race_the_background_merger() {
+    let (t, stable) = build(Some(std::time::Duration::from_millis(1)));
+    run_race(&t, stable, false);
+}
