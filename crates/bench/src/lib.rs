@@ -20,7 +20,7 @@
 
 use std::time::Duration;
 
-use skiptrie::{ShardedSkipTrie, SkipTrie, TieredSkipTrie};
+use skiptrie::{ShardedSkipTrie, SkipTrie, TieredForest, TieredSkipTrie};
 use skiptrie_baselines::{FullSkipList, LockedBTreeMap};
 use skiptrie_metrics::{self as metrics, Counter, Snapshot};
 use skiptrie_skiplist::SkipList;
@@ -186,6 +186,49 @@ impl ConcurrentPredecessorMap for ShardedSkipTrie<u64> {
     }
 }
 
+impl ConcurrentPredecessorMap for TieredForest<u64> {
+    fn name(&self) -> &'static str {
+        "tiered-forest"
+    }
+    fn insert(&self, key: u64, value: u64) -> bool {
+        (**self).insert(key, value)
+    }
+    fn remove(&self, key: u64) -> Option<u64> {
+        (**self).remove(key)
+    }
+    fn get(&self, key: u64) -> Option<u64> {
+        (**self).get(key)
+    }
+    fn predecessor(&self, key: u64) -> Option<(u64, u64)> {
+        (**self).predecessor(key)
+    }
+    fn successor(&self, key: u64) -> Option<(u64, u64)> {
+        (**self).successor(key)
+    }
+    fn scan(&self, from: u64, limit: usize) -> usize {
+        (**self).range(from..).count_up_to(limit)
+    }
+    fn pop_first(&self) -> Option<(u64, u64)> {
+        (**self).pop_first()
+    }
+    fn len(&self) -> usize {
+        (**self).len()
+    }
+    fn insert_batch(&self, entries: &[(u64, u64)]) -> usize {
+        (**self).insert_batch(entries)
+    }
+    fn remove_batch(&self, keys: &[u64]) -> usize {
+        (**self).remove_batch(keys)
+    }
+    fn get_batch(&self, keys: &[u64]) -> usize {
+        (**self)
+            .get_batch(keys)
+            .iter()
+            .filter(|v| v.is_some())
+            .count()
+    }
+}
+
 impl ConcurrentPredecessorMap for FullSkipList<u64> {
     fn name(&self) -> &'static str {
         "lockfree-skiplist"
@@ -337,8 +380,9 @@ pub fn run_throughput<M: ConcurrentPredecessorMap + ?Sized>(
     let before = metrics::snapshot();
     let sw = skiptrie_metrics::Stopwatch::start();
     std::thread::scope(|scope| {
-        for ops in &streams {
+        for (index, ops) in streams.iter().enumerate() {
             scope.spawn(move || {
+                skiptrie_workloads::harness::pin_worker(index);
                 for &op in ops {
                     apply_op(map, op);
                 }

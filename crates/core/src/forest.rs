@@ -44,9 +44,11 @@ use std::ops::RangeBounds;
 
 use skiptrie_atomics::dcss::DcssMode;
 use skiptrie_metrics::{self as metrics, Counter};
-use skiptrie_skiplist::{resolve_bounds, RangeIter};
+use skiptrie_skiplist::resolve_bounds;
 use skiptrie_splitorder::DirectoryConfig;
 
+use crate::engine::{EngineRangeIter, ShardEngine, ShardSpec};
+use crate::tiered::FrozenSearch;
 use crate::{prefix, SkipTrie, SkipTrieConfig};
 
 /// First epoch domain handed to shards: domain 0 is the process-wide default and is
@@ -72,6 +74,14 @@ pub struct ShardedSkipTrieConfig {
     /// Shape of every shard's prefix-table bucket directory (unbounded growable
     /// segment tree by default); see [`SkipTrieConfig::with_hash_directory`].
     pub hash_dir: DirectoryConfig,
+    /// Per-shard delta-size merge watermark, for tiered engines: once a shard's
+    /// live delta accumulates this many writes, the writer that crosses the mark
+    /// flags the shard and unparks the merge coordinator. Ignored by the plain
+    /// [`SkipTrie`] engine. `None` (the default) disables the trigger.
+    pub merge_watermark: Option<usize>,
+    /// Frozen-tier search algorithm for tiered engines (ignored by the plain
+    /// [`SkipTrie`] engine); see [`FrozenSearch`].
+    pub frozen_search: FrozenSearch,
 }
 
 impl Default for ShardedSkipTrieConfig {
@@ -99,6 +109,8 @@ impl ShardedSkipTrieConfig {
             seed: 0x5eed_5eed_5eed_5eed,
             isolate_epochs: true,
             hash_dir: DirectoryConfig::default(),
+            merge_watermark: None,
+            frozen_search: FrozenSearch::Eytzinger,
         }
     }
 
@@ -148,10 +160,36 @@ impl ShardedSkipTrieConfig {
         self.hash_dir = self.hash_dir.with_bucket_cap(cap);
         self
     }
+
+    /// Arms the per-shard delta-size merge watermark (tiered engines only); see
+    /// [`ShardedSkipTrieConfig::merge_watermark`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `watermark` is zero.
+    pub fn with_merge_watermark(mut self, watermark: usize) -> Self {
+        assert!(watermark > 0, "merge watermark must be positive");
+        self.merge_watermark = Some(watermark);
+        self
+    }
+
+    /// Selects the frozen-tier search algorithm for tiered engines; see
+    /// [`FrozenSearch`].
+    pub fn with_frozen_search(mut self, search: FrozenSearch) -> Self {
+        self.frozen_search = search;
+        self
+    }
 }
 
 /// A lock-free ordered map over `universe_bits`-bit integer keys, partitioned across
-/// `2^shard_bits` independent [`SkipTrie`]s by the top `shard_bits` key bits.
+/// `2^shard_bits` independent shards by the top `shard_bits` key bits.
+///
+/// Generic over the per-shard storage engine `E` (see
+/// [`ShardEngine`]): the default `E = SkipTrie<V>` is a forest of plain tries;
+/// `E = TieredSkipTrie<V>` (usually via [`TieredForest`](crate::TieredForest))
+/// gives every shard a frozen read tier plus a live delta. The router — key
+/// routing, cross-shard queries, stitched scans, pops, batching, parallel bulk
+/// load — is engine-agnostic.
 ///
 /// Exposes the full SkipTrie surface (point operations, predecessor/successor, range
 /// scans, ordered extraction) plus batched entry points; see the [module docs](self)
@@ -173,26 +211,30 @@ impl ShardedSkipTrieConfig {
 /// assert_eq!(forest.range(..).count(), 2);
 /// assert_eq!(forest.pop_first(), Some((1, "low")));
 /// ```
-pub struct ShardedSkipTrie<V> {
+pub struct ShardedSkipTrie<V, E = SkipTrie<V>> {
     config: ShardedSkipTrieConfig,
-    shards: Box<[SkipTrie<V>]>,
+    shards: Box<[E]>,
     /// `key >> shard_shift` = shard index (`shard_shift = universe_bits - shard_bits`,
     /// or 64 for the single-shard degenerate case, where the shift is skipped).
     shard_shift: u32,
+    /// The router never stores a bare `V`; shards do.
+    _marker: std::marker::PhantomData<V>,
 }
 
-impl<V> Default for ShardedSkipTrie<V>
+impl<V, E> Default for ShardedSkipTrie<V, E>
 where
     V: Clone + Send + Sync + 'static,
+    E: ShardEngine<V>,
 {
     fn default() -> Self {
         ShardedSkipTrie::new(ShardedSkipTrieConfig::default())
     }
 }
 
-impl<V> ShardedSkipTrie<V>
+impl<V, E> ShardedSkipTrie<V, E>
 where
     V: Clone + Send + Sync + 'static,
+    E: ShardEngine<V>,
 {
     /// Creates an empty forest.
     ///
@@ -217,7 +259,7 @@ where
             config.shard_bits
         );
         let shard_count = 1usize << config.shard_bits;
-        let shards: Vec<SkipTrie<V>> = (0..shard_count)
+        let shards: Vec<E> = (0..shard_count)
             .map(|i| {
                 let mut shard_config = SkipTrieConfig::for_universe_bits(config.universe_bits)
                     .with_mode(config.mode)
@@ -234,13 +276,18 @@ where
                     shard_config = shard_config
                         .with_domain(SHARD_DOMAIN_BASE + i % (crossbeam_epoch::NUM_DOMAINS - 1));
                 }
-                SkipTrie::new(shard_config)
+                E::build(&ShardSpec {
+                    trie: shard_config,
+                    merge_watermark: config.merge_watermark,
+                    frozen_search: config.frozen_search,
+                })
             })
             .collect();
         ShardedSkipTrie {
             shards: shards.into_boxed_slice(),
             shard_shift: config.universe_bits - config.shard_bits,
             config,
+            _marker: std::marker::PhantomData,
         }
     }
 
@@ -273,12 +320,13 @@ where
         }
     }
 
-    /// Borrows shard `index` directly (diagnostics and tests).
+    /// Borrows shard `index`'s engine directly (diagnostics, tests, and the
+    /// tiered forest's merge coordinator).
     ///
     /// # Panics
     ///
     /// Panics if `index >= shard_count()`.
-    pub fn shard(&self, index: usize) -> &SkipTrie<V> {
+    pub fn shard(&self, index: usize) -> &E {
         &self.shards[index]
     }
 
@@ -416,7 +464,7 @@ where
     /// yielded exactly once, in increasing order (the per-shard cursor contract —
     /// see [`SkipTrie::range`] — composes because each key belongs to exactly one
     /// shard). Bounds beyond the universe are tolerated.
-    pub fn range(&self, range: impl RangeBounds<u64>) -> ShardedRangeIter<'_, V> {
+    pub fn range(&self, range: impl RangeBounds<u64>) -> ShardedRangeIter<'_, V, E> {
         match resolve_bounds(&range) {
             Some((lo, hi)) if lo <= self.max_key() => {
                 let last_shard = self.shard_of(hi.min(self.max_key()));
@@ -485,10 +533,10 @@ where
     /// (ascending for `from_back = false`, descending for `true`).
     fn pop_over<'a>(
         &'a self,
-        mut shards: impl Iterator<Item = &'a SkipTrie<V>> + Clone,
+        mut shards: impl Iterator<Item = &'a E> + Clone,
         from_back: bool,
     ) -> Option<(u64, V)> {
-        let pop = |shard: &SkipTrie<V>| {
+        let pop = |shard: &E| {
             if from_back {
                 shard.pop_last()
             } else {
@@ -702,7 +750,7 @@ where
                 if slice.is_empty() {
                     continue;
                 }
-                scope.spawn(move || shard.bulk_load(slice.iter().cloned()));
+                scope.spawn(move || ShardEngine::bulk_load(shard, slice));
             }
         });
         entries.len()
@@ -768,9 +816,15 @@ where
 
 /// A bounded, weakly-consistent range iterator over a [`ShardedSkipTrie`], stitching
 /// per-shard cursors in shard order (see [`ShardedSkipTrie::range`]). At most one
-/// shard's epoch pin is held at a time — the shard currently being walked.
-pub struct ShardedRangeIter<'a, V> {
-    forest: &'a ShardedSkipTrie<V>,
+/// shard's cursor is live at a time — an epoch pin for the plain engine, an owned
+/// tiers reference for the tiered one — so a long stitched scan never stalls more
+/// than the shard currently being walked.
+pub struct ShardedRangeIter<'a, V, E = SkipTrie<V>>
+where
+    V: Clone + Send + Sync + 'static,
+    E: ShardEngine<V>,
+{
+    forest: &'a ShardedSkipTrie<V, E>,
     /// Resolved inclusive bounds of the whole scan.
     lo: u64,
     hi: u64,
@@ -779,13 +833,14 @@ pub struct ShardedRangeIter<'a, V> {
     /// Last shard index intersecting the range.
     last_shard: usize,
     /// Cursor over the shard currently being walked.
-    cur: Option<RangeIter<'a, V>>,
+    cur: Option<E::RangeIter<'a>>,
     done: bool,
 }
 
-impl<'a, V> ShardedRangeIter<'a, V>
+impl<'a, V, E> ShardedRangeIter<'a, V, E>
 where
     V: Clone + Send + Sync + 'static,
+    E: ShardEngine<V>,
 {
     /// Opens the next shard's cursor, or marks the scan done. Returns `false` once
     /// exhausted.
@@ -796,9 +851,9 @@ where
             return false;
         }
         // Global bounds are passed straight through: a shard only contains keys of
-        // its own slice, so no per-shard clamping is needed, and the x-fast seeded
-        // descent positions the cursor at the first in-range key of that shard.
-        self.cur = Some(self.forest.shards[self.next_shard].range(self.lo..=self.hi));
+        // its own slice, so no per-shard clamping is needed, and the engine's
+        // seeded descent positions the cursor at the first in-range key.
+        self.cur = Some(self.forest.shards[self.next_shard].range(self.lo, self.hi));
         self.next_shard += 1;
         true
     }
@@ -829,9 +884,10 @@ where
     }
 }
 
-impl<'a, V> Iterator for ShardedRangeIter<'a, V>
+impl<'a, V, E> Iterator for ShardedRangeIter<'a, V, E>
 where
     V: Clone + Send + Sync + 'static,
+    E: ShardEngine<V>,
 {
     type Item = (u64, V);
 
@@ -1172,7 +1228,7 @@ mod tests {
 
     #[test]
     fn single_shard_forest_degenerates_to_one_trie() {
-        let f = ShardedSkipTrie::new(
+        let f: ShardedSkipTrie<u64> = ShardedSkipTrie::new(
             ShardedSkipTrieConfig::for_universe_bits(16)
                 .with_shards(1)
                 .with_seed(3),

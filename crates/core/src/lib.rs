@@ -58,11 +58,14 @@
 
 #![warn(missing_docs)]
 
+pub mod engine;
 pub mod forest;
 mod prefix;
 pub mod tiered;
+pub mod tiered_forest;
 mod xfast;
 
+pub use engine::{EngineRangeIter, ShardEngine, ShardSpec};
 pub use forest::{ShardedRangeIter, ShardedSkipTrie, ShardedSkipTrieConfig};
 pub use prefix::{key_bit, lcp_len, max_key, Prefix};
 pub use skiptrie_atomics::dcss::DcssMode;
@@ -70,7 +73,8 @@ pub use skiptrie_skiplist::{
     levels_for_universe_bits, resolve_bounds, Cursor, NodeRef, RangeIter, SkipList, SkipListConfig,
 };
 pub use skiptrie_splitorder::DirectoryConfig;
-pub use tiered::{TieredRangeIter, TieredSkipTrie, TieredSkipTrieConfig};
+pub use tiered::{FrozenSearch, TieredRangeIter, TieredSkipTrie, TieredSkipTrieConfig};
+pub use tiered_forest::TieredForest;
 
 use std::ops::RangeBounds;
 

@@ -63,6 +63,30 @@ use skiptrie_metrics::{self as metrics, Counter};
 
 use crate::{max_key, SkipTrie, SkipTrieConfig};
 
+/// Search algorithm used by the frozen tier's `lower_bound`.
+///
+/// Both return the index of the first key `>= x`; they differ only in how they
+/// walk the sorted array, which matters at large populations:
+///
+/// * [`FrozenSearch::Eytzinger`] — branch-free descent of an implicit binary
+///   tree in BFS layout: `O(log n)` steps, each touching one cache line laid
+///   out for prefetch-friendliness. Robust to any key distribution.
+/// * [`FrozenSearch::Interpolation`] — guesses the position from the key's
+///   value relative to the span endpoints: `O(log log n)` expected steps when
+///   keys are near-uniform (the common shape after hashed workloads), falling
+///   back to a short bounded scan once the window is small. Degrades gracefully
+///   (still correct, at worst linear convergence) on adversarial distributions.
+///
+/// A/B numbers live in `EXPERIMENTS.md` §E14.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum FrozenSearch {
+    /// Branch-free Eytzinger (BFS-layout) binary search — the default.
+    #[default]
+    Eytzinger,
+    /// Interpolation search over the sorted array (near-uniform keys).
+    Interpolation,
+}
+
 /// Configuration of a [`TieredSkipTrie`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct TieredSkipTrieConfig {
@@ -72,8 +96,15 @@ pub struct TieredSkipTrieConfig {
     pub trie: SkipTrieConfig,
     /// If set, a background thread calls [`TieredSkipTrie::merge`] at this period
     /// until the structure is dropped. `None` (the default) leaves merging to
-    /// explicit [`TieredSkipTrie::merge`] calls.
+    /// explicit [`TieredSkipTrie::merge`] calls or the watermark trigger.
     pub merge_every: Option<Duration>,
+    /// If set, writers arm a merge as soon as this many delta writes have
+    /// accumulated since the last seal: the crossing write checks a plain atomic
+    /// counter and unparks the merge thread (or the forest's coordinator) — no
+    /// timer involved. `None` (the default) disables the watermark trigger.
+    pub merge_watermark: Option<usize>,
+    /// How the frozen tier searches its sorted key array.
+    pub frozen_search: FrozenSearch,
 }
 
 impl Default for TieredSkipTrieConfig {
@@ -92,6 +123,8 @@ impl TieredSkipTrieConfig {
         TieredSkipTrieConfig {
             trie: SkipTrieConfig::for_universe_bits(universe_bits),
             merge_every: None,
+            merge_watermark: None,
+            frozen_search: FrozenSearch::Eytzinger,
         }
     }
 
@@ -106,6 +139,24 @@ impl TieredSkipTrieConfig {
         self.merge_every = Some(every);
         self
     }
+
+    /// Arms the delta-size watermark: a merge is triggered (and the merge thread
+    /// unparked) once `watermark` writes have landed in the live delta.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `watermark` is zero.
+    pub fn with_merge_watermark(mut self, watermark: usize) -> Self {
+        assert!(watermark > 0, "merge watermark must be positive");
+        self.merge_watermark = Some(watermark);
+        self
+    }
+
+    /// Selects the frozen-tier search algorithm (see [`FrozenSearch`]).
+    pub fn with_frozen_search(mut self, search: FrozenSearch) -> Self {
+        self.frozen_search = search;
+        self
+    }
 }
 
 /// What the delta knows about a key: a recent value, or "deleted here" shadowing
@@ -117,7 +168,8 @@ enum Delta<V> {
 }
 
 /// The immutable frozen tier: entries sorted by key, plus an Eytzinger (BFS-order)
-/// layout of the keys for branch-free, cache-friendly binary search.
+/// layout of the keys for branch-free, cache-friendly binary search (or
+/// interpolation search directly over `sorted`, per [`FrozenSearch`]).
 struct FrozenTier<V> {
     /// Entries in increasing key order.
     sorted: Box<[(u64, V)]>,
@@ -125,10 +177,12 @@ struct FrozenTier<V> {
     eyt: Box<[u64]>,
     /// Maps an Eytzinger position back to its index in `sorted`.
     rank: Box<[u32]>,
+    /// Which `lower_bound` algorithm serves this tier.
+    search: FrozenSearch,
 }
 
 impl<V: Clone> FrozenTier<V> {
-    fn build(sorted: Vec<(u64, V)>) -> Self {
+    fn build_with(sorted: Vec<(u64, V)>, search: FrozenSearch) -> Self {
         let n = sorted.len();
         assert!(
             n < u32::MAX as usize,
@@ -161,6 +215,7 @@ impl<V: Clone> FrozenTier<V> {
             sorted: sorted.into_boxed_slice(),
             eyt,
             rank,
+            search,
         }
     }
 
@@ -168,11 +223,19 @@ impl<V: Clone> FrozenTier<V> {
         self.sorted.len()
     }
 
-    /// Index in `sorted` of the first key `>= x` (`len()` if none): the branch-free
-    /// Eytzinger descent. Each step reads one slot and computes the next index
-    /// arithmetically; the final fix-up (`trailing_ones`) recovers the last left
-    /// turn of the virtual walk.
+    /// Index in `sorted` of the first key `>= x` (`len()` if none), by the
+    /// configured [`FrozenSearch`] algorithm.
     fn lower_bound(&self, x: u64) -> usize {
+        match self.search {
+            FrozenSearch::Eytzinger => self.lower_bound_eytzinger(x),
+            FrozenSearch::Interpolation => self.lower_bound_interpolated(x),
+        }
+    }
+
+    /// The branch-free Eytzinger descent. Each step reads one slot and computes
+    /// the next index arithmetically; the final fix-up (`trailing_ones`) recovers
+    /// the last left turn of the virtual walk.
+    fn lower_bound_eytzinger(&self, x: u64) -> usize {
         let n = self.sorted.len();
         if n == 0 {
             return 0;
@@ -187,6 +250,39 @@ impl<V: Clone> FrozenTier<V> {
         } else {
             self.rank[k] as usize
         }
+    }
+
+    /// Interpolation search over `sorted`: position the probe proportionally to
+    /// `x` within the current span's key range. `O(log log n)` expected probes on
+    /// near-uniform keys; always correct (the window shrinks by at least one slot
+    /// per probe), finishing with a linear scan once the window is small.
+    fn lower_bound_interpolated(&self, x: u64) -> usize {
+        let s = &self.sorted;
+        let n = s.len();
+        if n == 0 || x <= s[0].0 {
+            return 0;
+        }
+        if x > s[n - 1].0 {
+            return n;
+        }
+        // Invariant: s[lo].0 < x <= s[hi].0, so the answer lies in (lo, hi].
+        let (mut lo, mut hi) = (0usize, n - 1);
+        while hi - lo > 8 {
+            let (klo, khi) = (s[lo].0, s[hi].0);
+            // u128 keeps (x - klo) * width exact for any 64-bit keys.
+            let offset = ((x - klo) as u128 * (hi - lo) as u128 / (khi - klo) as u128) as usize;
+            let mid = (lo + offset).clamp(lo + 1, hi - 1);
+            if s[mid].0 < x {
+                lo = mid;
+            } else {
+                hi = mid;
+            }
+        }
+        let mut i = lo + 1;
+        while s[i].0 < x {
+            i += 1;
+        }
+        i
     }
 
     fn get(&self, key: u64) -> Option<V> {
@@ -278,11 +374,58 @@ struct CachedTiers {
     tiers: Arc<dyn Any + Send + Sync>,
 }
 
+/// The thread-local tier cache, wrapped so its teardown is safe: at thread exit
+/// the destructor must NOT drop the cached `Arc<Tiers>` values — an entry may be
+/// the last reference to a superseded triple, and dropping the triple drops its
+/// delta [`SkipTrie`], whose own `Drop` pins an epoch domain. Pinning is
+/// impossible during TLS teardown (the epoch crate's thread-local may already be
+/// destroyed), so the destructor parks the Arcs in a process-wide graveyard
+/// instead; [`drain_tier_graveyard`] frees them later from a live thread.
+struct TierCache {
+    entries: Vec<CachedTiers>,
+}
+
+impl Drop for TierCache {
+    fn drop(&mut self) {
+        if self.entries.is_empty() {
+            return;
+        }
+        let parked: Vec<Arc<dyn Any + Send + Sync>> =
+            self.entries.drain(..).map(|e| e.tiers).collect();
+        let mut graveyard = tier_graveyard().lock().expect("tier graveyard lock");
+        graveyard.extend(parked);
+        TIER_GRAVEYARD_NONEMPTY.store(true, Ordering::SeqCst);
+    }
+}
+
 thread_local! {
     /// Small per-thread cache of published tier triples, keyed by structure
     /// instance. Capped; least-recently-inserted entries are evicted.
-    static TIER_CACHE: std::cell::RefCell<Vec<CachedTiers>> =
-        const { std::cell::RefCell::new(Vec::new()) };
+    static TIER_CACHE: std::cell::RefCell<TierCache> =
+        const { std::cell::RefCell::new(TierCache { entries: Vec::new() }) };
+}
+
+/// Cheap guard on [`tier_graveyard`]: checked before taking the lock so the
+/// common no-dead-threads case costs one relaxed load.
+static TIER_GRAVEYARD_NONEMPTY: std::sync::atomic::AtomicBool =
+    std::sync::atomic::AtomicBool::new(false);
+
+fn tier_graveyard() -> &'static std::sync::Mutex<Vec<Arc<dyn Any + Send + Sync>>> {
+    static GRAVEYARD: std::sync::OnceLock<std::sync::Mutex<Vec<Arc<dyn Any + Send + Sync>>>> =
+        std::sync::OnceLock::new();
+    GRAVEYARD.get_or_init(|| std::sync::Mutex::new(Vec::new()))
+}
+
+/// Drops any tier triples parked by exiting threads (see [`TierCache`]). Called
+/// from merge and structure-drop paths — always on live threads, where the epoch
+/// pins taken by the freed deltas' `Drop` impls are legal. The Arcs are moved
+/// out before dropping so the lock is never held across reclamation work.
+fn drain_tier_graveyard() {
+    if !TIER_GRAVEYARD_NONEMPTY.swap(false, Ordering::SeqCst) {
+        return;
+    }
+    let parked = std::mem::take(&mut *tier_graveyard().lock().expect("tier graveyard lock"));
+    drop(parked);
 }
 
 /// Upper bound on distinct [`TieredSkipTrie`] instances one thread caches tiers
@@ -308,6 +451,15 @@ struct Inner<V> {
     merging: AtomicBool,
     /// Net key count (inserts minus removes; exact without same-key write races).
     net: AtomicI64,
+    /// Delta writes since the last seal; the watermark trigger reads this (reset
+    /// at seal time — late writers racing a seal overcount harmlessly).
+    delta_writes: AtomicU64,
+    /// Latched by the write that crosses the watermark (so only one writer pays
+    /// the wake), cleared at seal time.
+    merge_due: AtomicBool,
+    /// Whoever should be unparked when the watermark trips: the structure's own
+    /// merge thread, or a forest-level merge coordinator.
+    waker: std::sync::Mutex<Option<std::thread::Thread>>,
     /// Tells the background merge thread to exit.
     stop: AtomicBool,
 }
@@ -343,6 +495,28 @@ where
         );
     }
 
+    /// Accounts one write into the live delta. When the configured watermark is
+    /// crossed, exactly one writer (the one whose `swap` latches `merge_due`)
+    /// unparks the merge waker — the cost on every other write is one atomic add
+    /// and one relaxed-ish load, nothing shared beyond the counter line.
+    fn note_delta_write(&self) {
+        let Some(watermark) = self.config.merge_watermark else {
+            return;
+        };
+        let writes = self.delta_writes.fetch_add(1, Ordering::SeqCst) + 1;
+        if writes as usize >= watermark && !self.merge_due.swap(true, Ordering::SeqCst) {
+            self.wake_merger();
+        }
+    }
+
+    /// Unparks whichever thread is registered to run merges (a no-op when merging
+    /// is purely explicit).
+    fn wake_merger(&self) {
+        if let Some(thread) = self.waker.lock().expect("merge waker lock").as_ref() {
+            thread.unpark();
+        }
+    }
+
     /// Acquires an owned reference to the published tiers (the slow path: pins the
     /// domain so the pointer cannot be retired between the load and the refcount
     /// bump).
@@ -370,6 +544,7 @@ where
     fn with_tiers<R>(&self, f: impl FnOnce(&Tiers<V>) -> R) -> R {
         TIER_CACHE.with(|cell| {
             let mut cache = cell.borrow_mut();
+            let cache = &mut cache.entries;
             let gen = self.gen.load(Ordering::SeqCst);
             let pos = cache.iter().position(|e| e.instance == self.instance);
             if let Some(i) = pos {
@@ -441,6 +616,9 @@ where
     /// One full merge cycle; returns whether a fold was performed. See
     /// [`TieredSkipTrie::merge`].
     fn merge(&self) -> bool {
+        // Merges run on live worker/coordinator threads — the safe place to
+        // free tier triples parked by threads that exited mid-generation.
+        drain_tier_graveyard();
         if self.merging.swap(true, Ordering::SeqCst) {
             return false;
         }
@@ -448,6 +626,10 @@ where
         // `merging` is held, so `sealed` can only be Some if a previous merge died
         // mid-way — impossible without a panic; treat "nothing buffered" as done.
         if current.live.is_empty() && current.sealed.is_none() {
+            // Nothing to fold: also disarm a stale watermark latch so the
+            // coordinator does not keep seeing this shard as due.
+            self.delta_writes.store(0, Ordering::SeqCst);
+            self.merge_due.store(false, Ordering::SeqCst);
             self.merging.store(false, Ordering::SeqCst);
             return false;
         }
@@ -458,6 +640,11 @@ where
             live: Arc::new(SkipTrie::new(self.config.trie)),
             sealed: Some(Arc::clone(&sealed)),
         });
+        // Re-arm the watermark for the fresh delta. Writers that raced the seal
+        // into the old one may still bump the counter — a harmless overcount that
+        // at worst triggers the next merge a few writes early.
+        self.delta_writes.store(0, Ordering::SeqCst);
+        self.merge_due.store(false, Ordering::SeqCst);
         // Phase 2 — grace: writers that read the pre-seal state may still be
         // mid-write into `sealed`; they were pinned before the swap, so waiting
         // for those pins to clear quiesces it.
@@ -469,7 +656,7 @@ where
         // Phase 4 — publish the new frozen tier and retire the sealed delta.
         let (after_seal, _) = self.acquire_tiers();
         self.publish(Tiers {
-            frozen: Arc::new(FrozenTier::build(folded)),
+            frozen: Arc::new(FrozenTier::build_with(folded, self.config.frozen_search)),
             live: Arc::clone(&after_seal.live),
             sealed: None,
         });
@@ -506,6 +693,165 @@ where
             }
         }
         out
+    }
+
+    /// Insert core against one resolved tiers triple. The caller must hold a pin
+    /// of this domain across the state read and this call (the merge grace period
+    /// relies on it); batch entry points amortize that pin and the tiers
+    /// resolution over the whole batch.
+    fn insert_in(&self, t: &Tiers<V>, key: u64, value: &V) -> bool {
+        loop {
+            match t.live.get(key) {
+                Some(Delta::Put(_)) => return false,
+                Some(Delta::Tombstone) => {
+                    // Revive a deleted key: clear the tombstone, race to publish.
+                    t.live.remove(key);
+                    if t.live.insert(key, Delta::Put(value.clone())) {
+                        self.net.fetch_add(1, Ordering::SeqCst);
+                        self.note_delta_write();
+                        return true;
+                    }
+                }
+                None => {
+                    if t.under_value(key).is_some() {
+                        return false;
+                    }
+                    if t.live.insert(key, Delta::Put(value.clone())) {
+                        self.net.fetch_add(1, Ordering::SeqCst);
+                        self.note_delta_write();
+                        return true;
+                    }
+                }
+            }
+        }
+    }
+
+    /// Remove core against one resolved tiers triple (same pin contract as
+    /// [`Inner::insert_in`]).
+    ///
+    /// # Exactly-once claims across a seal
+    ///
+    /// A remove that deletes a key resident below the live delta "claims" it by
+    /// winning a tombstone insert. During a merge two claimants can resolve
+    /// *different* states: a pre-seal straggler (pinned, so the grace period
+    /// waits for it) still sees the sealed delta as its live one, while a
+    /// post-seal claimant writes to the fresh delta. If each only wrote its own
+    /// delta, both inserts could succeed and the key would be claimed twice.
+    /// The arbitration rule that restores exactly-once:
+    ///
+    /// * every claimant must first win a tombstone insert into the **sealed**
+    ///   delta of its view (for the straggler that *is* its live delta), and
+    ///   only then place the tombstone into its live delta;
+    /// * a claim counts only if **every** insert on that path succeeded — a
+    ///   failed live insert after a won sealed insert means the fold already
+    ///   missed our sealed tombstone and a post-fold claimant took the key.
+    ///
+    /// All deltas a racing pair can disagree about are adjacent generations, so
+    /// the sealed delta is a common arbitration point for both. Claims of a
+    /// key whose value still sits as a `Put` in the sealed delta arbitrate by
+    /// removing that `Put` (unique winner) instead.
+    ///
+    /// The remaining windows — concurrent removers (or a remover and a
+    /// reviving inserter) racing on the *same* key through a transiently
+    /// absent live entry — are the structure's documented weak consistency
+    /// for same-key writer races; distinct-key histories (e.g. pop drains)
+    /// are exactly-once.
+    fn remove_in(&self, t: &Tiers<V>, key: u64) -> Option<V> {
+        loop {
+            match t.live.get(key) {
+                Some(Delta::Tombstone) => return None,
+                Some(Delta::Put(_)) => match t.live.remove(key) {
+                    Some(Delta::Put(v)) => {
+                        if t.live.insert(key, Delta::Tombstone) {
+                            self.net.fetch_sub(1, Ordering::SeqCst);
+                            self.note_delta_write();
+                            return Some(v);
+                        }
+                        match t.live.get(key) {
+                            // A fresh insert revived the key inside our
+                            // remove→insert window: the delete linearized
+                            // before it, so our claim stands and no tombstone
+                            // belongs here.
+                            Some(Delta::Put(_)) | None => {
+                                self.net.fetch_sub(1, Ordering::SeqCst);
+                                self.note_delta_write();
+                                return Some(v);
+                            }
+                            // An under-tier claimant tombstoned the key
+                            // through the transient absence; its claim is the
+                            // one that counts (ours folds into it).
+                            Some(Delta::Tombstone) => return None,
+                        }
+                    }
+                    Some(Delta::Tombstone) => {
+                        // Raced a concurrent remover's tombstone out; reinstate it.
+                        t.live.insert(key, Delta::Tombstone);
+                        return None;
+                    }
+                    None => {}
+                },
+                None => {
+                    let Some(sealed) = &t.sealed else {
+                        match t.under_value(key) {
+                            Some(v) => {
+                                if t.live.insert(key, Delta::Tombstone) {
+                                    self.net.fetch_sub(1, Ordering::SeqCst);
+                                    self.note_delta_write();
+                                    return Some(v);
+                                }
+                                // Lost the claim; re-read (the tombstone is
+                                // now visible).
+                                continue;
+                            }
+                            None => return None,
+                        }
+                    };
+                    // A merge is in flight in this view: arbitrate through the
+                    // sealed delta first (see the method docs).
+                    match sealed.get(key) {
+                        Some(Delta::Tombstone) => return None,
+                        Some(Delta::Put(_)) => match sealed.remove(key) {
+                            Some(Delta::Put(v)) => {
+                                // Reinstate a tombstone so the fold deletes any
+                                // frozen copy and other arbitrators see the
+                                // key dead; then make the claim visible in the
+                                // live delta across the fold publish.
+                                let _ = sealed.insert(key, Delta::Tombstone);
+                                if t.live.insert(key, Delta::Tombstone) {
+                                    self.net.fetch_sub(1, Ordering::SeqCst);
+                                    self.note_delta_write();
+                                    return Some(v);
+                                }
+                                return None;
+                            }
+                            Some(Delta::Tombstone) => {
+                                // Yanked a racer's claim out; put it back.
+                                let _ = sealed.insert(key, Delta::Tombstone);
+                                return None;
+                            }
+                            None => continue,
+                        },
+                        None => match t.frozen.get(key) {
+                            Some(v) => {
+                                if !sealed.insert(key, Delta::Tombstone) {
+                                    // Lost the sealed arbitration; re-read.
+                                    continue;
+                                }
+                                if t.live.insert(key, Delta::Tombstone) {
+                                    self.net.fetch_sub(1, Ordering::SeqCst);
+                                    self.note_delta_write();
+                                    return Some(v);
+                                }
+                                // The fold missed our sealed tombstone and a
+                                // post-fold claimant won the live delta.
+                                return None;
+                            }
+                            None => return None,
+                        },
+                    }
+                }
+            }
+        }
     }
 }
 
@@ -570,6 +916,21 @@ where
     where
         I: IntoIterator<Item = (u64, V)>,
     {
+        Self::from_sorted_spawn(config, entries, true)
+    }
+
+    /// [`TieredSkipTrie::from_sorted`] with control over the background merge
+    /// thread. The forest engine passes `spawn_merger = false`: its shards share
+    /// one coordinator thread (registered via the maintenance-waker hook) instead
+    /// of spawning a thread per shard.
+    pub(crate) fn from_sorted_spawn<I>(
+        config: TieredSkipTrieConfig,
+        entries: I,
+        spawn_merger: bool,
+    ) -> Self
+    where
+        I: IntoIterator<Item = (u64, V)>,
+    {
         let top = max_key(config.trie.universe_bits);
         let mut last: Option<u64> = None;
         let sorted: Vec<(u64, V)> = entries
@@ -584,7 +945,7 @@ where
             .collect();
         let net = sorted.len() as i64;
         let tiers = Tiers {
-            frozen: Arc::new(FrozenTier::build(sorted)),
+            frozen: Arc::new(FrozenTier::build_with(sorted, config.frozen_search)),
             live: Arc::new(SkipTrie::new(config.trie)),
             sealed: None,
         };
@@ -596,15 +957,24 @@ where
             gen: AtomicU64::new(0),
             merging: AtomicBool::new(false),
             net: AtomicI64::new(net),
+            delta_writes: AtomicU64::new(0),
+            merge_due: AtomicBool::new(false),
+            waker: std::sync::Mutex::new(None),
             stop: AtomicBool::new(false),
         });
-        let merger = config.merge_every.map(|every| {
+        let wants_thread = config.merge_every.is_some() || config.merge_watermark.is_some();
+        let merger = (spawn_merger && wants_thread).then(|| {
             let worker = Arc::clone(&inner);
             std::thread::Builder::new()
                 .name("skiptrie-tier-merge".into())
                 .spawn(move || {
                     while !worker.stop.load(Ordering::SeqCst) {
-                        std::thread::park_timeout(every);
+                        match worker.config.merge_every {
+                            Some(every) => std::thread::park_timeout(every),
+                            // Watermark-only mode: no timer at all — sleep until
+                            // the write that crosses the watermark unparks us.
+                            None => std::thread::park(),
+                        }
                         if worker.stop.load(Ordering::SeqCst) {
                             break;
                         }
@@ -613,6 +983,11 @@ where
                 })
                 .expect("spawn tier-merge thread")
         });
+        if let Some(handle) = &merger {
+            // Registration happens before the constructor returns, i.e. before
+            // any writer can cross the watermark: no wake can be missed.
+            *inner.waker.lock().expect("merge waker lock") = Some(handle.thread().clone());
+        }
         TieredSkipTrie { inner, merger }
     }
 
@@ -645,6 +1020,13 @@ where
     /// The published generation: bumped on every tier swap (two per merge cycle).
     pub fn generation(&self) -> u64 {
         self.inner.gen.load(Ordering::SeqCst)
+    }
+
+    /// True while a merge is between its seal and publish swaps — a sealed
+    /// delta exists that has not yet been folded into the frozen tier
+    /// (diagnostics).
+    pub fn mid_merge(&self) -> bool {
+        self.inner.with_tiers(|t| t.sealed.is_some())
     }
 
     /// Returns a clone of the value stored under `key`.
@@ -770,28 +1152,7 @@ where
         // The pin spans (state read → delta write): the merge's grace period waits
         // for it, so a write into a just-sealed delta is never folded away.
         let _guard = inner.pin();
-        inner.with_tiers(|t| loop {
-            match t.live.get(key) {
-                Some(Delta::Put(_)) => return false,
-                Some(Delta::Tombstone) => {
-                    // Revive a deleted key: clear the tombstone, race to publish.
-                    t.live.remove(key);
-                    if t.live.insert(key, Delta::Put(value.clone())) {
-                        inner.net.fetch_add(1, Ordering::SeqCst);
-                        return true;
-                    }
-                }
-                None => {
-                    if t.under_value(key).is_some() {
-                        return false;
-                    }
-                    if t.live.insert(key, Delta::Put(value.clone())) {
-                        inner.net.fetch_add(1, Ordering::SeqCst);
-                        return true;
-                    }
-                }
-            }
-        })
+        inner.with_tiers(|t| inner.insert_in(t, key, &value))
     }
 
     /// Removes `key`, returning its visible value if this call performed the
@@ -806,33 +1167,141 @@ where
         let inner = &*self.inner;
         inner.check_key(key);
         let _guard = inner.pin();
-        inner.with_tiers(|t| loop {
-            match t.live.get(key) {
-                Some(Delta::Tombstone) => return None,
-                Some(Delta::Put(_)) => match t.live.remove(key) {
-                    Some(Delta::Put(v)) => {
-                        t.live.insert(key, Delta::Tombstone);
-                        inner.net.fetch_sub(1, Ordering::SeqCst);
-                        return Some(v);
-                    }
-                    Some(Delta::Tombstone) => {
-                        // Raced a concurrent remover's tombstone out; reinstate it.
-                        t.live.insert(key, Delta::Tombstone);
-                        return None;
-                    }
-                    None => {}
-                },
-                None => match t.under_value(key) {
-                    Some(v) => {
-                        if t.live.insert(key, Delta::Tombstone) {
-                            inner.net.fetch_sub(1, Ordering::SeqCst);
-                            return Some(v);
-                        }
-                    }
-                    None => return None,
-                },
-            }
+        inner.with_tiers(|t| inner.remove_in(t, key))
+    }
+
+    /// Batch [`TieredSkipTrie::insert`]: one epoch pin and **one** TLS
+    /// tiers-generation resolution for the whole batch instead of one per key.
+    /// Returns how many keys this call inserted.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any key does not fit in the configured universe.
+    pub fn insert_batch(&self, entries: &[(u64, V)]) -> usize {
+        let inner = &*self.inner;
+        for &(key, _) in entries {
+            inner.check_key(key);
+        }
+        let _guard = inner.pin();
+        inner.with_tiers(|t| {
+            entries
+                .iter()
+                .filter(|(key, value)| inner.insert_in(t, *key, value))
+                .count()
         })
+    }
+
+    /// Batch [`TieredSkipTrie::remove`] (same amortization as
+    /// [`TieredSkipTrie::insert_batch`]). Returns how many keys were removed.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any key does not fit in the configured universe.
+    pub fn remove_batch(&self, keys: &[u64]) -> usize {
+        let inner = &*self.inner;
+        for &key in keys {
+            inner.check_key(key);
+        }
+        let _guard = inner.pin();
+        inner.with_tiers(|t| {
+            keys.iter()
+                .filter(|&&key| inner.remove_in(t, key).is_some())
+                .count()
+        })
+    }
+
+    /// Batch [`TieredSkipTrie::get`]: resolves the thread-local tiers cache once
+    /// and answers every key against that one published triple (one tier-counter
+    /// record per batch, not per key). `out[i]` answers `keys[i]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any key does not fit in the configured universe, or if `out` is
+    /// shorter than `keys`.
+    pub fn get_batch_into(&self, keys: &[u64], out: &mut [Option<V>]) {
+        assert!(out.len() >= keys.len(), "output buffer shorter than keys");
+        let inner = &*self.inner;
+        for &key in keys {
+            inner.check_key(key);
+        }
+        inner.with_tiers(|t| {
+            if t.delta_is_empty() {
+                metrics::record(Counter::TierHit);
+                for (slot, &key) in out.iter_mut().zip(keys) {
+                    *slot = t.frozen.get(key);
+                }
+            } else {
+                metrics::record(Counter::TierMissDelta);
+                for (slot, &key) in out.iter_mut().zip(keys) {
+                    *slot = t.resolve(key);
+                }
+            }
+        });
+    }
+
+    /// Batch [`TieredSkipTrie::get`] returning a fresh vector; see
+    /// [`TieredSkipTrie::get_batch_into`].
+    pub fn get_batch(&self, keys: &[u64]) -> Vec<Option<V>> {
+        let mut out = vec![None; keys.len()];
+        self.get_batch_into(keys, &mut out);
+        out
+    }
+
+    /// Insert of a shard's picked batch group (`order` indexes into `entries`,
+    /// sorted by key): one pin + one tiers resolution for the group.
+    pub(crate) fn insert_batch_picked(&self, entries: &[(u64, V)], order: &[usize]) -> usize {
+        let inner = &*self.inner;
+        for &i in order {
+            inner.check_key(entries[i].0);
+        }
+        let _guard = inner.pin();
+        inner.with_tiers(|t| {
+            order
+                .iter()
+                .filter(|&&i| {
+                    let (key, value) = &entries[i];
+                    inner.insert_in(t, *key, value)
+                })
+                .count()
+        })
+    }
+
+    /// Remove of a shard's picked batch group (see
+    /// [`TieredSkipTrie::insert_batch_picked`]).
+    pub(crate) fn remove_batch_picked(&self, keys: &[u64], order: &[usize]) -> usize {
+        let inner = &*self.inner;
+        for &i in order {
+            inner.check_key(keys[i]);
+        }
+        let _guard = inner.pin();
+        inner.with_tiers(|t| {
+            order
+                .iter()
+                .filter(|&&i| inner.remove_in(t, keys[i]).is_some())
+                .count()
+        })
+    }
+
+    /// Lookup of a shard's picked batch group, answering `out[i]` for each picked
+    /// `i` against one published tiers triple.
+    pub(crate) fn get_batch_picked(&self, keys: &[u64], order: &[usize], out: &mut [Option<V>]) {
+        let inner = &*self.inner;
+        for &i in order {
+            inner.check_key(keys[i]);
+        }
+        inner.with_tiers(|t| {
+            if t.delta_is_empty() {
+                metrics::record(Counter::TierHit);
+                for &i in order {
+                    out[i] = t.frozen.get(keys[i]);
+                }
+            } else {
+                metrics::record(Counter::TierMissDelta);
+                for &i in order {
+                    out[i] = t.resolve(keys[i]);
+                }
+            }
+        });
     }
 
     /// An ordered iterator over the entries whose keys lie in `range`, merged
@@ -908,6 +1377,122 @@ where
         }
     }
 
+    /// Removes and returns the entry with the largest visible key (mirror of
+    /// [`TieredSkipTrie::pop_first`]).
+    pub fn pop_last(&self) -> Option<(u64, V)> {
+        let top = max_key(self.inner.config.trie.universe_bits);
+        loop {
+            let (key, _) = self.predecessor(top)?;
+            if let Some(value) = self.remove(key) {
+                return Some((key, value));
+            }
+        }
+    }
+
+    /// Builds the frozen tier from a sorted, strictly increasing slice in `O(n)`
+    /// — the tiered analogue of [`SkipTrie::bulk_load`]. Requires exclusive
+    /// access to an empty structure; returns the number of entries loaded.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the structure is not empty, or if keys are not strictly
+    /// increasing / exceed the universe.
+    pub fn bulk_load(&mut self, entries: &[(u64, V)]) -> usize {
+        let inner = &*self.inner;
+        assert!(
+            inner.with_tiers(|t| t.delta_is_empty() && t.frozen.len() == 0),
+            "bulk_load requires an empty TieredSkipTrie"
+        );
+        let top = max_key(inner.config.trie.universe_bits);
+        for pair in entries.windows(2) {
+            assert!(
+                pair[0].0 < pair[1].0,
+                "bulk_load requires strictly increasing keys"
+            );
+        }
+        if let Some(&(last, _)) = entries.last() {
+            assert!(last <= top, "key {last} exceeds the configured universe");
+        }
+        inner.net.store(entries.len() as i64, Ordering::SeqCst);
+        inner.publish(Tiers {
+            frozen: Arc::new(FrozenTier::build_with(
+                entries.to_vec(),
+                inner.config.frozen_search,
+            )),
+            live: Arc::new(SkipTrie::new(inner.config.trie)),
+            sealed: None,
+        });
+        entries.len()
+    }
+
+    /// `(allocated, recycled, free)` node counts of the live delta (plus the
+    /// sealed one mid-merge) — the frozen tier holds no pool nodes.
+    pub fn allocation_stats(&self) -> (usize, usize, usize) {
+        self.inner.with_tiers(|t| {
+            let mut stats = t.live.allocation_stats();
+            if let Some(sealed) = &t.sealed {
+                let s = sealed.allocation_stats();
+                stats = (stats.0 + s.0, stats.1 + s.1, stats.2 + s.2);
+            }
+            stats
+        })
+    }
+
+    /// Approximate resident bytes: frozen-tier arrays plus delta skiplist nodes.
+    pub fn approx_node_bytes(&self) -> usize {
+        self.inner.with_tiers(|t| {
+            let frozen = t.frozen.len()
+                * (std::mem::size_of::<(u64, V)>()
+                    + std::mem::size_of::<u64>()
+                    + std::mem::size_of::<u32>());
+            let mut bytes = frozen + t.live.approx_node_bytes();
+            if let Some(sealed) = &t.sealed {
+                bytes += sealed.approx_node_bytes();
+            }
+            bytes
+        })
+    }
+
+    /// Audits the live delta's traversal integrity and the frozen tier's sort
+    /// order; returns the number of entries checked. Panics on violation.
+    pub fn check_traversal_integrity(&self) -> usize {
+        self.inner.with_tiers(|t| {
+            let mut checked = t.live.check_traversal_integrity();
+            if let Some(sealed) = &t.sealed {
+                checked += sealed.check_traversal_integrity();
+            }
+            for pair in t.frozen.sorted.windows(2) {
+                assert!(
+                    pair[0].0 < pair[1].0,
+                    "frozen tier keys out of order: {} !< {}",
+                    pair[0].0,
+                    pair[1].0
+                );
+            }
+            checked + t.frozen.len()
+        })
+    }
+
+    /// True once the delta-size watermark has been crossed and a merge is owed
+    /// (cleared when the next merge seals the delta). Always `false` without a
+    /// configured watermark.
+    pub fn merge_due(&self) -> bool {
+        self.inner.merge_due.load(Ordering::SeqCst)
+    }
+
+    /// Delta writes accumulated since the last seal (diagnostics for the
+    /// watermark policy).
+    pub fn delta_writes(&self) -> u64 {
+        self.inner.delta_writes.load(Ordering::SeqCst)
+    }
+
+    /// Registers `thread` to be unparked when the watermark trips, replacing the
+    /// previous waker. The forest's merge coordinator registers itself here so
+    /// one thread can serve every shard.
+    pub(crate) fn set_merge_waker(&self, thread: std::thread::Thread) {
+        *self.inner.waker.lock().expect("merge waker lock") = Some(thread);
+    }
+
     /// Folds the delta into a fresh frozen tier and publishes it; returns `true`
     /// if a fold ran (`false` when the delta was empty or another merge was in
     /// flight).
@@ -922,11 +1507,10 @@ where
         self.inner.merge()
     }
 
-    /// Unparks the background merge thread (if configured) for an immediate pass.
+    /// Unparks whichever thread runs merges — the structure's own background
+    /// thread or a registered forest coordinator — for an immediate pass.
     pub fn nudge_merger(&self) {
-        if let Some(handle) = &self.merger {
-            handle.thread().unpark();
-        }
+        self.inner.wake_merger();
     }
 }
 
@@ -940,6 +1524,9 @@ where
             handle.thread().unpark();
             let _ = handle.join();
         }
+        // Free anything exited reader threads parked (see `TierCache`) while a
+        // live thread is guaranteed to exist to do it.
+        drain_tier_graveyard();
     }
 }
 
@@ -968,10 +1555,43 @@ impl<V: Clone> TieredRangeIter<V> {
     /// (the scan primitive of the E9/E13 experiments).
     pub fn count_up_to(&mut self, limit: usize) -> usize {
         let mut n = 0;
-        while n < limit && self.next().is_some() {
+        while n < limit && self.next_key().is_some() {
             n += 1;
         }
         n
+    }
+
+    /// Advances and returns only the next key, skipping the value clone — the
+    /// counting/stitching primitive the sharded router's scans use.
+    pub fn next_key(&mut self) -> Option<u64> {
+        let frozen = self.frozen.as_ref()?;
+        loop {
+            let fk = (self.fi < self.fhi).then(|| frozen.sorted[self.fi].0);
+            let dk = self.delta.get(self.di).map(|&(k, _)| k);
+            match (fk, dk) {
+                (None, None) => return None,
+                (Some(f), None) => {
+                    self.fi += 1;
+                    return Some(f);
+                }
+                (fk, Some(d)) => {
+                    if let Some(f) = fk {
+                        if f < d {
+                            self.fi += 1;
+                            return Some(f);
+                        }
+                        if f == d {
+                            self.fi += 1; // shadowed by the delta
+                        }
+                    }
+                    let tombstone = self.delta[self.di].1.is_none();
+                    self.di += 1;
+                    if !tombstone {
+                        return Some(d);
+                    }
+                }
+            }
+        }
     }
 }
 
@@ -1026,18 +1646,129 @@ mod tests {
 
     #[test]
     fn frozen_tier_lower_bound_matches_binary_search() {
-        for n in [0usize, 1, 2, 3, 7, 8, 64, 100, 1023] {
-            let entries: Vec<(u64, u64)> = (0..n as u64).map(|i| (i * 3 + 1, i)).collect();
-            let keys: Vec<u64> = entries.iter().map(|&(k, _)| k).collect();
-            let tier = FrozenTier::build(entries);
-            for probe in 0..(n as u64 * 3 + 4) {
-                assert_eq!(
-                    tier.lower_bound(probe),
-                    keys.partition_point(|&k| k < probe),
-                    "lower_bound({probe}) over {n} keys"
-                );
+        for search in [FrozenSearch::Eytzinger, FrozenSearch::Interpolation] {
+            for n in [0usize, 1, 2, 3, 7, 8, 64, 100, 1023] {
+                let entries: Vec<(u64, u64)> = (0..n as u64).map(|i| (i * 3 + 1, i)).collect();
+                let keys: Vec<u64> = entries.iter().map(|&(k, _)| k).collect();
+                let tier = FrozenTier::build_with(entries, search);
+                for probe in 0..(n as u64 * 3 + 4) {
+                    assert_eq!(
+                        tier.lower_bound(probe),
+                        keys.partition_point(|&k| k < probe),
+                        "{search:?} lower_bound({probe}) over {n} keys"
+                    );
+                }
             }
         }
+    }
+
+    #[test]
+    fn interpolation_search_survives_skewed_keys() {
+        // Clustered + extreme keys: interpolation's probe guesses are maximally
+        // wrong here, so this exercises the bounded-convergence fallback.
+        let mut keys: Vec<u64> = (0..512u64).collect();
+        keys.extend((0..512u64).map(|i| u64::MAX - 1024 + i));
+        keys.push(u64::MAX);
+        let entries: Vec<(u64, u64)> = keys.iter().map(|&k| (k, k ^ 7)).collect();
+        let tier = FrozenTier::build_with(entries, FrozenSearch::Interpolation);
+        for probe in [
+            0u64,
+            1,
+            511,
+            512,
+            513,
+            1 << 32,
+            u64::MAX - 1025,
+            u64::MAX - 1024,
+            u64::MAX - 1,
+            u64::MAX,
+        ] {
+            assert_eq!(
+                tier.lower_bound(probe),
+                keys.partition_point(|&k| k < probe),
+                "interpolated lower_bound({probe})"
+            );
+        }
+    }
+
+    #[test]
+    fn watermark_arms_merge_due_and_explicit_merge_clears_it() {
+        // No thread involvement: watermark accounting alone (the thread-driven
+        // path is covered by `watermark_triggers_merge_without_timer`).
+        let config = TieredSkipTrieConfig::for_universe_bits(32).with_merge_watermark(8);
+        let t: TieredSkipTrie<u64> =
+            TieredSkipTrie::from_sorted_spawn(config, std::iter::empty(), false);
+        for k in 0..7u64 {
+            t.insert(k, k);
+        }
+        assert!(!t.merge_due(), "below the watermark");
+        assert_eq!(t.delta_writes(), 7);
+        t.insert(7, 7);
+        assert!(t.merge_due(), "the 8th delta write crosses the watermark");
+        assert!(t.merge());
+        assert!(!t.merge_due(), "seal re-arms the watermark");
+        assert_eq!(t.delta_writes(), 0);
+        assert_eq!(t.frozen_len(), 8);
+    }
+
+    #[test]
+    fn watermark_triggers_merge_without_timer() {
+        // No `merge_every`: the only way the background thread ever runs a merge
+        // is the watermark-crossing writer unparking it.
+        let config = TieredSkipTrieConfig::for_universe_bits(32).with_merge_watermark(32);
+        let t: TieredSkipTrie<u64> = TieredSkipTrie::new(config);
+        for k in 0..32u64 {
+            t.insert(k, k);
+        }
+        for _ in 0..2000 {
+            if t.frozen_len() == 32 {
+                break;
+            }
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        assert_eq!(t.frozen_len(), 32, "watermark merge never fired");
+        assert_eq!(t.delta_len(), 0);
+    }
+
+    #[test]
+    fn batch_ops_match_point_ops() {
+        let t = tiered([10, 20, 30]);
+        let inserted = t.insert_batch(&[(5, 50), (10, 99), (25, 250), (35, 350)]);
+        assert_eq!(inserted, 3, "10 is already visible in the frozen tier");
+        assert_eq!(t.remove_batch(&[5, 20, 7]), 2);
+        assert_eq!(
+            t.get_batch(&[5, 10, 20, 25, 30, 35]),
+            vec![None, Some(11), None, Some(250), Some(31), Some(350)]
+        );
+        t.merge();
+        assert_eq!(
+            t.get_batch(&[5, 10, 20, 25, 30, 35]),
+            vec![None, Some(11), None, Some(250), Some(31), Some(350)],
+            "batch reads agree across the fold"
+        );
+    }
+
+    #[test]
+    fn pop_last_drains_in_reverse_order() {
+        let t = tiered([3, 5, 9]);
+        t.insert(1, 42);
+        assert_eq!(t.pop_last(), Some((9, 10)));
+        assert_eq!(t.pop_last(), Some((5, 6)));
+        assert_eq!(t.pop_last(), Some((3, 4)));
+        assert_eq!(t.pop_last(), Some((1, 42)));
+        assert_eq!(t.pop_last(), None);
+    }
+
+    #[test]
+    fn bulk_load_builds_the_frozen_tier() {
+        let mut t: TieredSkipTrie<u64> =
+            TieredSkipTrie::new(TieredSkipTrieConfig::for_universe_bits(32));
+        let entries: Vec<(u64, u64)> = (0..100u64).map(|k| (k * 7, k)).collect();
+        assert_eq!(t.bulk_load(&entries), 100);
+        assert_eq!(t.frozen_len(), 100);
+        assert_eq!(t.len(), 100);
+        assert_eq!(t.get(14), Some(2));
+        assert_eq!(t.check_traversal_integrity(), 100);
     }
 
     #[test]

@@ -90,6 +90,12 @@ pub use stopwatch::Stopwatch;
 /// * [`Counter::TierMerge`] / [`Counter::TierSwap`] — background folds of the live
 ///   delta into a fresh frozen tier, and atomic publications of a new tier state
 ///   (two swaps per merge: the delta seal and the frozen-tier install).
+/// * [`Counter::CasRetry`] / [`Counter::CasBackoff`] — iterations of a CAS/DCSS
+///   retry loop that went around again after a failed attempt, and the subset of
+///   those that also spun in bounded exponential backoff before retrying (the
+///   first retry is backoff-free, so `cas_backoff <= cas_retry` always holds).
+///   These isolate writer-side contention cost from the general
+///   [`Counter::Restart`] figure, which also counts read-path restarts.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
 #[allow(missing_docs)]
 pub enum Counter {
@@ -117,11 +123,13 @@ pub enum Counter {
     TierMissDelta,
     TierMerge,
     TierSwap,
+    CasRetry,
+    CasBackoff,
 }
 
 impl Counter {
     /// All counters, in a stable order used for display and serialization.
-    pub const ALL: [Counter; 24] = [
+    pub const ALL: [Counter; 26] = [
         Counter::PtrRead,
         Counter::HashOp,
         Counter::CasAttempt,
@@ -146,6 +154,8 @@ impl Counter {
         Counter::TierMissDelta,
         Counter::TierMerge,
         Counter::TierSwap,
+        Counter::CasRetry,
+        Counter::CasBackoff,
     ];
 
     /// Number of distinct counters.
@@ -185,6 +195,8 @@ impl Counter {
             Counter::TierMissDelta => "tier_miss_delta",
             Counter::TierMerge => "tier_merge",
             Counter::TierSwap => "tier_swap",
+            Counter::CasRetry => "cas_retry",
+            Counter::CasBackoff => "cas_backoff",
         }
     }
 }

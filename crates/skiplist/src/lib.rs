@@ -48,6 +48,7 @@
 
 #![warn(missing_docs)]
 
+mod backoff;
 pub mod bulk;
 pub mod height;
 pub mod iter;

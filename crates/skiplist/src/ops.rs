@@ -9,6 +9,7 @@ use skiptrie_metrics::{self as metrics, Counter};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
+use crate::backoff::Backoff;
 use crate::height::sample_height;
 use crate::node::{pack_meta, Node, NodeKind, NodeRef, STATUS_STOP};
 use crate::SkipList;
@@ -159,6 +160,7 @@ where
         // Phase 1: link the root (level-0) node.
         let mut preds = self.find_preds(key, start_node, guard);
         let root_ptr: *mut Node<V>;
+        let mut root_backoff = Backoff::new();
         loop {
             let (l0, r0) = preds[0];
             if r0.is_data() && r0.key_value() == key {
@@ -189,6 +191,7 @@ where
                 Err(_) => {
                     self.recycle_unpublished(ptr);
                     metrics::record(Counter::Restart);
+                    root_backoff.spin();
                     preds = self.find_preds(key, l0, guard);
                 }
             }
@@ -218,6 +221,7 @@ where
             let ptr = self.pool().acquire();
             let node_word = tagged::pack(ptr as *const Node<V>);
             let mut attempt_start: &Node<V> = preds[level as usize].0;
+            let mut raise_backoff = Backoff::new();
             loop {
                 let (l, r) = self.list_search(level, key, attempt_start, guard);
                 if r.is_data() && r.key_value() == key {
@@ -289,6 +293,7 @@ where
                     }
                     Err(DcssError::TargetMismatch(_)) => {
                         metrics::record(Counter::Restart);
+                        raise_backoff.spin();
                         attempt_start = l;
                     }
                 }
@@ -316,6 +321,7 @@ where
         let top = self.top_level();
         let mut hint: &Node<V> = pred_hint.unwrap_or_else(|| self.head(top));
         let mut attempts = 0usize;
+        let mut backoff = Backoff::new();
         loop {
             attempts += 1;
             if node.is_marked(guard) {
@@ -357,6 +363,7 @@ where
                 Ok(()) => break,
                 Err(_) => {
                     metrics::record(Counter::Restart);
+                    backoff.spin();
                     hint = left;
                 }
             }
@@ -433,6 +440,7 @@ where
         guard: &Guard,
     ) -> bool {
         node.set_stop();
+        let mut backoff = Backoff::new();
         loop {
             let next = read_resolved(&node.next, guard);
             if tagged::is_marked(next) {
@@ -449,6 +457,7 @@ where
                 Ok(()) => break,
                 Err(_) => {
                     metrics::record(Counter::Restart);
+                    backoff.spin();
                 }
             }
         }

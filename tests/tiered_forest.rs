@@ -1,0 +1,207 @@
+//! Race tests for the tiered forest: readers stitch ranges across shard
+//! boundaries while churn writers trip per-shard watermarks and the background
+//! coordinator seals, folds and republishes tiers underneath them.
+//!
+//! The invariants under test are the forest-level consistency contract for
+//! keys that are stable across the whole run:
+//!
+//! * a key folded into some shard's frozen tier before the race and never
+//!   touched again is visible to every `get`, `predecessor` and stitched
+//!   `range` — no reader may catch a shard mid-fold with the key absent;
+//! * a key removed before the race and never re-inserted stays dead: its
+//!   tombstone must shadow the frozen entry through every watermark-driven
+//!   fold, in whichever shard it lives;
+//! * concurrent cross-shard `pop_first` drains are exactly-once even while
+//!   the shards being popped are sealing and folding.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+use skiptrie_suite::skiptrie::{ShardedSkipTrieConfig, TieredForest};
+use skiptrie_suite::workloads::harness::{scaled, worker_rng, Workload};
+
+const UNIVERSE_BITS: u32 = 32;
+const SHARDS: usize = 8;
+/// Stable/dead keys live well below this; churn writers stay at or above it,
+/// in the upper shards, so churn never perturbs an ordered query aimed at the
+/// stable range — but folds in the lower shards still fire, because removals
+/// of dead-key shadows and the coordinator's staggered sweeps touch them.
+const CHURN_BASE: u64 = 0x8000_0000;
+
+/// Stable keys `stable_key(i)` and their shadows `stable_key(i) + 1` (the keys
+/// we kill before the race). The stride spreads them across shards 0..=2 of 8,
+/// so an 8-key window routinely straddles a shard boundary and `range` must
+/// stitch per-shard iterators whose tiers are swapping independently.
+fn stable_key(i: u64) -> u64 {
+    (i + 1) * 3_000_017
+}
+
+fn build(watermark: usize) -> (TieredForest<u64>, u64) {
+    let stable = 512u64;
+    let mut seeded: Vec<(u64, u64)> = Vec::with_capacity(2 * stable as usize);
+    for i in 0..stable {
+        seeded.push((stable_key(i), i));
+        seeded.push((stable_key(i) + 1, i));
+    }
+    let f: TieredForest<u64> = TieredForest::from_sorted(
+        ShardedSkipTrieConfig::for_universe_bits(UNIVERSE_BITS)
+            .with_shards(SHARDS)
+            .with_merge_watermark(watermark),
+        &seeded,
+    );
+    assert!(f.is_quiesced(), "from_sorted seeds straight into frozen");
+    assert_eq!(f.frozen_len(), 2 * stable as usize);
+    // Kill the shadows: their tombstones now sit in per-shard deltas, shadowing
+    // live frozen entries, and every fold of the race must carry them until the
+    // frozen copies are gone.
+    for i in 0..stable {
+        assert_eq!(f.remove(stable_key(i) + 1), Some(i));
+    }
+    (f, stable)
+}
+
+fn run_race(f: &TieredForest<u64>, stable: u64) {
+    let writers = 3usize;
+    let per_writer = scaled(8_000) as u64;
+    let writers_done = AtomicUsize::new(0);
+
+    Workload::new(0xE15)
+        .workers(writers, |ctx| {
+            // Churn confined to a per-writer slice in the upper shards: inserts
+            // and removes keep per-shard deltas crossing the watermark so the
+            // coordinator always has folds to stagger.
+            let mut rng = worker_rng(0xE15, ctx.index);
+            let base = CHURN_BASE + ctx.index as u64 * 0x2000_0000;
+            for _ in 0..per_writer {
+                let key = base + (rng.next() & 0x00FF_FFFF);
+                if rng.next().is_multiple_of(3) {
+                    f.remove(key);
+                } else {
+                    f.insert(key, key);
+                }
+            }
+            writers_done.fetch_add(1, Ordering::SeqCst);
+        })
+        .workers(2, |ctx| {
+            let mut rng = worker_rng(0xE16, ctx.index);
+            loop {
+                // Point reads against stable and dead keys, across shards.
+                for _ in 0..64 {
+                    let i = rng.next() % stable;
+                    let k = stable_key(i);
+                    assert_eq!(f.get(k), Some(i), "stable key {k} lost");
+                    assert_eq!(f.get(k + 1), None, "dead key {} resurrected", k + 1);
+                    // The dead key's predecessor is exactly the stable key: the
+                    // tombstone must hide the frozen entry from ordered queries
+                    // in every tier generation of whichever shard holds it.
+                    assert_eq!(
+                        f.predecessor(k + 1),
+                        Some((k, i)),
+                        "pred through a tombstone"
+                    );
+                }
+                // A stitched window over a few stable keys — frequently spanning
+                // a shard boundary: all present, no dead keys, in order.
+                let i = rng.next() % (stable - 8);
+                let lo = stable_key(i);
+                let hi = stable_key(i + 7) + 1;
+                let window: Vec<(u64, u64)> = f.range(lo..=hi).collect();
+                let expect: Vec<(u64, u64)> = (i..i + 8).map(|j| (stable_key(j), j)).collect();
+                assert_eq!(window, expect, "stable window must survive shard folds");
+                if writers_done.load(Ordering::SeqCst) == writers {
+                    break;
+                }
+            }
+        })
+        .run();
+
+    // The churn volume dwarfs the watermark: background folds must have fired
+    // with no timer anywhere in the system.
+    let race_folds: u64 = (0..f.shard_count()).map(|i| f.shard(i).generation()).sum();
+    assert!(
+        race_folds > f.shard_count() as u64,
+        "watermark-driven folds never fired during the race (gen sum {race_folds})"
+    );
+    f.quiesce();
+    assert!(
+        f.is_quiesced(),
+        "quiesce drains every delta and sealed tier"
+    );
+    for i in 0..stable {
+        let k = stable_key(i);
+        assert_eq!(f.get(k), Some(i));
+        assert_eq!(f.get(k + 1), None, "tombstone must survive the final fold");
+    }
+}
+
+#[test]
+fn readers_stitch_ranges_across_watermark_folds() {
+    let (f, stable) = build(256);
+    run_race(&f, stable);
+}
+
+#[test]
+fn readers_survive_staggered_folds_at_stripe_two() {
+    // Same race, but the coordinator folds due shards two at a time, so
+    // readers can observe two shards mid-fold in a single stitched range.
+    let stable = 512u64;
+    let mut seeded: Vec<(u64, u64)> = Vec::with_capacity(2 * stable as usize);
+    for i in 0..stable {
+        seeded.push((stable_key(i), i));
+        seeded.push((stable_key(i) + 1, i));
+    }
+    let f: TieredForest<u64> = TieredForest::from_sorted_with_stripe(
+        ShardedSkipTrieConfig::for_universe_bits(UNIVERSE_BITS)
+            .with_shards(SHARDS)
+            .with_merge_watermark(256),
+        &seeded,
+        2,
+    );
+    for i in 0..stable {
+        assert_eq!(f.remove(stable_key(i) + 1), Some(i));
+    }
+    run_race(&f, stable);
+}
+
+#[test]
+fn cross_shard_pops_are_exactly_once_under_folds() {
+    // Distinct keys spread over every shard; poppers drain the forest while
+    // pop-generated tombstones trip the watermark and shards fold mid-drain.
+    // Every key must be popped exactly once, by exactly one thread.
+    let n = scaled(20_000) as u64;
+    // A stride that spreads n keys across the whole universe (hence across
+    // every shard) without ever leaving it, at any SKIPTRIE_SCALE.
+    let stride = u64::from(u32::MAX) / (n + 1);
+    let keys: Vec<(u64, u64)> = (0..n).map(|i| (i * stride + 7, i)).collect();
+    let f: TieredForest<u64> = TieredForest::from_sorted(
+        ShardedSkipTrieConfig::for_universe_bits(UNIVERSE_BITS)
+            .with_shards(SHARDS)
+            .with_merge_watermark(128),
+        &keys,
+    );
+    assert_eq!(f.len(), n as usize);
+
+    let poppers = 4usize;
+    let popped: Mutex<Vec<(u64, u64)>> = Mutex::new(Vec::with_capacity(n as usize));
+    Workload::new(0xE17)
+        .workers(poppers, |_ctx| {
+            let mut local = Vec::new();
+            while let Some(entry) = f.pop_first() {
+                local.push(entry);
+            }
+            popped.lock().expect("popped lock").extend(local);
+        })
+        .run();
+
+    let mut drained = popped.into_inner().expect("popped lock");
+    assert_eq!(drained.len(), n as usize, "every key popped exactly once");
+    drained.sort_unstable();
+    assert_eq!(drained, keys, "no key lost, duplicated, or invented");
+    assert!(f.is_empty());
+    f.quiesce();
+    assert_eq!(
+        f.frozen_len(),
+        0,
+        "drained forest folds down to empty tiers"
+    );
+}
