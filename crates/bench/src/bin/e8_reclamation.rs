@@ -1,37 +1,54 @@
-//! Experiment E8 — memory-reclamation hot-path throughput.
+//! Experiments E8 + E15 — memory-reclamation hot-path throughput and
+//! stall-robustness of the pluggable substrates.
 //!
 //! The SkipTrie's `O(log log u + c)` bound counts *shared-memory steps*, so the
 //! reclamation substrate must not reintroduce a serial bottleneck: every operation
 //! pins an epoch guard, and every removal defers node recycling through it. This
-//! binary isolates that path two ways:
+//! binary isolates that path four ways:
 //!
-//! * **Part A — end to end.** The update-heavy (50/25/25) mixed workload of E7 on the
-//!   SkipTrie at 1/2/4/8 threads. Removals dominate the defer traffic; inserts and
-//!   queries still pay the pin/unpin toll.
-//! * **Part B — raw EBR churn.** Threads loop `pin` → `defer_unchecked(drop Box)` →
-//!   unpin with no data structure at all, measuring the reclamation layer alone.
+//! * **Part A — end to end (E8).** The update-heavy (50/25/25) mixed workload of E7
+//!   on the SkipTrie at 1/2/4/8 threads, under the substrate selected by the
+//!   `SKIPTRIE_RECLAIM` knob (EBR by default). Removals dominate the defer
+//!   traffic; inserts and queries still pay the pin/unpin toll.
+//! * **Part B — raw EBR churn (E8).** Threads loop `pin` → `defer_unchecked(drop
+//!   Box)` → unpin with no data structure at all, measuring the reclamation layer
+//!   alone.
+//! * **Part C — substrate A/B (E15).** The same pure-churn workload run twice,
+//!   explicitly once per substrate, so the hazard substrate's per-read validation
+//!   toll is measured against EBR on identical schedules.
+//! * **Part D — stalled-reader garbage (E15).** One reader pins and parks across
+//!   the whole churn window. EBR's pending-garbage high-water mark grows with the
+//!   churn (the parked guard freezes the epoch); the hazard substrate's stays
+//!   bounded by the working set (the parked guard protects only the era interval
+//!   it pinned at). This is the headline E15 table.
 //!
-//! Expected shape: with per-thread garbage bags and a lock-free participant list the
-//! per-op cost stays flat as threads are added (modulo core count); a global-mutex
-//! scheme collapses under update-heavy churn because every defer and every unpin
-//! serialize on the same locks. Before/after numbers are recorded in `EXPERIMENTS.md`.
+//! Expected shape: EBR stays the throughput default (no per-read validation); the
+//! hazard substrate pays its per-read era validation with lower churn throughput
+//! but buys a garbage bound independent of stall length. Before/after numbers are
+//! recorded in `EXPERIMENTS.md` §E15.
 
-use skiptrie::{SkipTrie, SkipTrieConfig};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Barrier;
+
+use skiptrie::{Reclaimer, SkipTrie, SkipTrieConfig};
 use skiptrie_bench::{prefill, print_table, run_throughput, scaled};
 use skiptrie_metrics::Stopwatch;
-use skiptrie_workloads::harness::Workload;
+use skiptrie_workloads::harness::{reclaimer, Workload};
 use skiptrie_workloads::{KeyDist, OpMix, WorkloadSpec};
 
-/// Part A: update-heavy mixes on the SkipTrie, fixed thread ladder. The 50/25/25 mix
-/// is E7's update-heavy workload; the 50/50 insert/remove churn is the pure-update
-/// extreme where every operation routes through the reclamation layer.
+const UNIVERSE_BITS: u32 = 32;
+
+/// Part A: update-heavy mixes on the SkipTrie, fixed thread ladder, under the
+/// knob-selected substrate. The 50/25/25 mix is E7's update-heavy workload; the
+/// 50/50 insert/remove churn is the pure-update extreme where every operation
+/// routes through the reclamation layer.
 ///
 /// Keys are drawn from a scattered working set of twice the prefill size so that
 /// removes actually *hit* (~50% steady-state occupancy) — with uniform keys over the
 /// full 2^32 universe almost every remove would miss and nothing would ever be
 /// retired, which measures the pin/unpin toll but not deferral or collection.
 fn skiptrie_update_heavy(rows: &mut Vec<Vec<String>>) {
-    const UNIVERSE_BITS: u32 = 32;
+    let substrate = reclaimer();
     for (mix_name, mix) in [
         ("skiptrie update-heavy 50/25/25", OpMix::UPDATE_HEAVY),
         ("skiptrie churn 0/50/50", OpMix::CHURN),
@@ -49,11 +66,13 @@ fn skiptrie_update_heavy(rows: &mut Vec<Vec<String>>) {
                 mix,
                 seed: 0xE8,
             };
-            let trie = SkipTrie::new(SkipTrieConfig::for_universe_bits(UNIVERSE_BITS));
+            let trie = SkipTrie::new(
+                SkipTrieConfig::for_universe_bits(UNIVERSE_BITS).with_reclaimer(substrate),
+            );
             prefill(&trie, &spec.prefill_keys());
             let result = run_throughput(&trie, &spec);
             rows.push(vec![
-                mix_name.to_string(),
+                format!("{mix_name} [{substrate}]"),
                 threads.to_string(),
                 format!("{:.2e}", result.ops_per_sec),
                 format!("{:.1}", result.elapsed.as_millis()),
@@ -93,6 +112,105 @@ fn raw_ebr_churn(rows: &mut Vec<Vec<String>>) {
     }
 }
 
+/// Part C: the pure-churn workload once per substrate on identical schedules —
+/// the A/B that prices the hazard substrate's per-read era validation.
+fn substrate_ab_churn(rows: &mut Vec<Vec<String>>) {
+    for (substrate, domain) in [(Reclaimer::Ebr, 13usize), (Reclaimer::Hazard, 14)] {
+        for threads in [1usize, 4, 8] {
+            let prefill_size = scaled(50_000);
+            let spec = WorkloadSpec {
+                universe_bits: UNIVERSE_BITS,
+                prefill: prefill_size,
+                ops_per_thread: scaled(50_000),
+                threads,
+                dist: KeyDist::ScatteredSet {
+                    working_set: 2 * prefill_size as u64,
+                },
+                mix: OpMix::CHURN,
+                seed: 0xE15,
+            };
+            let trie = SkipTrie::new(
+                SkipTrieConfig::for_universe_bits(UNIVERSE_BITS)
+                    .with_domain(domain)
+                    .with_reclaimer(substrate),
+            );
+            prefill(&trie, &spec.prefill_keys());
+            let result = run_throughput(&trie, &spec);
+            rows.push(vec![
+                format!("churn 0/50/50 [{substrate}]"),
+                threads.to_string(),
+                format!("{:.2e}", result.ops_per_sec),
+                format!("{:.1}", result.elapsed.as_millis()),
+            ]);
+        }
+    }
+}
+
+/// Part D: the stalled-reader scenario, measured. A reader pins through the trie
+/// and parks on a barrier across the whole churn window; the table reports each
+/// substrate's pending-garbage high-water mark (exact per-domain gauges) next to
+/// the churn volume that produced it.
+fn stalled_reader_hwm(rows: &mut Vec<Vec<String>>) {
+    fn spread(index: u64) -> u64 {
+        index.wrapping_mul(0x9E37_79B9_7F4A_7C15) & ((1u64 << UNIVERSE_BITS) - 1)
+    }
+    for (substrate, domain) in [(Reclaimer::Ebr, 16usize), (Reclaimer::Hazard, 19)] {
+        let working_set = scaled(2_000) as u64;
+        let writer_iters = scaled(40_000);
+        let trie: SkipTrie<u64> = SkipTrie::new(
+            SkipTrieConfig::for_universe_bits(UNIVERSE_BITS)
+                .with_domain(domain)
+                .with_reclaimer(substrate),
+        );
+        for i in 0..working_set {
+            trie.insert(spread(i), i);
+        }
+        // Quiesce warm-up garbage so the window starts clean.
+        for _ in 0..1_024 {
+            skiptrie_atomics::pin_domain_with(domain, substrate).flush();
+            if skiptrie_atomics::domain_stats(domain, substrate).pending == 0 {
+                break;
+            }
+        }
+
+        let ready = Barrier::new(2);
+        let release = Barrier::new(2);
+        let removes = AtomicUsize::new(0);
+        std::thread::scope(|s| {
+            s.spawn(|| {
+                let guard = trie.pin();
+                ready.wait();
+                release.wait();
+                drop(guard);
+                trie.pin().flush();
+            });
+            ready.wait();
+            Workload::new(0x57A1)
+                .workers(4, |mut ctx| {
+                    for _ in 0..writer_iters {
+                        let key = spread(ctx.rng.next() % working_set);
+                        if ctx.rng.next() % 2 == 0 {
+                            trie.insert(key, key);
+                        } else if trie.remove(key).is_some() {
+                            removes.fetch_add(1, Ordering::Relaxed);
+                        }
+                    }
+                    trie.pin().flush();
+                })
+                .run();
+            release.wait();
+        });
+
+        let stats = skiptrie_atomics::domain_stats(domain, substrate);
+        rows.push(vec![
+            format!("stalled reader [{substrate}]"),
+            working_set.to_string(),
+            removes.load(Ordering::Relaxed).to_string(),
+            stats.hwm.to_string(),
+        ]);
+    }
+}
+
 fn main() {
     let mut rows = Vec::new();
     skiptrie_update_heavy(&mut rows);
@@ -102,9 +220,25 @@ fn main() {
         &["workload", "threads", "ops/s", "elapsed_ms"],
         &rows,
     );
+    let mut ab_rows = Vec::new();
+    substrate_ab_churn(&mut ab_rows);
+    print_table(
+        "E15: EBR vs hazard churn throughput (identical schedules)",
+        &["workload", "threads", "ops/s", "elapsed_ms"],
+        &ab_rows,
+    );
+    let mut stall_rows = Vec::new();
+    stalled_reader_hwm(&mut stall_rows);
+    print_table(
+        "E15: stalled-reader pending-garbage high-water mark",
+        &["scenario", "working_set", "stall_removes", "garbage_hwm"],
+        &stall_rows,
+    );
     println!(
         "expectation: per-thread garbage bags keep defer/unpin mutex-free, so ops/s stays \
-         flat (or scales with cores) as threads grow; a global-mutex EBR degrades instead."
+         flat (or scales with cores) as threads grow; EBR leads the churn A/B (no per-read \
+         validation) while its stalled-reader high-water mark grows with the churn volume; \
+         the hazard substrate's stays bounded by the working set regardless of stall length."
     );
     skiptrie_bench::write_json_summary("e8_reclamation");
 }

@@ -42,6 +42,7 @@
 
 use std::ops::RangeBounds;
 
+use crossbeam_epoch::Reclaimer;
 use skiptrie_atomics::dcss::DcssMode;
 use skiptrie_metrics::{self as metrics, Counter};
 use skiptrie_skiplist::resolve_bounds;
@@ -82,6 +83,9 @@ pub struct ShardedSkipTrieConfig {
     /// Frozen-tier search algorithm for tiered engines (ignored by the plain
     /// [`SkipTrie`] engine); see [`FrozenSearch`].
     pub frozen_search: FrozenSearch,
+    /// Reclamation substrate for every shard's epoch domain; see
+    /// [`SkipTrieConfig::with_reclaimer`].
+    pub reclaimer: Reclaimer,
 }
 
 impl Default for ShardedSkipTrieConfig {
@@ -111,6 +115,7 @@ impl ShardedSkipTrieConfig {
             hash_dir: DirectoryConfig::default(),
             merge_watermark: None,
             frozen_search: FrozenSearch::Eytzinger,
+            reclaimer: Reclaimer::Ebr,
         }
     }
 
@@ -177,6 +182,13 @@ impl ShardedSkipTrieConfig {
     /// [`FrozenSearch`].
     pub fn with_frozen_search(mut self, search: FrozenSearch) -> Self {
         self.frozen_search = search;
+        self
+    }
+
+    /// Selects the reclamation substrate for every shard's epoch domain; see
+    /// [`SkipTrieConfig::with_reclaimer`].
+    pub fn with_reclaimer(mut self, reclaimer: Reclaimer) -> Self {
+        self.reclaimer = reclaimer;
         self
     }
 }
@@ -264,6 +276,7 @@ where
                 let mut shard_config = SkipTrieConfig::for_universe_bits(config.universe_bits)
                     .with_mode(config.mode)
                     .with_hash_directory(config.hash_dir)
+                    .with_reclaimer(config.reclaimer)
                     // Decorrelate tower heights across shards.
                     .with_seed(
                         config

@@ -65,6 +65,7 @@ pub mod tiered;
 pub mod tiered_forest;
 mod xfast;
 
+pub use crossbeam_epoch::{GarbageStats, Reclaimer};
 pub use engine::{EngineRangeIter, ShardEngine, ShardSpec};
 pub use forest::{ShardedRangeIter, ShardedSkipTrie, ShardedSkipTrieConfig};
 pub use prefix::{key_bit, lcp_len, max_key, Prefix};
@@ -102,6 +103,10 @@ pub struct SkipTrieConfig {
     /// expected at any size; see [`SkipTrieConfig::with_hash_bucket_cap`] for the
     /// legacy bounded mode.
     pub hash_dir: DirectoryConfig,
+    /// Reclamation substrate for the trie's epoch domain — EBR (the throughput
+    /// default) or the hazard substrate, whose garbage stays bounded under stalled
+    /// readers; see [`SkipTrieConfig::with_reclaimer`] and [`Reclaimer`].
+    pub reclaimer: Reclaimer,
 }
 
 impl Default for SkipTrieConfig {
@@ -127,6 +132,7 @@ impl SkipTrieConfig {
             seed: 0x5eed_5eed_5eed_5eed,
             domain: None,
             hash_dir: DirectoryConfig::default(),
+            reclaimer: Reclaimer::Ebr,
         }
     }
 
@@ -153,6 +159,20 @@ impl SkipTrieConfig {
     /// garbage).
     pub fn with_domain(mut self, domain: usize) -> Self {
         self.domain = Some(domain);
+        self
+    }
+
+    /// Selects the reclamation substrate for this trie's epoch domain.
+    ///
+    /// [`Reclaimer::Ebr`] (the default) reclaims fastest but lets one stalled
+    /// reader pin unbounded garbage; [`Reclaimer::Hazard`] bounds the garbage a
+    /// stalled reader can hold at the cost of per-read validation. Every pin and
+    /// every retirement of the trie — skiplist nodes, x-fast trie nodes, the
+    /// prefix table's chain nodes — routes through the selected substrate, so a
+    /// domain must not mix substrates across structures that share it (pair this
+    /// knob with [`SkipTrieConfig::with_domain`]).
+    pub fn with_reclaimer(mut self, reclaimer: Reclaimer) -> Self {
+        self.reclaimer = reclaimer;
         self
     }
 
@@ -214,17 +234,22 @@ where
         );
         let mut list_config = SkipListConfig::for_universe_bits(config.universe_bits)
             .with_mode(config.mode)
-            .with_seed(config.seed);
+            .with_seed(config.seed)
+            .with_reclaimer(config.reclaimer);
         list_config.domain = config.domain;
         let skiplist = SkipList::new(list_config);
         // The prefix table pins and retires in the trie's own domain: routing it
         // through the global domain would let one stalled global-domain reader block
         // every shard's prefix-table reclamation.
-        let prefixes = SplitOrderedMap::with_directory_in_domain(config.hash_dir, config.domain);
+        let prefixes = SplitOrderedMap::with_directory_in_domain(
+            config.hash_dir,
+            config.domain,
+            config.reclaimer,
+        );
         // The empty prefix ε is permanent (Algorithm 3 line 4 starts from it).
         prefixes.insert(
             Prefix::EMPTY,
-            TrieNodePtr::from_box(Box::new(TrieNode::new())),
+            TrieNodePtr::from_box(Box::new(TrieNode::new(0))),
         );
         SkipTrie {
             config,

@@ -483,6 +483,15 @@ where
 {
     /// Pins this structure's epoch domain (never the process-wide default
     /// directly — the workspace-wide domain-isolation rule).
+    ///
+    /// Deliberately **EBR regardless of the delta's configured reclaimer**: the
+    /// tiered machinery's only deferred objects are the published tier `Arc`s
+    /// (see `publish`), which are both protected (here) and retired
+    /// (`defer_unchecked` in `publish`) through EBR — one object class, one
+    /// substrate, so sharing the domain with a hazard-configured delta stays
+    /// sound. Tier swaps are rare (one per merge) and `wait_writer_grace`
+    /// depends on EBR's global-epoch advance, which the hazard substrate does
+    /// not provide.
     fn pin(&self) -> Guard {
         epoch::pin_domain(self.domain)
     }

@@ -96,6 +96,20 @@ pub use stopwatch::Stopwatch;
 ///   first retry is backoff-free, so `cas_backoff <= cas_retry` always holds).
 ///   These isolate writer-side contention cost from the general
 ///   [`Counter::Restart`] figure, which also counts read-path restarts.
+/// * [`Counter::GarbagePending`] / [`Counter::GarbageFreed`] — deferred reclamation
+///   closures enqueued and executed, across every epoch domain and both reclamation
+///   substrates (EBR and hazard). `pending - freed` is the process-wide garbage
+///   backlog; per-domain exact gauges live in `crossbeam_epoch::domain_stats`.
+/// * [`Counter::GarbageHwm`] — increments of the per-domain pending-garbage
+///   high-water mark, recorded whenever a domain's backlog reaches a new maximum;
+///   the snapshot value is therefore the *sum* of every domain's HWM. The E15
+///   stall experiment's headline number: bounded for the hazard substrate, growing
+///   with churn for EBR while a reader stalls.
+/// * [`Counter::HpProtectRetry`] — hazard-pointer protected reads whose era
+///   validation failed (the domain clock advanced mid-read) and went around the
+///   protect→re-validate loop again.
+/// * [`Counter::HpScan`] — scans of a thread's retired list against the published
+///   hazard intervals (the hazard substrate's collection step).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
 #[allow(missing_docs)]
 pub enum Counter {
@@ -125,11 +139,16 @@ pub enum Counter {
     TierSwap,
     CasRetry,
     CasBackoff,
+    GarbagePending,
+    GarbageFreed,
+    GarbageHwm,
+    HpProtectRetry,
+    HpScan,
 }
 
 impl Counter {
     /// All counters, in a stable order used for display and serialization.
-    pub const ALL: [Counter; 26] = [
+    pub const ALL: [Counter; 31] = [
         Counter::PtrRead,
         Counter::HashOp,
         Counter::CasAttempt,
@@ -156,6 +175,11 @@ impl Counter {
         Counter::TierSwap,
         Counter::CasRetry,
         Counter::CasBackoff,
+        Counter::GarbagePending,
+        Counter::GarbageFreed,
+        Counter::GarbageHwm,
+        Counter::HpProtectRetry,
+        Counter::HpScan,
     ];
 
     /// Number of distinct counters.
@@ -197,6 +221,11 @@ impl Counter {
             Counter::TierSwap => "tier_swap",
             Counter::CasRetry => "cas_retry",
             Counter::CasBackoff => "cas_backoff",
+            Counter::GarbagePending => "garbage_pending",
+            Counter::GarbageFreed => "garbage_freed",
+            Counter::GarbageHwm => "garbage_hwm",
+            Counter::HpProtectRetry => "hp_protect_retry",
+            Counter::HpScan => "hp_scan",
         }
     }
 }

@@ -5,8 +5,8 @@
 use std::hash::{Hash, Hasher};
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 
-use crossbeam_epoch::{self as epoch, Guard};
-use skiptrie_atomics::{retire_box, tagged};
+use crossbeam_epoch::{self as epoch, Guard, Reclaimer};
+use skiptrie_atomics::{retire_box_born, tagged};
 use skiptrie_metrics::{self as metrics, Counter};
 
 use crate::dir::{Directory, DirectoryConfig};
@@ -44,6 +44,10 @@ pub struct SplitOrderedMap<K, V> {
     /// prefix-table garbage out of the global domain: every pin goes through the
     /// owning structure's domain, never `epoch::pin()` directly.
     domain: usize,
+    /// Which reclamation substrate guards acquired via [`SplitOrderedMap::pin`]
+    /// ride (EBR by default; hazard for stall-robust bounded garbage). Set through
+    /// [`SplitOrderedMap::with_directory_in_domain`] alongside the domain.
+    reclaimer: Reclaimer,
     /// Dummy node of bucket 0 — the head of the entire list.
     head: *const ListNode<K, V>,
 }
@@ -175,7 +179,7 @@ where
     /// Panics if `config.segment_bits` is outside `2..=16`, or if
     /// `config.bucket_cap` is `Some(0)`.
     pub fn with_directory(config: DirectoryConfig) -> Self {
-        Self::with_directory_in_domain(config, None)
+        Self::with_directory_in_domain(config, None, Reclaimer::Ebr)
     }
 
     /// Creates an empty map with an explicitly shaped bucket directory that pins and
@@ -186,13 +190,19 @@ where
     /// retirement — then rides that domain's epoch counter, so a stalled reader
     /// pinned in the default domain can never stall this map's reclamation (and
     /// vice versa). The x-fast trie passes its own domain here so a domain-isolated
-    /// trie's prefix table reclaims independently too.
+    /// trie's prefix table reclaims independently too. `reclaimer` selects the
+    /// domain's reclamation substrate (see [`Reclaimer`]); every pin and every
+    /// retirement the map performs routes through it.
     ///
     /// # Panics
     ///
     /// Panics if `config.segment_bits` is outside `2..=16`, or if
     /// `config.bucket_cap` is `Some(0)`.
-    pub fn with_directory_in_domain(config: DirectoryConfig, domain: Option<usize>) -> Self {
+    pub fn with_directory_in_domain(
+        config: DirectoryConfig,
+        domain: Option<usize>,
+        reclaimer: Reclaimer,
+    ) -> Self {
         let directory = Directory::new(config.segment_bits);
         let max_buckets = match config.bucket_cap {
             Some(cap) => {
@@ -210,6 +220,7 @@ where
             count: AtomicUsize::new(0),
             max_buckets,
             domain: domain.unwrap_or(0),
+            reclaimer,
             head,
         };
         map.set_bucket_entry(0, head);
@@ -220,9 +231,10 @@ where
     /// [`SplitOrderedMap::with_directory_in_domain`]). Every operation acquires its
     /// guard here, so all of the map's pins and retirements stay in one domain.
     pub fn pin(&self) -> Guard {
-        // `pin_domain(0)` is the default domain, so an un-configured map behaves
-        // exactly as before — but without a direct `epoch::pin()` call site.
-        epoch::pin_domain(self.domain)
+        // `pin_domain_with(0, Ebr)` is the default domain and substrate, so an
+        // un-configured map behaves exactly as before — but without a direct
+        // `epoch::pin()` call site.
+        epoch::pin_domain_with(self.domain, self.reclaimer)
     }
 
     /// Number of items currently in the map (linearizable only in quiescent states).
@@ -305,7 +317,9 @@ where
         let so = regular_so_key(hash);
         let bucket = self.bucket_for_hash(hash);
         let dummy = self.get_bucket(bucket, &guard);
-        let node = ListNode::new_regular(so, key, value);
+        // Stamped before the publishing CAS inside `insert_at`, so the birth era
+        // cannot postdate the node's reachability (hazard-substrate soundness).
+        let node = ListNode::new_regular(so, key, value, guard.current_era());
         // SAFETY: `dummy` is a live dummy node of this map's list.
         match unsafe { list::insert_at(dummy, node, &guard) } {
             Ok(_) => {
@@ -467,7 +481,7 @@ where
             // SAFETY: the node is unlinked and will not be retired by anyone else.
             unsafe {
                 let victim = tagged::unpack::<ListNode<K, V>>(res.curr_word) as *mut ListNode<K, V>;
-                retire_box(&guard, victim);
+                retire_box_born(&guard, victim, (*victim).birth);
             }
             return Some(removed);
         }
@@ -600,7 +614,9 @@ where
                 di += 1;
             } else {
                 let (so, k, v) = new_iter.next().expect("peeked");
-                merged.push(Box::into_raw(ListNode::new_regular(so, k, v)));
+                // Bulk load is single-owner (`&mut self`): birth 0 is the
+                // always-sound conservative stamp for never-yet-published nodes.
+                merged.push(Box::into_raw(ListNode::new_regular(so, k, v, 0)));
             }
         }
 
@@ -636,12 +652,11 @@ where
     /// debugging and drop-time accounting; it is *not* a linearizable snapshot.
     pub fn for_each(&self, mut f: impl FnMut(&K, &V)) {
         let guard = self.pin();
-        let _ = &guard;
-        let mut cur = unsafe { (*self.head).next.load(Ordering::SeqCst) };
+        let mut cur = guard.protected(|| unsafe { (*self.head).next.load(Ordering::SeqCst) });
         while !tagged::is_null(cur) {
             // SAFETY: protected by the pin; traversal only follows live links.
             let node = unsafe { &*tagged::unpack::<ListNode<K, V>>(cur) };
-            let next = node.next.load(Ordering::SeqCst);
+            let next = guard.protected(|| node.next.load(Ordering::SeqCst));
             if !tagged::is_marked(next) && !node.is_dummy() {
                 if let (Some(k), Some(v)) = (node.key.as_ref(), node.value.as_ref()) {
                     f(k, v);

@@ -28,6 +28,8 @@
 
 use std::sync::Barrier;
 
+use crossbeam_epoch::Reclaimer;
+
 use crate::SplitMix64;
 
 /// Parses a `SKIPTRIE_*`-style knob value, panicking with the variable name and
@@ -103,6 +105,22 @@ pub fn shards(default: usize) -> usize {
     let shards = env_knob::<usize>("SKIPTRIE_SHARDS").unwrap_or(default);
     assert!(shards > 0, "SKIPTRIE_SHARDS must be a positive shard count");
     shards.min(1 << 16).next_power_of_two()
+}
+
+/// The reclamation-substrate knob (`SKIPTRIE_RECLAIM`): `ebr`/`epoch` for
+/// epoch-based reclamation (the throughput default) or `hp`/`hazard` for the
+/// hazard substrate, whose garbage stays bounded under stalled readers. The E15
+/// experiment bins and the substrate-parameterized soundness tests read their
+/// substrate through this, so one environment variable re-routes every
+/// configured structure's reclamation.
+///
+/// # Panics
+///
+/// Panics if `SKIPTRIE_RECLAIM` is set to an unrecognized substrate name
+/// (unset/empty stays [`Reclaimer::Ebr`]) — a typo must fail the run loudly
+/// instead of silently benchmarking the wrong substrate.
+pub fn reclaimer() -> Reclaimer {
+    env_knob::<Reclaimer>("SKIPTRIE_RECLAIM").unwrap_or_default()
 }
 
 /// The CPU-affinity knob (`SKIPTRIE_PIN_CORES`): a comma-separated core list,
@@ -404,6 +422,20 @@ mod tests {
         assert_eq!(parse_knob::<f64>("SKIPTRIE_SCALE", "2.5"), 2.5);
         assert_eq!(parse_knob::<usize>("SKIPTRIE_SHARDS", "8"), 8);
         assert_eq!(parse_knob::<u64>("SKIPTRIE_TIER_MERGE_EVERY", "250"), 250);
+        assert_eq!(
+            parse_knob::<Reclaimer>("SKIPTRIE_RECLAIM", "hp"),
+            Reclaimer::Hazard
+        );
+        assert_eq!(
+            parse_knob::<Reclaimer>("SKIPTRIE_RECLAIM", "epoch"),
+            Reclaimer::Ebr
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "SKIPTRIE_RECLAIM=\"qsbr\"")]
+    fn unknown_reclaimer_panics_with_name_and_value() {
+        parse_knob::<Reclaimer>("SKIPTRIE_RECLAIM", "qsbr");
     }
 
     #[test]

@@ -51,8 +51,11 @@ fn map_in_domain_reclaims_despite_stalled_global_reader() {
     const MAP_DOMAIN: usize = 7;
     const KEYS: u64 = 512;
 
-    let map: SplitOrderedMap<u64, Arc<()>> =
-        SplitOrderedMap::with_directory_in_domain(DirectoryConfig::default(), Some(MAP_DOMAIN));
+    let map: SplitOrderedMap<u64, Arc<()>> = SplitOrderedMap::with_directory_in_domain(
+        DirectoryConfig::default(),
+        Some(MAP_DOMAIN),
+        skiptrie_suite::atomics::Reclaimer::Ebr,
+    );
     // Park a guard in the *default* domain before any map traffic and hold it
     // across the whole churn + drain: domain 0 cannot advance past it.
     let parked = skiptrie_suite::atomics::pin();

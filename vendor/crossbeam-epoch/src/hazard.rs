@@ -1,0 +1,775 @@
+//! The hazard-pointer reclamation substrate: era-interval hazards in the style of
+//! Michael's hazard pointers, selectable per epoch domain (see [`crate::Reclaimer`]).
+//!
+//! # Protocol
+//!
+//! Classic hazard pointers publish one protected *address* per slot and re-validate
+//! the source after publishing. This workspace's traversals hold unboundedly many
+//! node references under one guard (a full-structure integrity audit examines tens
+//! of thousands of nodes), so per-address slots cannot work behind the epoch-shaped
+//! [`Guard`](crate::Guard) API. Instead each slot publishes an **era interval**
+//! `[lo, hi]` against a per-domain monotone era clock, and Michael's protect→
+//! re-validate discipline is applied to *era values*:
+//!
+//! * **Pin** publishes `lo = hi = clock` (store, `SeqCst` fence, re-validate the
+//!   clock; loop until the published value matches — the same announcement dance as
+//!   the EBR pin).
+//! * **Protected reads** ([`HpHandle::protected`]) run the actual load *inside* a
+//!   validate loop: publish `hi = clock` if it moved, fence, perform the load,
+//!   re-read the clock, and retry (recording `hp_protect_retry`) until the clock
+//!   was stable across the load. Any pointer obtained this way was therefore read
+//!   at an era `e` with `lo <= e <= hi` while its target was still reachable.
+//! * **Retire** stamps each item with its creation era (`birth`, stamped by the
+//!   allocating site via [`Guard::current_era`](crate::Guard::current_era)) and the
+//!   clock at retirement (`retire`), pushes it onto the retiring thread's local
+//!   list, advances the era clock every [`ERA_ADVANCE_INTERVAL`] retirements, and
+//!   triggers a [scan](HpHandle::scan) every [`SCAN_THRESHOLD`].
+//! * **Scan** (the collection step, `hp_scan`) reads every active slot's interval
+//!   (a `SeqCst` fence first, `hi` before `lo`, clamping `hi = max(lo, hi)` against
+//!   torn publications) and frees exactly the retired items whose lifetime interval
+//!   `[birth, retire]` intersects **no** published interval: item freed iff for all
+//!   slots `!(birth <= hi && lo <= retire)`.
+//!
+//! # Why the intersection test is safe
+//!
+//! Suppose a reader pinned at `lo` can still dereference item `X`. The reference
+//! was obtained by a protected read validated at some era `e`, so `lo <= e <= hi`.
+//! The read returned `X` while `X` was still linked at the loaded location, so the
+//! read is coherence-ordered before the unlink CAS, which precedes `X`'s
+//! retirement; the clock is monotone, hence `retire >= e >= lo`. `X` existed when
+//! the read returned it, so `birth <= e <= hi`. Both conjuncts of the intersection
+//! test hold and the scan keeps `X`. Conversely an item born *after* a stalled
+//! reader's frozen `hi` can never be discovered by it — the validate loop would
+//! have observed the newer clock and republished `hi` — which is exactly the
+//! stall-robustness property EBR lacks: a parked reader freezes one interval, and
+//! garbage born after that interval still drains (E15, `tests/reclamation_stall.rs`).
+//!
+//! # Threads, slots and orphans
+//!
+//! Slots live in a lock-free intrusive registry with lazy removal, exactly like the
+//! EBR participant list: claim with a CAS on `in_use`, release on thread exit, never
+//! unlink or free (so scans traverse without protection). A thread's not-yet-freed
+//! retired items are pushed to the domain's orphan stack at exit and adopted by the
+//! next scan, so exiting threads neither leak nor stall garbage.
+//!
+//! The domain state is an instantiable [`HazardDomain`] (the statics behind
+//! [`Reclaimer::Hazard`](crate::Reclaimer) guards are just a fixed array of them),
+//! so the protocol proptest can drive several simulated participants of a private
+//! domain from one thread and model-check protect/retire/scan interleavings.
+
+use std::cell::{Cell, OnceCell, RefCell};
+use std::ptr;
+use std::sync::atomic::{self, AtomicBool, AtomicPtr, AtomicU64, Ordering};
+
+use skiptrie_metrics::{self as metrics, Counter};
+
+use crate::{GarbageStats, NUM_DOMAINS};
+
+/// The era clock advances after this many retirements by one thread. A smaller
+/// value tightens the garbage bound a stalled reader can hold (only items born
+/// while its frozen interval was current stay blocked); a larger one cheapens
+/// retirement. 16 keeps the stalled-reader backlog within a small multiple of the
+/// live working set.
+pub const ERA_ADVANCE_INTERVAL: usize = 16;
+
+/// A thread scans its retired list once it holds this many items, so per-thread
+/// pending garbage is bounded by `SCAN_THRESHOLD` plus whatever published hazard
+/// intervals still cover (the stall test's constant bound builds on this).
+pub const SCAN_THRESHOLD: usize = 64;
+
+/// Every this many outermost hazard pins, the pinning thread also scans if any
+/// garbage (local or orphaned) is waiting — the hazard twin of the EBR
+/// `PIN_INTERVAL` piggyback, so read-only threads still make collection progress.
+const HP_PIN_INTERVAL: usize = 64;
+
+/// A retired item: a deferred destruction closure stamped with the lifetime
+/// interval the scan tests against published hazards.
+struct Retired {
+    /// Era clock value when the object was created (0 = unknown; conservatively
+    /// ancient, i.e. covered by every active interval whose `lo <= retire`).
+    birth: u64,
+    /// Era clock value when the object was retired.
+    retire: u64,
+    call: Box<dyn FnOnce()>,
+}
+
+// SAFETY: retired closures are only executed by a scan, exactly once, after the
+// hazard protocol has proven no thread can still observe the data they free. The
+// `unsafe` retire entry points put the cross-thread obligation on the caller,
+// exactly like `Guard::defer_unchecked`.
+unsafe impl Send for Retired {}
+
+/// A batch of retired items abandoned by an exiting thread (or pushed during
+/// thread-local teardown); node of the per-domain orphan Treiber stack.
+struct OrphanBatch {
+    items: Vec<Retired>,
+    /// Intrusive link; written only between allocation and the publishing CAS.
+    next: *mut OrphanBatch,
+}
+
+/// One thread's published hazard interval. Registered in a domain's lock-free slot
+/// list; claimed and released like an EBR participant record (lazy removal, so the
+/// list is only ever scanned, never unlinked from).
+pub struct HazardSlot {
+    /// Lower bound of the published interval; 0 = slot not pinned.
+    lo: AtomicU64,
+    /// Upper bound of the published interval; 0 = slot not pinned. Writers publish
+    /// `lo` before `hi` and clear `lo` before `hi`; scans read `hi` before `lo` and
+    /// clamp `hi = max(lo, hi)`, so a torn read is always *over*-covering.
+    hi: AtomicU64,
+    /// Claimed by a live handle. Claim: CAS `false -> true`. Release: store `false`
+    /// after clearing the interval.
+    in_use: AtomicBool,
+    /// Next slot in the registry; written once before the prepend CAS publishes it.
+    next: AtomicPtr<HazardSlot>,
+}
+
+/// One hazard-pointer reclamation domain: an era clock, a slot registry, an orphan
+/// stack, and exact pending/high-water-mark garbage gauges.
+///
+/// The [`Reclaimer::Hazard`](crate::Reclaimer) guards of domain `d` all route to
+/// the `d`-th entry of a static array of these; the type is public and
+/// instantiable so tests can model-check a private domain deterministically
+/// (several [`HpHandle`]s driven from one thread).
+pub struct HazardDomain {
+    /// The era clock. Starts at 1 so era 0 can mean "inactive" in slots and
+    /// "unknown birth" in retired items.
+    clock: AtomicU64,
+    /// Head of the intrusive slot registry.
+    slots: AtomicPtr<HazardSlot>,
+    /// Head of the Treiber stack of orphaned retired-item batches.
+    orphans: AtomicPtr<OrphanBatch>,
+    /// Retired-but-not-yet-freed items across all threads of this domain (exact).
+    pending: AtomicU64,
+    /// High-water mark of `pending` (exact, monotone per domain).
+    hwm: AtomicU64,
+}
+
+/// The hazard twins of the EBR `GLOBALS`: one immortal domain per epoch domain
+/// index, so `pin_domain_with(d, Reclaimer::Hazard)` and `pin_domain(d)` are fully
+/// independent substrates over the same domain-index namespace.
+static HAZARD_DOMAINS: [HazardDomain; NUM_DOMAINS] = [const { HazardDomain::new() }; NUM_DOMAINS];
+
+/// The static hazard domain for `domain % NUM_DOMAINS`.
+pub(crate) fn domain(domain: usize) -> &'static HazardDomain {
+    &HAZARD_DOMAINS[domain % NUM_DOMAINS]
+}
+
+impl HazardDomain {
+    /// Creates an empty, independent hazard domain (era clock at 1, no slots, no
+    /// garbage). Domains used through [`crate::pin_domain_with`] are statics; build
+    /// one directly only to drive the protocol deterministically in tests.
+    pub const fn new() -> HazardDomain {
+        HazardDomain {
+            clock: AtomicU64::new(1),
+            slots: AtomicPtr::new(ptr::null_mut()),
+            orphans: AtomicPtr::new(ptr::null_mut()),
+            pending: AtomicU64::new(0),
+            hwm: AtomicU64::new(0),
+        }
+    }
+
+    /// Current value of the era clock.
+    pub fn current_era(&self) -> u64 {
+        self.clock.load(Ordering::SeqCst)
+    }
+
+    /// Advances the era clock by one and returns the new value. Retirement does
+    /// this automatically every [`ERA_ADVANCE_INTERVAL`] items; tests use it to
+    /// place births and retirements in chosen eras.
+    pub fn advance_era(&self) -> u64 {
+        self.clock.fetch_add(1, Ordering::SeqCst) + 1
+    }
+
+    /// Exact pending / high-water-mark garbage gauges for this domain.
+    pub fn stats(&self) -> GarbageStats {
+        GarbageStats {
+            pending: self.pending.load(Ordering::SeqCst),
+            hwm: self.hwm.load(Ordering::SeqCst),
+        }
+    }
+
+    /// Registers a participant handle: claims a released slot or leaks a fresh one
+    /// (lock-free, identical discipline to the EBR participant registry).
+    pub fn register(&self) -> HpHandle<'_> {
+        let mut curr = self.slots.load(Ordering::Acquire);
+        let slot = loop {
+            match unsafe { curr.as_ref() } {
+                Some(s) => {
+                    if s.in_use
+                        .compare_exchange(false, true, Ordering::Acquire, Ordering::Relaxed)
+                        .is_ok()
+                    {
+                        debug_assert_eq!(s.lo.load(Ordering::Relaxed), 0);
+                        debug_assert_eq!(s.hi.load(Ordering::Relaxed), 0);
+                        break s;
+                    }
+                    curr = s.next.load(Ordering::Relaxed);
+                }
+                None => break self.prepend_slot(),
+            }
+        };
+        HpHandle {
+            domain: self,
+            slot,
+            pin_depth: Cell::new(0),
+            hi_cache: Cell::new(0),
+            pins_since_scan: Cell::new(0),
+            retires_since_advance: Cell::new(0),
+            retired: RefCell::new(Vec::new()),
+        }
+    }
+
+    fn prepend_slot(&self) -> &HazardSlot {
+        let slot: &HazardSlot = Box::leak(Box::new(HazardSlot {
+            lo: AtomicU64::new(0),
+            hi: AtomicU64::new(0),
+            in_use: AtomicBool::new(true),
+            next: AtomicPtr::new(ptr::null_mut()),
+        }));
+        let slot_ptr = slot as *const HazardSlot as *mut HazardSlot;
+        loop {
+            let head = self.slots.load(Ordering::Relaxed);
+            slot.next.store(head, Ordering::Relaxed);
+            if self
+                .slots
+                .compare_exchange_weak(head, slot_ptr, Ordering::Release, Ordering::Relaxed)
+                .is_ok()
+            {
+                return slot;
+            }
+        }
+    }
+
+    /// Accounts one retirement (exact gauges + process-wide counters).
+    fn note_retired(&self) {
+        metrics::record(Counter::GarbagePending);
+        let pending = self.pending.fetch_add(1, Ordering::SeqCst) + 1;
+        let prev = self.hwm.fetch_max(pending, Ordering::SeqCst);
+        if pending > prev {
+            metrics::add(Counter::GarbageHwm, pending - prev);
+        }
+    }
+
+    /// Accounts `n` freed items.
+    fn note_freed(&self, n: usize) {
+        if n > 0 {
+            self.pending.fetch_sub(n as u64, Ordering::SeqCst);
+            metrics::add(Counter::GarbageFreed, n as u64);
+        }
+    }
+
+    /// Pushes `items` onto the orphan stack (no-op when empty). Called at thread
+    /// exit and from the thread-local-teardown retire fallback; accounting for the
+    /// items was already done at retirement.
+    fn push_orphans(&self, items: Vec<Retired>) {
+        if items.is_empty() {
+            return;
+        }
+        let batch = Box::into_raw(Box::new(OrphanBatch {
+            items,
+            next: ptr::null_mut(),
+        }));
+        loop {
+            let head = self.orphans.load(Ordering::Relaxed);
+            // SAFETY: the batch is unpublished until the CAS below succeeds.
+            unsafe { (*batch).next = head };
+            if self
+                .orphans
+                .compare_exchange_weak(head, batch, Ordering::Release, Ordering::Relaxed)
+                .is_ok()
+            {
+                return;
+            }
+        }
+    }
+
+    /// Steals every orphan batch into `into` (batches become exclusively ours via
+    /// the atomic swap).
+    fn steal_orphans(&self, into: &mut Vec<Retired>) {
+        let mut curr = self.orphans.swap(ptr::null_mut(), Ordering::Acquire);
+        while !curr.is_null() {
+            // SAFETY: stolen batches are exclusively ours; fully initialized before
+            // the publishing CAS.
+            let batch = unsafe { Box::from_raw(curr) };
+            into.extend(batch.items);
+            curr = batch.next;
+        }
+    }
+
+    /// Reads every active slot's published interval, post-fence, `hi` before `lo`,
+    /// clamping `hi = max(lo, hi)` so torn publications over-cover.
+    fn collect_intervals(&self) -> Vec<(u64, u64)> {
+        atomic::fence(Ordering::SeqCst);
+        let mut intervals = Vec::new();
+        let mut curr = self.slots.load(Ordering::Acquire);
+        while let Some(s) = unsafe { curr.as_ref() } {
+            let hi = s.hi.load(Ordering::SeqCst);
+            let lo = s.lo.load(Ordering::SeqCst);
+            if hi != 0 || lo != 0 {
+                intervals.push((lo, hi.max(lo)));
+            }
+            curr = s.next.load(Ordering::Relaxed);
+        }
+        intervals
+    }
+
+    /// Partitions `batch` into (still covered, safe to free): an item is freed iff
+    /// no published interval intersects its `[birth, retire]` lifetime.
+    ///
+    /// This is the hazard-scan validation the soundness canary targets: weakening
+    /// the intersection test (e.g. requiring `lo <= birth` instead of
+    /// `birth <= hi`) is the documented collect-early mutation that must make the
+    /// reclamation test battery fail under `SKIPTRIE_RECLAIM=hp`.
+    fn partition_covered(&self, batch: Vec<Retired>) -> (Vec<Retired>, Vec<Retired>) {
+        let intervals = self.collect_intervals();
+        batch.into_iter().partition(|item| {
+            intervals
+                .iter()
+                .any(|&(lo, hi)| item.birth <= hi && lo <= item.retire)
+        })
+    }
+
+    /// Scans and frees orphaned garbage without a thread-local handle: the
+    /// teardown fallback for [`Guard::flush`](crate::Guard::flush) in hazard mode,
+    /// and the drain path for handle-less callers. Advances the era first so
+    /// quiescent drains make progress.
+    pub(crate) fn flush_orphans(&self) {
+        self.advance_era();
+        metrics::record(Counter::HpScan);
+        let mut batch = Vec::new();
+        self.steal_orphans(&mut batch);
+        if batch.is_empty() {
+            return;
+        }
+        let (keep, run) = self.partition_covered(batch);
+        self.push_orphans(keep);
+        self.note_freed(run.len());
+        for item in run {
+            (item.call)();
+        }
+    }
+
+    /// True if the orphan stack is non-empty (cheap liveness probe for the pin
+    /// piggyback).
+    fn has_orphans(&self) -> bool {
+        !self.orphans.load(Ordering::Relaxed).is_null()
+    }
+}
+
+impl Default for HazardDomain {
+    fn default() -> Self {
+        HazardDomain::new()
+    }
+}
+
+impl Drop for HazardDomain {
+    fn drop(&mut self) {
+        // Exclusive access (`&mut self`): no handle can be alive (they borrow the
+        // domain), so every published interval is stale and every remaining orphan
+        // is safe to run — this is the "domain drain" edge the protocol proptest
+        // pins (every retired item freed exactly once). Statics never drop; this
+        // path only runs for test-built domains.
+        let mut leftovers = Vec::new();
+        self.steal_orphans(&mut leftovers);
+        self.note_freed(leftovers.len());
+        for item in leftovers {
+            (item.call)();
+        }
+        let mut curr = *self.slots.get_mut();
+        while !curr.is_null() {
+            // SAFETY: slots were leaked by `prepend_slot` and are exclusively ours.
+            let slot = unsafe { Box::from_raw(curr) };
+            curr = slot.next.load(Ordering::Relaxed);
+        }
+    }
+}
+
+/// One participant of a [`HazardDomain`]: a claimed slot plus the thread-local
+/// protocol state (pin depth, published-`hi` cache, retired list). The hazard twin
+/// of the EBR `LocalHandle`, public so tests can simulate several participants of
+/// a private domain from one thread.
+pub struct HpHandle<'d> {
+    domain: &'d HazardDomain,
+    slot: &'d HazardSlot,
+    pin_depth: Cell<usize>,
+    /// The era this handle last published as `hi` (avoids re-publishing on every
+    /// protected read while the clock is quiet). Only meaningful while pinned.
+    hi_cache: Cell<u64>,
+    pins_since_scan: Cell<usize>,
+    retires_since_advance: Cell<usize>,
+    retired: RefCell<Vec<Retired>>,
+}
+
+impl HpHandle<'_> {
+    /// Pins this participant: publishes `lo = hi = clock` with the announce/fence/
+    /// re-validate loop. Pins nest; every `HP_PIN_INTERVAL`-th outermost pin also
+    /// scans if garbage is waiting.
+    pub fn pin(&self) {
+        let depth = self.pin_depth.get();
+        self.pin_depth.set(depth + 1);
+        if depth != 0 {
+            return;
+        }
+        self.publish();
+        let pins = self.pins_since_scan.get() + 1;
+        if pins >= HP_PIN_INTERVAL
+            && (!self.retired.borrow().is_empty() || self.domain.has_orphans())
+        {
+            self.pins_since_scan.set(0);
+            self.scan();
+        } else {
+            self.pins_since_scan.set(pins);
+        }
+    }
+
+    /// Unpins (outermost: clears the published interval, `lo` before `hi`).
+    pub fn unpin(&self) {
+        let depth = self.pin_depth.get();
+        debug_assert!(depth > 0, "hazard handle unpinned while not pinned");
+        self.pin_depth.set(depth - 1);
+        if depth == 1 {
+            self.slot.lo.store(0, Ordering::SeqCst);
+            self.slot.hi.store(0, Ordering::SeqCst);
+        }
+    }
+
+    /// Re-announces the interval at the current era, releasing every era the old
+    /// interval was protecting (the hazard back-end of [`Guard::repin`](crate::Guard::repin)).
+    pub fn repin(&self) {
+        if self.pin_depth.get() == 1 {
+            self.slot.lo.store(0, Ordering::SeqCst);
+            self.slot.hi.store(0, Ordering::SeqCst);
+            self.publish();
+        }
+    }
+
+    /// True while at least one pin is outstanding.
+    pub fn is_pinned(&self) -> bool {
+        self.pin_depth.get() > 0
+    }
+
+    fn publish(&self) {
+        loop {
+            let e = self.domain.clock.load(Ordering::SeqCst);
+            self.slot.lo.store(e, Ordering::SeqCst);
+            self.slot.hi.store(e, Ordering::SeqCst);
+            atomic::fence(Ordering::SeqCst);
+            if self.domain.clock.load(Ordering::SeqCst) == e {
+                self.hi_cache.set(e);
+                return;
+            }
+        }
+    }
+
+    /// Performs `f` (a load of shared memory) under era protection: publish
+    /// `hi = clock` if the clock moved, fence, run the load, and re-validate that
+    /// the clock was stable — retrying (and recording `hp_protect_retry`)
+    /// otherwise. Any pointer `f` returned on the *accepted* iteration was read at
+    /// an era inside this handle's published interval, which is what the scan's
+    /// intersection test protects.
+    ///
+    /// The handle must be pinned.
+    pub fn protected<T>(&self, f: &mut dyn FnMut() -> T) -> T {
+        debug_assert!(self.is_pinned(), "protected read outside a pin");
+        let mut e = self.domain.clock.load(Ordering::SeqCst);
+        loop {
+            if self.hi_cache.get() != e {
+                // `hi` only ever grows while pinned (the clock is monotone), so
+                // this widens the published interval before the load below.
+                self.slot.hi.store(e, Ordering::SeqCst);
+                atomic::fence(Ordering::SeqCst);
+                self.hi_cache.set(e);
+            }
+            let value = f();
+            let now = self.domain.clock.load(Ordering::SeqCst);
+            if now == e {
+                return value;
+            }
+            e = now;
+            metrics::record(Counter::HpProtectRetry);
+        }
+    }
+
+    /// Retires an item with an explicit birth era: stamps the retirement era,
+    /// advances the clock every [`ERA_ADVANCE_INTERVAL`] retirements, and scans
+    /// every [`SCAN_THRESHOLD`].
+    ///
+    /// # Safety
+    ///
+    /// As [`Guard::defer_unchecked`](crate::Guard::defer_unchecked): the item must
+    /// already be unreachable for new protected reads (unlinked), the closure must
+    /// be safe to run on any thread at any later time, and it must free the item
+    /// at most once. `birth` must not postdate the era at which the item became
+    /// reachable (0 is always sound).
+    pub unsafe fn retire_unchecked(&self, birth: u64, f: impl FnOnce() + Send + 'static) {
+        self.retire_raw(birth, Box::new(f));
+    }
+
+    /// Type-erased retire core (shared with the [`Guard`](crate::Guard) routing,
+    /// whose closures had their lifetime erased already).
+    pub(crate) fn retire_raw(&self, birth: u64, call: Box<dyn FnOnce()>) {
+        let retire = self.domain.clock.load(Ordering::SeqCst);
+        self.domain.note_retired();
+        let len = {
+            let mut retired = self.retired.borrow_mut();
+            retired.push(Retired {
+                birth,
+                retire,
+                call,
+            });
+            retired.len()
+        };
+        let advances = self.retires_since_advance.get() + 1;
+        if advances >= ERA_ADVANCE_INTERVAL {
+            self.retires_since_advance.set(0);
+            self.domain.advance_era();
+        } else {
+            self.retires_since_advance.set(advances);
+        }
+        if len >= SCAN_THRESHOLD {
+            self.scan();
+        }
+    }
+
+    /// Scans this handle's retired list (plus any adopted orphans) against the
+    /// published hazard intervals and frees every uncovered item. Records
+    /// `hp_scan`; covered items return to the local list.
+    pub fn scan(&self) {
+        metrics::record(Counter::HpScan);
+        let mut batch = std::mem::take(&mut *self.retired.borrow_mut());
+        self.domain.steal_orphans(&mut batch);
+        if batch.is_empty() {
+            return;
+        }
+        let (keep, run) = self.domain.partition_covered(batch);
+        // Reinstall survivors *before* running closures: a destructor may itself
+        // retire (recursing into the RefCell) or pin.
+        self.retired.borrow_mut().extend(keep);
+        self.domain.note_freed(run.len());
+        for item in run {
+            (item.call)();
+        }
+    }
+
+    /// Advances the era and scans — the hazard back-end of
+    /// [`Guard::flush`](crate::Guard::flush), and the step drain loops repeat
+    /// until pending garbage reaches zero.
+    pub fn flush(&self) {
+        self.domain.advance_era();
+        self.scan();
+    }
+
+    /// The domain this handle participates in.
+    pub fn domain(&self) -> &HazardDomain {
+        self.domain
+    }
+}
+
+impl Drop for HpHandle<'_> {
+    fn drop(&mut self) {
+        // Thread (or simulated participant) exit: orphan whatever the last scan
+        // could not free, clear the interval, and release the slot for reuse. A
+        // leaked guard would otherwise stall the domain forever; clearing here is
+        // safe because the handle — hence every guard over it — is gone.
+        let leftovers = std::mem::take(&mut *self.retired.borrow_mut());
+        self.domain.push_orphans(leftovers);
+        self.slot.lo.store(0, Ordering::SeqCst);
+        self.slot.hi.store(0, Ordering::SeqCst);
+        self.slot.in_use.store(false, Ordering::Release);
+    }
+}
+
+thread_local! {
+    /// One lazily-registered hazard handle per domain (the hazard twin of the EBR
+    /// `LOCALS`). Dropped at thread exit: orphans leftovers, releases slots.
+    static HP_LOCALS: [OnceCell<HpHandle<'static>>; NUM_DOMAINS] =
+        const { [const { OnceCell::new() }; NUM_DOMAINS] };
+}
+
+/// Runs `f` with this thread's hazard handle for `domain`, registering on first
+/// use. `None` during thread-local teardown (callers fall back to the domain's
+/// orphan stack).
+pub(crate) fn with_hp_local<R>(
+    domain: usize,
+    f: impl FnOnce(&HpHandle<'static>) -> R,
+) -> Option<R> {
+    HP_LOCALS
+        .try_with(|locals| f(locals[domain].get_or_init(|| HAZARD_DOMAINS[domain].register())))
+        .ok()
+}
+
+/// Outermost entry for `pin_domain_with(d, Reclaimer::Hazard)`. Uses `with` (not
+/// `try_with`): pinning during thread-local teardown cannot protect anything and
+/// must fail loudly, matching the EBR pin.
+pub(crate) fn pin(domain: usize) {
+    HP_LOCALS.with(|locals| {
+        locals[domain]
+            .get_or_init(|| HAZARD_DOMAINS[domain].register())
+            .pin();
+    });
+}
+
+/// Retires with the thread-local handle, or orphans a single-item batch during
+/// thread-local teardown (stamping `retire` from the domain clock either way).
+pub(crate) fn retire(domain: usize, birth: u64, call: Box<dyn FnOnce()>) {
+    let mut slot = Some(call);
+    let handled = with_hp_local(domain, |local| {
+        local.retire_raw(birth, slot.take().expect("retired closure moved twice"));
+    });
+    if handled.is_none() {
+        if let Some(call) = slot {
+            let d = self::domain(domain);
+            let retire = d.current_era();
+            d.note_retired();
+            d.push_orphans(vec![Retired {
+                birth,
+                retire,
+                call,
+            }]);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::rc::Rc;
+
+    fn retire_flag(h: &HpHandle<'_>, birth: u64, flag: &Rc<Cell<u32>>) {
+        // Rc is !Send; route through the raw internal entry point like the Guard
+        // does, keeping the single-threaded test ergonomic.
+        let flag = Rc::clone(flag);
+        h.retire_raw(birth, Box::new(move || flag.set(flag.get() + 1)));
+    }
+
+    #[test]
+    fn uncovered_item_is_freed_by_scan() {
+        let d = HazardDomain::new();
+        let h = d.register();
+        let freed = Rc::new(Cell::new(0));
+        retire_flag(&h, d.current_era(), &freed);
+        assert_eq!(d.stats().pending, 1);
+        h.scan();
+        assert_eq!(freed.get(), 1, "no hazard published: item must be freed");
+        assert_eq!(d.stats().pending, 0);
+        assert_eq!(d.stats().hwm, 1);
+    }
+
+    #[test]
+    fn covered_item_survives_until_unpin() {
+        let d = HazardDomain::new();
+        let writer = d.register();
+        let reader = d.register();
+        reader.pin();
+        let freed = Rc::new(Cell::new(0));
+        // Born before the reader pinned, retired after: intersects the interval.
+        retire_flag(&writer, 1, &freed);
+        writer.flush();
+        writer.flush();
+        assert_eq!(freed.get(), 0, "covered item freed under an active hazard");
+        reader.unpin();
+        writer.flush();
+        assert_eq!(freed.get(), 1);
+    }
+
+    #[test]
+    fn item_born_after_a_stalled_reader_pinned_is_freed() {
+        let d = HazardDomain::new();
+        let writer = d.register();
+        let reader = d.register();
+        reader.pin(); // interval frozen at the current era
+        d.advance_era();
+        let freed = Rc::new(Cell::new(0));
+        // Born strictly after the stalled reader's hi: can never be discovered by
+        // it (the protect loop would republish), so the scan frees it immediately.
+        retire_flag(&writer, d.current_era(), &freed);
+        writer.scan();
+        assert_eq!(
+            freed.get(),
+            1,
+            "post-stall garbage must drain (the E15 bound)"
+        );
+        reader.unpin();
+    }
+
+    #[test]
+    fn protected_read_retries_when_the_clock_moves() {
+        let d = HazardDomain::new();
+        let h = d.register();
+        h.pin();
+        let mut calls = 0;
+        let v = h.protected(&mut || {
+            calls += 1;
+            if calls == 1 {
+                d.advance_era(); // invalidate the first iteration
+            }
+            42u64
+        });
+        assert_eq!(v, 42);
+        assert!(
+            calls >= 2,
+            "clock moved mid-read: the loop must re-validate"
+        );
+        h.unpin();
+    }
+
+    #[test]
+    fn exited_participants_orphan_their_garbage_and_release_their_slot() {
+        let d = HazardDomain::new();
+        let freed = Rc::new(Cell::new(0));
+        {
+            let h = d.register();
+            retire_flag(&h, d.current_era(), &freed);
+        } // handle dropped: item orphaned, slot released
+        assert_eq!(d.stats().pending, 1);
+        let successor = d.register();
+        successor.flush();
+        assert_eq!(freed.get(), 1, "orphans must be adopted by the next scan");
+        assert_eq!(d.stats().pending, 0);
+    }
+
+    #[test]
+    fn slot_reuse_does_not_inherit_the_previous_owners_protection() {
+        let d = HazardDomain::new();
+        let writer = d.register();
+        let freed = Rc::new(Cell::new(0));
+        let born = d.current_era();
+        {
+            let first = d.register();
+            first.pin();
+            first.unpin();
+        } // slot released
+          // Retired while no hazard is active...
+        retire_flag(&writer, born, &freed);
+        d.advance_era();
+        // ...then the slot is reused by a new participant pinned at a later era.
+        let second = d.register();
+        second.pin();
+        writer.scan();
+        assert_eq!(
+            freed.get(),
+            1,
+            "an item retired before the new owner pinned must not be covered"
+        );
+        second.unpin();
+    }
+
+    #[test]
+    fn dropping_a_test_domain_drains_every_orphan_exactly_once() {
+        let freed = Rc::new(Cell::new(0));
+        {
+            let d = HazardDomain::new();
+            let h = d.register();
+            let blocker = d.register();
+            blocker.pin();
+            retire_flag(&h, 1, &freed);
+            h.scan();
+            assert_eq!(freed.get(), 0, "blocked while covered");
+            blocker.unpin();
+            drop(h); // orphans the item
+            drop(blocker);
+        } // domain drop runs the leftovers
+        assert_eq!(freed.get(), 1);
+    }
+}

@@ -84,13 +84,36 @@
 //! how the sharded SkipTrie forest assigns one domain per shard: a long scan of one
 //! shard then stalls only that shard's reclamation, and shards never serialize on a
 //! shared epoch counter or garbage stack. Pins of different domains nest freely.
+//!
+//! # Reclamation substrates
+//!
+//! Each domain index addresses **two** independent substrates: the epoch scheme
+//! above ([`Reclaimer::Ebr`], the default) and a hazard-era substrate
+//! ([`Reclaimer::Hazard`], see the [`hazard`] module docs for the protocol).
+//! [`pin_domain_with`] selects which one a guard routes to; the [`Guard`] shape
+//! (`defer_unchecked`, `flush`, `repin`) is identical either way, which is what
+//! lets data structures switch substrates by config plumbing alone. The trade:
+//! EBR has the cheaper read path but one stalled reader blocks its whole domain's
+//! reclamation; the hazard substrate pays a clock re-validation per protected
+//! read and in return bounds the garbage a stalled reader can pin to items born
+//! inside its frozen era interval. Both substrates report pending garbage and its
+//! high-water mark per domain through [`domain_stats`] (exact gauges) and the
+//! process-wide `garbage_pending` / `garbage_freed` / `garbage_hwm` metrics
+//! counters.
 
 #![warn(missing_docs)]
 
 use std::cell::{Cell, OnceCell, RefCell};
 use std::marker::PhantomData;
 use std::ptr;
-use std::sync::atomic::{self, AtomicBool, AtomicPtr, AtomicUsize, Ordering};
+use std::str::FromStr;
+use std::sync::atomic::{self, AtomicBool, AtomicPtr, AtomicU64, AtomicUsize, Ordering};
+
+use skiptrie_metrics::{self as metrics, Counter};
+
+pub mod hazard;
+
+pub use hazard::{HazardDomain, HpHandle};
 
 /// Number of independent epoch domains (see the crate docs). Domain 0 is the default
 /// domain that [`pin`] uses; [`pin_domain`] indexes the rest modulo this constant.
@@ -98,6 +121,67 @@ pub const NUM_DOMAINS: usize = 32;
 
 /// Sentinel meaning "this participant is not currently pinned".
 const INACTIVE: usize = usize::MAX;
+
+/// Which reclamation substrate a guard routes to (see the crate docs on
+/// reclamation substrates). Parsed fail-loud from the `SKIPTRIE_RECLAIM` knob by
+/// the workloads harness: `ebr`/`epoch` and `hp`/`hazard` are accepted.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Hash)]
+pub enum Reclaimer {
+    /// Epoch-based reclamation — the throughput default. Reads are unvalidated;
+    /// one stalled pinned reader blocks its whole domain's reclamation.
+    #[default]
+    Ebr,
+    /// Hazard-era reclamation — protected reads re-validate against the era
+    /// clock; a stalled reader blocks only items born inside its frozen interval,
+    /// so pending garbage stays bounded under churn.
+    Hazard,
+}
+
+impl FromStr for Reclaimer {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s.trim().to_ascii_lowercase().as_str() {
+            "ebr" | "epoch" => Ok(Reclaimer::Ebr),
+            "hp" | "hazard" => Ok(Reclaimer::Hazard),
+            other => Err(format!(
+                "unknown reclaimer {other:?} (expected \"ebr\"/\"epoch\" or \"hp\"/\"hazard\")"
+            )),
+        }
+    }
+}
+
+impl std::fmt::Display for Reclaimer {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            Reclaimer::Ebr => "ebr",
+            Reclaimer::Hazard => "hp",
+        })
+    }
+}
+
+/// Exact garbage gauges for one (domain, substrate) pair, from [`domain_stats`]:
+/// how many retired-but-unfreed closures the substrate currently holds, and the
+/// most it ever held. Unlike the process-wide metrics counters these are precise
+/// per-domain values suitable for exact test asserts.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct GarbageStats {
+    /// Closures retired into this domain and not yet executed.
+    pub pending: u64,
+    /// High-water mark of `pending` over the domain's lifetime (monotone).
+    pub hwm: u64,
+}
+
+/// Exact pending / high-water-mark garbage gauges for `domain % NUM_DOMAINS`
+/// under the given substrate. The two substrates of one domain index are fully
+/// independent and so are their gauges.
+pub fn domain_stats(domain: usize, reclaimer: Reclaimer) -> GarbageStats {
+    let domain = domain % NUM_DOMAINS;
+    match reclaimer {
+        Reclaimer::Ebr => GLOBALS[domain].stats(),
+        Reclaimer::Hazard => hazard::domain(domain).stats(),
+    }
+}
 
 /// How many deferred closures a thread-local bag holds before it is sealed and pushed
 /// to the global queue.
@@ -152,6 +236,11 @@ struct Global {
     /// this keeps a stalled epoch (one thread descheduled while pinned) from turning
     /// every piggybacked collection into a full walk of the pending-bag stack.
     collected_at: AtomicUsize,
+    /// Deferred-but-not-yet-run closures in this domain (exact; see
+    /// [`domain_stats`]). Incremented at defer, decremented when a ready bag runs.
+    pending: AtomicU64,
+    /// High-water mark of `pending` (exact, monotone).
+    hwm: AtomicU64,
 }
 
 /// The independent epoch domains. Statically allocated: domains are immortal, so the
@@ -167,6 +256,35 @@ impl Global {
             participants: AtomicPtr::new(ptr::null_mut()),
             garbage: AtomicPtr::new(ptr::null_mut()),
             collected_at: AtomicUsize::new(usize::MAX),
+            pending: AtomicU64::new(0),
+            hwm: AtomicU64::new(0),
+        }
+    }
+
+    /// Exact pending / high-water-mark gauges for this domain's EBR substrate.
+    fn stats(&self) -> GarbageStats {
+        GarbageStats {
+            pending: self.pending.load(Ordering::SeqCst),
+            hwm: self.hwm.load(Ordering::SeqCst),
+        }
+    }
+
+    /// Accounts one deferred closure (exact gauges + process-wide counters); the
+    /// same discipline as the hazard substrate so the two report comparably.
+    fn note_retired(&self) {
+        metrics::record(Counter::GarbagePending);
+        let pending = self.pending.fetch_add(1, Ordering::SeqCst) + 1;
+        let prev = self.hwm.fetch_max(pending, Ordering::SeqCst);
+        if pending > prev {
+            metrics::add(Counter::GarbageHwm, pending - prev);
+        }
+    }
+
+    /// Accounts `n` executed closures.
+    fn note_freed(&self, n: usize) {
+        if n > 0 {
+            self.pending.fetch_sub(n as u64, Ordering::SeqCst);
+            metrics::add(Counter::GarbageFreed, n as u64);
         }
     }
 
@@ -306,6 +424,8 @@ impl Global {
             }
         }
         // Run outside any structure: a closure may itself pin or defer more garbage.
+        let freed: usize = ready.iter().map(|bag| bag.deferreds.len()).sum();
+        self.note_freed(freed);
         for bag in ready {
             for d in bag.deferreds {
                 (d.call)();
@@ -398,26 +518,42 @@ pub fn pin() -> Guard {
 /// counter, participant registry, and garbage queue. Pins of different domains nest
 /// freely and protect only retirements of their own domain.
 pub fn pin_domain(domain: usize) -> Guard {
+    pin_domain_with(domain, Reclaimer::Ebr)
+}
+
+/// Pins the current thread in domain `domain % NUM_DOMAINS` under the chosen
+/// reclamation substrate (see the crate docs on reclamation substrates). The two
+/// substrates of one domain index are fully independent: an EBR pin does not
+/// protect hazard-retired garbage or vice versa, so a structure must route all of
+/// its pins **and** retirements through the same `(domain, reclaimer)` pair.
+pub fn pin_domain_with(domain: usize, reclaimer: Reclaimer) -> Guard {
     let domain = domain % NUM_DOMAINS;
-    // `with` (not `try_with`): pinning during thread-local teardown cannot protect
-    // anything and must fail loudly rather than hand out a vacuous guard.
-    LOCALS.with(|locals| {
-        let local = locals[domain].get_or_init(|| LocalHandle::register(&GLOBALS[domain]));
-        let depth = local.pin_depth.get();
-        local.pin_depth.set(depth + 1);
-        if depth == 0 {
-            local.publish_epoch();
-            let pins = local.pins_since_collect.get() + 1;
-            if pins >= PIN_INTERVAL {
-                local.pins_since_collect.set(0);
-                local.global.collect();
-            } else {
-                local.pins_since_collect.set(pins);
-            }
+    match reclaimer {
+        Reclaimer::Ebr => {
+            // `with` (not `try_with`): pinning during thread-local teardown cannot
+            // protect anything and must fail loudly rather than hand out a vacuous
+            // guard.
+            LOCALS.with(|locals| {
+                let local = locals[domain].get_or_init(|| LocalHandle::register(&GLOBALS[domain]));
+                let depth = local.pin_depth.get();
+                local.pin_depth.set(depth + 1);
+                if depth == 0 {
+                    local.publish_epoch();
+                    let pins = local.pins_since_collect.get() + 1;
+                    if pins >= PIN_INTERVAL {
+                        local.pins_since_collect.set(0);
+                        local.global.collect();
+                    } else {
+                        local.pins_since_collect.set(pins);
+                    }
+                }
+            });
         }
-    });
+        Reclaimer::Hazard => hazard::pin(domain),
+    }
     Guard {
         domain,
+        substrate: reclaimer,
         _not_send: PhantomData,
     }
 }
@@ -428,16 +564,61 @@ pub fn pin_domain(domain: usize) -> Guard {
 pub struct Guard {
     /// The domain this guard pinned (index into [`GLOBALS`]).
     domain: usize,
+    /// Which reclamation substrate this guard's pin and retirements route to.
+    substrate: Reclaimer,
     /// Guards reference thread-local state and must not cross threads.
     _not_send: PhantomData<*mut ()>,
 }
 
 impl Guard {
+    /// The substrate this guard routes to (what it was pinned with).
+    pub fn substrate(&self) -> Reclaimer {
+        self.substrate
+    }
+
+    /// The guard's domain's era clock under the hazard substrate, or 0 under EBR.
+    ///
+    /// Used to stamp newly allocated objects with their birth era (passed back to
+    /// [`Guard::defer_unchecked_born`] at retirement). 0 means "unknown birth" and
+    /// is always sound — the hazard scan then treats the object as old enough to
+    /// be covered by any active interval that covers its retirement.
+    pub fn current_era(&self) -> u64 {
+        match self.substrate {
+            Reclaimer::Ebr => 0,
+            Reclaimer::Hazard => hazard::domain(self.domain).current_era(),
+        }
+    }
+
+    /// Performs `f` — a load (or short load sequence) of shared memory — under the
+    /// guard's substrate's read protection. Under EBR this is exactly `f()`: the
+    /// pin already protects everything retired from now on. Under the hazard
+    /// substrate the load runs inside the protect→re-validate loop (see
+    /// [`HpHandle::protected`]) and may be retried, so `f` must be idempotent —
+    /// true of any pure load.
+    ///
+    /// This is the single choke point traversal loads go through; a raw load of a
+    /// shared pointer is only hazard-safe if it happens inside `protected`.
+    pub fn protected<T>(&self, mut f: impl FnMut() -> T) -> T {
+        match self.substrate {
+            Reclaimer::Ebr => f(),
+            Reclaimer::Hazard => {
+                match hazard::with_hp_local(self.domain, |local| local.protected(&mut f)) {
+                    Some(value) => value,
+                    // Thread-local teardown: nothing can retire concurrently with
+                    // this thread's exit path observing its own structures.
+                    None => f(),
+                }
+            }
+        }
+    }
+
     /// Defers a closure until no thread pinned at (or before) the current epoch can
     /// still hold a reference to the data it frees.
     ///
     /// Lock-free: the closure lands in a thread-local bag; a full bag is sealed with
-    /// the current epoch and pushed to the global queue with one CAS.
+    /// the current epoch and pushed to the global queue with one CAS. Under the
+    /// hazard substrate this is [`Guard::defer_unchecked_born`] with an unknown
+    /// (conservative) birth era.
     ///
     /// # Safety
     ///
@@ -448,68 +629,119 @@ impl Guard {
     where
         F: FnOnce() -> R,
     {
+        // SAFETY: identical contract, forwarded.
+        unsafe { self.defer_unchecked_born(0, f) }
+    }
+
+    /// [`Guard::defer_unchecked`] with the freed object's birth era (from
+    /// [`Guard::current_era`] at allocation time). EBR ignores `birth`; the hazard
+    /// scan uses the `[birth, retire]` interval to free objects born after a
+    /// stalled reader's frozen interval — the substrate's whole point. `birth = 0`
+    /// is always sound, merely conservative.
+    ///
+    /// # Safety
+    ///
+    /// As [`Guard::defer_unchecked`]; additionally `birth` must not postdate the
+    /// era at which the freed object first became reachable to other threads.
+    pub unsafe fn defer_unchecked_born<F, R>(&self, birth: u64, f: F)
+    where
+        F: FnOnce() -> R,
+    {
         let call: Box<dyn FnOnce() + '_> = Box::new(move || {
             let _ = f();
         });
         // SAFETY: erasing the closure's lifetime is exactly the contract the caller
-        // accepted: everything it captures must stay valid until the epoch protocol
-        // runs it (crossbeam's `defer_unchecked` has the same obligation).
+        // accepted: everything it captures must stay valid until the reclamation
+        // protocol runs it (crossbeam's `defer_unchecked` has the same obligation).
         let call: Box<dyn FnOnce() + 'static> =
             unsafe { std::mem::transmute::<Box<dyn FnOnce() + '_>, Box<dyn FnOnce()>>(call) };
-        let mut slot = Some(Deferred { call });
-        with_local(self.domain, |local| {
-            let full = {
-                let mut bag = local.bag.borrow_mut();
-                bag.push(slot.take().expect("deferred moved twice"));
-                bag.len() >= BAG_CAPACITY
-            };
-            if full {
-                local.seal_and_push();
+        match self.substrate {
+            Reclaimer::Ebr => {
+                GLOBALS[self.domain].note_retired();
+                let mut slot = Some(Deferred { call });
+                with_local(self.domain, |local| {
+                    let full = {
+                        let mut bag = local.bag.borrow_mut();
+                        bag.push(slot.take().expect("deferred moved twice"));
+                        bag.len() >= BAG_CAPACITY
+                    };
+                    if full {
+                        local.seal_and_push();
+                    }
+                });
+                if let Some(deferred) = slot {
+                    // Thread-local teardown: the handle is gone, so publish a
+                    // single-item sealed bag directly to this guard's domain.
+                    GLOBALS[self.domain].push_sealed(vec![deferred]);
+                }
             }
-        });
-        if let Some(deferred) = slot {
-            // Thread-local teardown: the handle is gone, so publish a single-item
-            // sealed bag directly to this guard's domain.
-            GLOBALS[self.domain].push_sealed(vec![deferred]);
+            Reclaimer::Hazard => hazard::retire(self.domain, birth, call),
         }
     }
 
-    /// Seals and publishes this thread's garbage bag for the guard's domain, attempts
-    /// an epoch advance, and runs any deferred closures that became safe. Unlike the
-    /// pre-rewrite version, `flush` *does* advance the epoch, so a single-threaded
-    /// program that defers and then flushes a few times always reclaims
-    /// (regression-tested).
+    /// Publishes this thread's pending garbage for the guard's domain, advances the
+    /// substrate's clock, and runs any deferred closures that became safe. Unlike
+    /// the pre-rewrite version, `flush` *does* advance the epoch/era, so a
+    /// single-threaded program that defers and then flushes a few times always
+    /// reclaims (regression-tested) — drain loops repeat flush until
+    /// [`domain_stats`] reports zero pending.
     pub fn flush(&self) {
-        with_local(self.domain, |local| local.seal_and_push());
-        GLOBALS[self.domain].collect();
+        match self.substrate {
+            Reclaimer::Ebr => {
+                with_local(self.domain, |local| local.seal_and_push());
+                GLOBALS[self.domain].collect();
+            }
+            Reclaimer::Hazard => {
+                if hazard::with_hp_local(self.domain, |local| local.flush()).is_none() {
+                    // Thread-local teardown: scan the orphan stack directly.
+                    hazard::domain(self.domain).flush_orphans();
+                }
+            }
+        }
     }
 
     /// Unpins and immediately re-pins the thread in the guard's domain, allowing
-    /// that domain's epoch to advance past any value this guard was holding back.
+    /// that domain's clock to advance past any value this guard was holding back
+    /// (EBR: the pinned epoch; hazard: the published era interval).
     pub fn repin(&mut self) {
-        with_local(self.domain, |local| {
-            if local.pin_depth.get() == 1 {
-                local.participant.epoch.store(INACTIVE, Ordering::Release);
-                local.publish_epoch();
+        match self.substrate {
+            Reclaimer::Ebr => {
+                with_local(self.domain, |local| {
+                    if local.pin_depth.get() == 1 {
+                        local.participant.epoch.store(INACTIVE, Ordering::Release);
+                        local.publish_epoch();
+                    }
+                });
             }
-        });
+            Reclaimer::Hazard => {
+                hazard::with_hp_local(self.domain, |local| local.repin());
+            }
+        }
     }
 }
 
 impl Drop for Guard {
     fn drop(&mut self) {
-        // `with_local` is `try_with`-based: the guard may be dropped during
-        // thread-local teardown, after LOCALS itself was destroyed (its Drop already
-        // marked every initialized slot inactive).
-        with_local(self.domain, |local| {
-            let depth = local.pin_depth.get();
-            debug_assert!(depth > 0, "guard dropped while not pinned");
-            local.pin_depth.set(depth - 1);
-            if depth == 1 {
-                // Unpin: a single release store; collection is amortized on pin.
-                local.participant.epoch.store(INACTIVE, Ordering::Release);
+        // The locals are `try_with`-based: the guard may be dropped during
+        // thread-local teardown, after the handle arrays were destroyed (their Drops
+        // already marked every initialized slot inactive).
+        match self.substrate {
+            Reclaimer::Ebr => {
+                with_local(self.domain, |local| {
+                    let depth = local.pin_depth.get();
+                    debug_assert!(depth > 0, "guard dropped while not pinned");
+                    local.pin_depth.set(depth - 1);
+                    if depth == 1 {
+                        // Unpin: a single release store; collection is amortized on
+                        // pin.
+                        local.participant.epoch.store(INACTIVE, Ordering::Release);
+                    }
+                });
             }
-        });
+            Reclaimer::Hazard => {
+                hazard::with_hp_local(self.domain, |local| local.unpin());
+            }
+        }
     }
 }
 
@@ -805,5 +1037,100 @@ mod tests {
             || dropped.load(Ordering::SeqCst) == threads * per_thread
         ));
         assert_eq!(dropped.load(Ordering::SeqCst), threads * per_thread);
+    }
+
+    #[test]
+    fn reclaimer_knob_grammar_is_fail_loud() {
+        assert_eq!("ebr".parse::<Reclaimer>().unwrap(), Reclaimer::Ebr);
+        assert_eq!("epoch".parse::<Reclaimer>().unwrap(), Reclaimer::Ebr);
+        assert_eq!("hp".parse::<Reclaimer>().unwrap(), Reclaimer::Hazard);
+        assert_eq!(" Hazard ".parse::<Reclaimer>().unwrap(), Reclaimer::Hazard);
+        assert!("qsbr".parse::<Reclaimer>().is_err());
+        assert_eq!(Reclaimer::Ebr.to_string(), "ebr");
+        assert_eq!(Reclaimer::Hazard.to_string(), "hp");
+        assert_eq!(Reclaimer::default(), Reclaimer::Ebr);
+    }
+
+    /// The hazard-routed guard keeps the Guard shape: defer + flush reclaims, and
+    /// the exact gauges drain to zero (domain 27 is untouched by other tests).
+    #[test]
+    fn hazard_guard_defers_flushes_and_drains() {
+        static RAN: AtomicUsize = AtomicUsize::new(0);
+        let d = 27;
+        let baseline = domain_stats(d, Reclaimer::Hazard).pending;
+        {
+            let g = pin_domain_with(d, Reclaimer::Hazard);
+            assert_eq!(g.substrate(), Reclaimer::Hazard);
+            assert!(g.current_era() >= 1);
+            assert_eq!(g.protected(|| 7usize), 7);
+            unsafe { g.defer_unchecked(|| RAN.fetch_add(1, Ordering::SeqCst)) };
+        }
+        for _ in 0..64 {
+            if RAN.load(Ordering::SeqCst) == 1 {
+                break;
+            }
+            pin_domain_with(d, Reclaimer::Hazard).flush();
+        }
+        assert_eq!(RAN.load(Ordering::SeqCst), 1, "must run exactly once");
+        assert_eq!(domain_stats(d, Reclaimer::Hazard).pending, baseline);
+    }
+
+    /// Substrates of one domain index are independent: a *hazard* pin of domain d
+    /// must not stall *EBR* reclamation of domain d, and vice versa.
+    #[test]
+    fn substrates_of_one_domain_are_independent() {
+        static EBR_RAN: AtomicUsize = AtomicUsize::new(0);
+        static HP_RAN: AtomicUsize = AtomicUsize::new(0);
+        let d = 28;
+        let _hp_blocker = pin_domain_with(d, Reclaimer::Hazard);
+        {
+            let g = pin_domain(d);
+            unsafe { g.defer_unchecked(|| EBR_RAN.fetch_add(1, Ordering::SeqCst)) };
+        }
+        assert!(drain_domain_until(d, || EBR_RAN.load(Ordering::SeqCst) == 1));
+        let _ebr_blocker = pin_domain(d);
+        {
+            let g = pin_domain_with(d, Reclaimer::Hazard);
+            // Born long before the hazard blocker pinned (era 1 at the earliest
+            // is what `_hp_blocker` covers), so it stays covered until released —
+            // but the *EBR* blocker must be irrelevant. Use a fresh-born object:
+            let birth = g.current_era();
+            unsafe { g.defer_unchecked_born(birth, || HP_RAN.fetch_add(1, Ordering::SeqCst)) };
+        }
+        drop(_hp_blocker);
+        for _ in 0..64 {
+            if HP_RAN.load(Ordering::SeqCst) == 1 {
+                break;
+            }
+            pin_domain_with(d, Reclaimer::Hazard).flush();
+        }
+        assert_eq!(
+            HP_RAN.load(Ordering::SeqCst),
+            1,
+            "EBR pin of domain {d} stalled hazard reclamation"
+        );
+    }
+
+    /// The EBR exact gauges: pending rises at defer, falls on reclamation, hwm is
+    /// monotone (domain 29 untouched by other tests).
+    #[test]
+    fn ebr_domain_stats_track_pending_and_hwm() {
+        static RAN: AtomicUsize = AtomicUsize::new(0);
+        let d = 29;
+        assert_eq!(domain_stats(d, Reclaimer::Ebr), GarbageStats::default());
+        let n = 5u64;
+        {
+            let g = pin_domain(d);
+            for _ in 0..n {
+                unsafe { g.defer_unchecked(|| RAN.fetch_add(1, Ordering::SeqCst)) };
+            }
+        }
+        let stats = domain_stats(d, Reclaimer::Ebr);
+        assert_eq!(stats.pending, n);
+        assert_eq!(stats.hwm, n);
+        assert!(drain_domain_until(d, || RAN.load(Ordering::SeqCst) == n as usize));
+        let drained = domain_stats(d, Reclaimer::Ebr);
+        assert_eq!(drained.pending, 0);
+        assert_eq!(drained.hwm, n, "hwm must be monotone");
     }
 }
