@@ -23,6 +23,7 @@ use std::time::Duration;
 use skiptrie::{ShardedSkipTrie, SkipTrie, TieredForest, TieredSkipTrie};
 use skiptrie_baselines::{FullSkipList, LockedBTreeMap};
 use skiptrie_metrics::{self as metrics, Counter, Snapshot};
+use skiptrie_service::{Reply, Verb};
 use skiptrie_skiplist::SkipList;
 use skiptrie_workloads::{Op, WorkloadSpec};
 
@@ -69,6 +70,38 @@ pub trait ConcurrentPredecessorMap: Send + Sync {
     /// [`ConcurrentPredecessorMap::insert_batch`]).
     fn get_batch(&self, keys: &[u64]) -> usize {
         keys.iter().filter(|&&k| self.get(k).is_some()).count()
+    }
+    /// Removes and returns the entry with the largest key. The default is a
+    /// probe-then-remove loop over [`ConcurrentPredecessorMap::predecessor`]
+    /// (retrying lost races); structures with a native two-ended pop override it.
+    fn pop_last(&self) -> Option<(u64, u64)> {
+        loop {
+            let (key, _) = self.predecessor(u64::MAX)?;
+            if let Some(value) = self.remove(key) {
+                return Some((key, value));
+            }
+        }
+    }
+    /// Executes one serving-plane [`Verb`] against this structure. This is the
+    /// same request vocabulary the `skiptrie-service` pipeline serves, so a
+    /// structure benched directly and one benched behind the pipeline run
+    /// literally the same operations. One deliberate divergence:
+    /// [`Verb::Scan`] and the bulk verbs reply with [`Reply::Count`] here
+    /// (the bench facade counts entries rather than materializing them).
+    fn execute(&self, verb: &Verb) -> Reply {
+        match verb {
+            Verb::Get(k) => Reply::Value(self.get(*k)),
+            Verb::Insert(k, v) => Reply::Inserted(self.insert(*k, *v)),
+            Verb::Remove(k) => Reply::Removed(self.remove(*k)),
+            Verb::Predecessor(k) => Reply::Entry(self.predecessor(*k)),
+            Verb::Successor(k) => Reply::Entry(self.successor(*k)),
+            Verb::Scan { from, limit } => Reply::Count(self.scan(*from, *limit)),
+            Verb::PopFirst => Reply::Entry(self.pop_first()),
+            Verb::PopLast => Reply::Entry(self.pop_last()),
+            Verb::InsertBatch(entries) => Reply::Count(self.insert_batch(entries)),
+            Verb::RemoveBatch(keys) => Reply::Count(self.remove_batch(keys)),
+            Verb::GetBatch(keys) => Reply::Count(self.get_batch(keys)),
+        }
     }
 }
 
@@ -331,22 +364,21 @@ impl ConcurrentPredecessorMap for SkipList<u64> {
     }
 }
 
-/// Applies one workload operation to a structure.
-pub fn apply_op<M: ConcurrentPredecessorMap + ?Sized>(map: &M, op: Op) {
+/// Converts one workload operation into the serving-plane [`Verb`] it
+/// represents (inserts store value = key, like [`prefill`]).
+pub fn op_to_verb(op: Op) -> Verb {
     match op {
-        Op::Insert(k) => {
-            map.insert(k, k);
-        }
-        Op::Remove(k) => {
-            map.remove(k);
-        }
-        Op::Predecessor(k) => {
-            map.predecessor(k);
-        }
-        Op::Scan { from, limit } => {
-            map.scan(from, limit);
-        }
+        Op::Insert(k) => Verb::Insert(k, k),
+        Op::Remove(k) => Verb::Remove(k),
+        Op::Predecessor(k) => Verb::Predecessor(k),
+        Op::Scan { from, limit } => Verb::Scan { from, limit },
     }
+}
+
+/// Applies one workload operation to a structure, through the same
+/// [`Verb`] plane the serving pipeline executes.
+pub fn apply_op<M: ConcurrentPredecessorMap + ?Sized>(map: &M, op: Op) {
+    map.execute(&op_to_verb(op));
 }
 
 /// Inserts the workload's prefill keys (value = key).

@@ -140,6 +140,27 @@ where
     /// picked `i`.
     fn get_batch_picked(&self, keys: &[u64], order: &[usize], out: &mut [Option<V>]);
 
+    /// [`ShardEngine::insert_batch_picked`] with per-key outcomes: writes
+    /// `out[i] = true` for each picked `i` this call inserted. The serving
+    /// pipeline coalesces a connection's queued inserts through this so a
+    /// batched execution still answers every request individually. Defaults to
+    /// a per-op loop; engines with hint-threading batch paths override it.
+    fn insert_batch_picked_flags(&self, entries: &[(u64, V)], order: &[usize], out: &mut [bool]) {
+        for &i in order {
+            let (key, ref value) = entries[i];
+            out[i] = self.insert(key, value.clone());
+        }
+    }
+
+    /// [`ShardEngine::remove_batch_picked`] with per-key outcomes: writes
+    /// `out[i]` to the value removed under `keys[i]` (`None` if absent) for
+    /// each picked `i`. Defaults to a per-op loop.
+    fn remove_batch_picked_values(&self, keys: &[u64], order: &[usize], out: &mut [Option<V>]) {
+        for &i in order {
+            out[i] = self.remove(keys[i]);
+        }
+    }
+
     /// Single-owner `O(n)` construction from this shard's sorted, strictly
     /// increasing sub-slice; the shard must be empty. Returns the entry count.
     fn bulk_load(&mut self, entries: &[(u64, V)]) -> usize;
@@ -251,6 +272,14 @@ where
         SkipTrie::get_batch_picked(self, keys, order, out);
     }
 
+    fn insert_batch_picked_flags(&self, entries: &[(u64, V)], order: &[usize], out: &mut [bool]) {
+        SkipTrie::insert_batch_picked_flags(self, entries, order, out);
+    }
+
+    fn remove_batch_picked_values(&self, keys: &[u64], order: &[usize], out: &mut [Option<V>]) {
+        SkipTrie::remove_batch_picked_values(self, keys, order, out);
+    }
+
     fn bulk_load(&mut self, entries: &[(u64, V)]) -> usize {
         SkipTrie::bulk_load(self, entries.iter().cloned())
     }
@@ -352,6 +381,14 @@ where
 
     fn get_batch_picked(&self, keys: &[u64], order: &[usize], out: &mut [Option<V>]) {
         TieredSkipTrie::get_batch_picked(self, keys, order, out);
+    }
+
+    fn insert_batch_picked_flags(&self, entries: &[(u64, V)], order: &[usize], out: &mut [bool]) {
+        TieredSkipTrie::insert_batch_picked_flags(self, entries, order, out);
+    }
+
+    fn remove_batch_picked_values(&self, keys: &[u64], order: &[usize], out: &mut [Option<V>]) {
+        TieredSkipTrie::remove_batch_picked_values(self, keys, order, out);
     }
 
     fn bulk_load(&mut self, entries: &[(u64, V)]) -> usize {

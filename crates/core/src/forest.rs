@@ -83,6 +83,12 @@ pub struct ShardedSkipTrieConfig {
     /// Frozen-tier search algorithm for tiered engines (ignored by the plain
     /// [`SkipTrie`] engine); see [`FrozenSearch`].
     pub frozen_search: FrozenSearch,
+    /// Adapt each shard's merge watermark to its share of recent delta writes
+    /// (tiered engines under a [`TieredForest`](crate::TieredForest)
+    /// coordinator only): hot shards fold sooner, cold shards are left alone.
+    /// `merge_watermark` becomes the *base* (and ceiling) watermark. Ignored
+    /// without a configured watermark.
+    pub adaptive_watermark: bool,
     /// Reclamation substrate for every shard's epoch domain; see
     /// [`SkipTrieConfig::with_reclaimer`].
     pub reclaimer: Reclaimer,
@@ -115,6 +121,7 @@ impl ShardedSkipTrieConfig {
             hash_dir: DirectoryConfig::default(),
             merge_watermark: None,
             frozen_search: FrozenSearch::Eytzinger,
+            adaptive_watermark: false,
             reclaimer: Reclaimer::Ebr,
         }
     }
@@ -182,6 +189,14 @@ impl ShardedSkipTrieConfig {
     /// [`FrozenSearch`].
     pub fn with_frozen_search(mut self, search: FrozenSearch) -> Self {
         self.frozen_search = search;
+        self
+    }
+
+    /// Enables adaptive per-shard merge watermarks (tiered engines under a
+    /// forest coordinator only); see
+    /// [`ShardedSkipTrieConfig::adaptive_watermark`].
+    pub fn with_adaptive_watermark(mut self) -> Self {
+        self.adaptive_watermark = true;
         self
     }
 
@@ -685,6 +700,54 @@ where
             },
         );
         out
+    }
+
+    /// [`ShardedSkipTrie::insert_batch`] with per-key outcomes: writes
+    /// `out[i] = true` iff the call inserted `entries[i]` (within-batch
+    /// duplicates resolve in slice order, exactly as sequentially). The serving
+    /// pipeline's coalescer uses this so a batched execution still answers
+    /// every request individually.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any key does not fit in the configured universe, or if `out`
+    /// is shorter than `entries`.
+    pub fn insert_batch_flags(&self, entries: &[(u64, V)], out: &mut [bool]) {
+        assert!(
+            out.len() >= entries.len(),
+            "output buffer shorter than batch"
+        );
+        for &(key, _) in entries {
+            self.check_key(key);
+        }
+        self.group_by_shard(
+            entries.len(),
+            |i| entries[i].0,
+            |shard, group| {
+                self.shards[shard].insert_batch_picked_flags(entries, group, out);
+            },
+        );
+    }
+
+    /// [`ShardedSkipTrie::remove_batch`] with per-key outcomes: writes `out[i]`
+    /// to the value this call removed under `keys[i]` (`None` if absent).
+    ///
+    /// # Panics
+    ///
+    /// Panics if any key does not fit in the configured universe, or if `out`
+    /// is shorter than `keys`.
+    pub fn remove_batch_values(&self, keys: &[u64], out: &mut [Option<V>]) {
+        assert!(out.len() >= keys.len(), "output buffer shorter than batch");
+        for &key in keys {
+            self.check_key(key);
+        }
+        self.group_by_shard(
+            keys.len(),
+            |i| keys[i],
+            |shard, group| {
+                self.shards[shard].remove_batch_picked_values(keys, group, out);
+            },
+        );
     }
 
     // ------------------------------------------------------------------

@@ -665,6 +665,42 @@ where
         inserted
     }
 
+    /// [`SkipTrie::insert_batch_picked`] with per-key outcomes: writes
+    /// `out[i] = true` for each picked `i` this call inserted (slots of unpicked
+    /// indices are left untouched). The serving pipeline's coalescer uses this so
+    /// a batched execution still answers every request individually.
+    pub(crate) fn insert_batch_picked_flags(
+        &self,
+        entries: &[(u64, V)],
+        order: &[usize],
+        out: &mut [bool],
+    ) {
+        let guard = self.skiplist.pin();
+        let mut hint: Option<NodeRef<'_, V>> = None;
+        for &i in order {
+            let (key, ref value) = entries[i];
+            let start = self.batch_start(hint, key, &guard);
+            match self
+                .skiplist
+                .insert_from(key, value.clone(), Some(start), &guard)
+            {
+                skiptrie_skiplist::InsertOutcome::AlreadyPresent => {
+                    out[i] = false;
+                    hint = Some(start);
+                }
+                skiptrie_skiplist::InsertOutcome::Inserted { top_node } => {
+                    out[i] = true;
+                    if let Some(node) = top_node {
+                        self.insert_prefixes(key, node, &guard);
+                        hint = Some(node);
+                    } else {
+                        hint = Some(start);
+                    }
+                }
+            }
+        }
+    }
+
     /// Removes every key of `keys`, returning how many were present (and are now
     /// removed). Sorted and executed under one pin with threaded hints, exactly like
     /// [`SkipTrie::insert_batch`]; equivalent to — but faster than — calling
@@ -698,6 +734,25 @@ where
             hint = Some(start);
         }
         removed
+    }
+
+    /// [`SkipTrie::remove_batch_picked`] with per-key outcomes: writes `out[i]`
+    /// to the value this call removed under `keys[i]` (`None` if absent) for
+    /// each picked `i`.
+    pub(crate) fn remove_batch_picked_values(
+        &self,
+        keys: &[u64],
+        order: &[usize],
+        out: &mut [Option<V>],
+    ) {
+        let guard = self.skiplist.pin();
+        let mut hint: Option<NodeRef<'_, V>> = None;
+        for &i in order {
+            let key = keys[i];
+            let start = self.batch_start(hint, key, &guard);
+            out[i] = self.try_remove_exact(key, Some(start), &guard);
+            hint = Some(start);
+        }
     }
 
     /// Looks up every key of `keys`, returning the values **in input order**

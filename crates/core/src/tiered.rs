@@ -54,7 +54,7 @@
 
 use std::any::Any;
 use std::ops::RangeBounds;
-use std::sync::atomic::{AtomicBool, AtomicI64, AtomicPtr, AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicI64, AtomicPtr, AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
 
@@ -457,6 +457,17 @@ struct Inner<V> {
     /// Latched by the write that crosses the watermark (so only one writer pays
     /// the wake), cleared at seal time.
     merge_due: AtomicBool,
+    /// Live watermark override installed by an adaptive coordinator
+    /// ([`TieredSkipTrie::set_merge_watermark`]); 0 means "none — use the
+    /// configured watermark". Only consulted when a configured watermark exists.
+    watermark_override: AtomicUsize,
+    /// Cumulative delta writes over the structure's lifetime — never reset
+    /// (unlike `delta_writes`, which re-arms at every seal), so an adaptive
+    /// coordinator can difference two samples to estimate a shard's share of
+    /// recent write traffic. Only maintained when a watermark is configured.
+    total_delta_writes: AtomicU64,
+    /// Completed folds (merges that actually replaced the frozen tier).
+    merges: AtomicU64,
     /// Whoever should be unparked when the watermark trips: the structure's own
     /// merge thread, or a forest-level merge coordinator.
     waker: std::sync::Mutex<Option<std::thread::Thread>>,
@@ -509,8 +520,13 @@ where
     /// unparks the merge waker — the cost on every other write is one atomic add
     /// and one relaxed-ish load, nothing shared beyond the counter line.
     fn note_delta_write(&self) {
-        let Some(watermark) = self.config.merge_watermark else {
+        let Some(configured) = self.config.merge_watermark else {
             return;
+        };
+        self.total_delta_writes.fetch_add(1, Ordering::Relaxed);
+        let watermark = match self.watermark_override.load(Ordering::Relaxed) {
+            0 => configured,
+            adaptive => adaptive,
         };
         let writes = self.delta_writes.fetch_add(1, Ordering::SeqCst) + 1;
         if writes as usize >= watermark && !self.merge_due.swap(true, Ordering::SeqCst) {
@@ -669,6 +685,7 @@ where
             live: Arc::clone(&after_seal.live),
             sealed: None,
         });
+        self.merges.fetch_add(1, Ordering::SeqCst);
         self.merging.store(false, Ordering::SeqCst);
         true
     }
@@ -968,6 +985,9 @@ where
             net: AtomicI64::new(net),
             delta_writes: AtomicU64::new(0),
             merge_due: AtomicBool::new(false),
+            watermark_override: AtomicUsize::new(0),
+            total_delta_writes: AtomicU64::new(0),
+            merges: AtomicU64::new(0),
             waker: std::sync::Mutex::new(None),
             stop: AtomicBool::new(false),
         });
@@ -1275,6 +1295,50 @@ where
         })
     }
 
+    /// [`TieredSkipTrie::insert_batch_picked`] with per-key outcomes: writes
+    /// `out[i] = true` for each picked `i` this call inserted. The serving
+    /// pipeline's coalescer uses this so a batched execution still answers
+    /// every request individually.
+    pub(crate) fn insert_batch_picked_flags(
+        &self,
+        entries: &[(u64, V)],
+        order: &[usize],
+        out: &mut [bool],
+    ) {
+        let inner = &*self.inner;
+        for &i in order {
+            inner.check_key(entries[i].0);
+        }
+        let _guard = inner.pin();
+        inner.with_tiers(|t| {
+            for &i in order {
+                let (key, value) = &entries[i];
+                out[i] = inner.insert_in(t, *key, value);
+            }
+        });
+    }
+
+    /// [`TieredSkipTrie::remove_batch_picked`] with per-key outcomes: writes
+    /// `out[i]` to the value this call removed under `keys[i]` (`None` if
+    /// absent) for each picked `i`.
+    pub(crate) fn remove_batch_picked_values(
+        &self,
+        keys: &[u64],
+        order: &[usize],
+        out: &mut [Option<V>],
+    ) {
+        let inner = &*self.inner;
+        for &i in order {
+            inner.check_key(keys[i]);
+        }
+        let _guard = inner.pin();
+        inner.with_tiers(|t| {
+            for &i in order {
+                out[i] = inner.remove_in(t, keys[i]);
+            }
+        });
+    }
+
     /// Remove of a shard's picked batch group (see
     /// [`TieredSkipTrie::insert_batch_picked`]).
     pub(crate) fn remove_batch_picked(&self, keys: &[u64], order: &[usize]) -> usize {
@@ -1493,6 +1557,69 @@ where
     /// watermark policy).
     pub fn delta_writes(&self) -> u64 {
         self.inner.delta_writes.load(Ordering::SeqCst)
+    }
+
+    /// Cumulative delta writes over the structure's lifetime — unlike
+    /// [`TieredSkipTrie::delta_writes`] this is **never reset** by a seal, so an
+    /// adaptive coordinator can difference two samples to estimate this shard's
+    /// share of recent write traffic. Only maintained when a watermark is
+    /// configured (stays 0 otherwise).
+    pub fn total_delta_writes(&self) -> u64 {
+        self.inner.total_delta_writes.load(Ordering::Relaxed)
+    }
+
+    /// Completed folds over the structure's lifetime (merges that actually
+    /// replaced the frozen tier; empty-delta no-op merges do not count).
+    pub fn merge_count(&self) -> u64 {
+        self.inner.merges.load(Ordering::SeqCst)
+    }
+
+    /// Installs (or with `None` clears) a live override of the configured merge
+    /// watermark — the adaptive-watermark hook: a coordinator that sees this
+    /// shard taking a disproportionate share of write traffic lowers its
+    /// watermark so it folds sooner, and raises it back as traffic cools.
+    ///
+    /// Takes effect on subsequent delta writes; if the current delta has
+    /// *already* crossed the new watermark, the merge-due latch is armed and
+    /// the merge waker unparked immediately, so lowering the watermark never
+    /// waits for one more write. A no-op unless the structure was configured
+    /// with [`TieredSkipTrieConfig::with_merge_watermark`] (there is no
+    /// watermark machinery to override otherwise).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `watermark` is `Some(0)`.
+    pub fn set_merge_watermark(&self, watermark: Option<usize>) {
+        let value = watermark.unwrap_or(0);
+        assert!(
+            watermark != Some(0),
+            "merge watermark override must be positive (use None to clear)"
+        );
+        self.inner
+            .watermark_override
+            .store(value, Ordering::Relaxed);
+        if self.inner.config.merge_watermark.is_some() {
+            if let Some(new) = self.effective_merge_watermark() {
+                if self.inner.delta_writes.load(Ordering::SeqCst) as usize >= new
+                    && !self.inner.merge_due.swap(true, Ordering::SeqCst)
+                {
+                    self.inner.wake_merger();
+                }
+            }
+        }
+    }
+
+    /// The watermark currently in force: the live override if one is installed,
+    /// else the configured value (`None` when no watermark was configured —
+    /// overrides do not apply then).
+    pub fn effective_merge_watermark(&self) -> Option<usize> {
+        let configured = self.inner.config.merge_watermark?;
+        Some(
+            match self.inner.watermark_override.load(Ordering::Relaxed) {
+                0 => configured,
+                adaptive => adaptive,
+            },
+        )
     }
 
     /// Registers `thread` to be unparked when the watermark trips, replacing the

@@ -33,9 +33,88 @@ use std::ops::Deref;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
+use std::time::Duration;
 
 use crate::forest::{ShardedSkipTrie, ShardedSkipTrieConfig};
 use crate::tiered::TieredSkipTrie;
+
+/// How often the adaptive coordinator re-weights per-shard watermarks. A
+/// watermark crossing still unparks the coordinator immediately — the timeout
+/// only bounds how stale the write-share estimate can get.
+const ADAPT_INTERVAL: Duration = Duration::from_millis(1);
+
+/// EWMA smoothing factor per re-weighting pass (weight of the newest sample).
+const ADAPT_ALPHA: f64 = 0.5;
+
+/// Write-share tracking behind adaptive per-shard watermarks (see
+/// [`ShardedSkipTrieConfig::adaptive_watermark`]): the coordinator samples each
+/// shard's cumulative delta-write counter, maintains an EWMA of its share of
+/// recent write traffic, and scales the shard's watermark to
+/// `base * fair_share / share` — a shard drawing exactly its fair `1/S` of the
+/// writes keeps the configured base; a shard drawing everything folds at
+/// `base / S`; cold shards clamp at the base (adaptivity only ever *lowers*
+/// a watermark below the configured value, never raises it above).
+struct AdaptState {
+    base: usize,
+    last_totals: Vec<u64>,
+    share: Vec<f64>,
+}
+
+impl AdaptState {
+    fn new<V: Clone + Send + Sync + 'static>(
+        forest: &ShardedSkipTrie<V, TieredSkipTrie<V>>,
+        base: usize,
+    ) -> Self {
+        let shards = forest.shard_count();
+        AdaptState {
+            base,
+            last_totals: (0..shards)
+                .map(|i| forest.shard(i).total_delta_writes())
+                .collect(),
+            share: vec![0.0; shards],
+        }
+    }
+
+    /// One re-weighting pass. Installing a lower watermark on a shard whose
+    /// delta has already crossed it latches that shard's merge-due flag
+    /// immediately (see [`TieredSkipTrie::set_merge_watermark`]), so the
+    /// `fold_due` sweep that follows this call picks it up in the same pass.
+    fn rebalance<V: Clone + Send + Sync + 'static>(
+        &mut self,
+        forest: &ShardedSkipTrie<V, TieredSkipTrie<V>>,
+    ) {
+        let shards = forest.shard_count();
+        let mut deltas = vec![0u64; shards];
+        let mut window = 0u64;
+        for (i, delta) in deltas.iter_mut().enumerate() {
+            let total = forest.shard(i).total_delta_writes();
+            *delta = total - self.last_totals[i];
+            self.last_totals[i] = total;
+            window += *delta;
+        }
+        if window == 0 {
+            // No writes since the last pass: keep the current estimate and
+            // overrides rather than decaying toward "everything is cold".
+            return;
+        }
+        let fair = 1.0 / shards as f64;
+        // Never below 1/4 of the perfectly-hot watermark: the estimate is an
+        // EWMA of finite samples, and a floor keeps a noise spike from folding
+        // a shard on every handful of writes.
+        let floor = ((self.base as f64 * fair / 4.0) as usize).max(1);
+        for (i, &delta) in deltas.iter().enumerate() {
+            let sample = delta as f64 / window as f64;
+            self.share[i] = (1.0 - ADAPT_ALPHA) * self.share[i] + ADAPT_ALPHA * sample;
+            let shard = forest.shard(i);
+            if self.share[i] <= fair {
+                shard.set_merge_watermark(None);
+            } else {
+                let scaled = (self.base as f64 * fair / self.share[i]) as usize;
+                shard.set_merge_watermark(Some(scaled.clamp(floor, self.base)));
+            }
+        }
+    }
+}
 
 /// A sharded forest of tiered (frozen + delta) engines with one background
 /// merge coordinator.
@@ -108,13 +187,32 @@ impl<V: Clone + Send + Sync + 'static> TieredForest<V> {
         let stop = Arc::new(AtomicBool::new(false));
         let worker_forest = Arc::clone(&forest);
         let worker_stop = Arc::clone(&stop);
+        let adaptive_base = forest
+            .config()
+            .adaptive_watermark
+            .then_some(forest.config().merge_watermark)
+            .flatten();
         let handle = std::thread::Builder::new()
             .name("tiered-forest-coordinator".into())
             .spawn(move || {
+                let mut adapt =
+                    adaptive_base.map(|base| AdaptState::new(worker_forest.as_ref(), base));
                 while !worker_stop.load(Ordering::SeqCst) {
-                    std::thread::park();
+                    match &adapt {
+                        // Watermark crossings unpark us either way; the adaptive
+                        // mode additionally wakes on a timer so write-share
+                        // estimates stay fresh even while no shard is due.
+                        None => std::thread::park(),
+                        Some(_) => std::thread::park_timeout(ADAPT_INTERVAL),
+                    }
                     if worker_stop.load(Ordering::SeqCst) {
                         break;
+                    }
+                    if let Some(state) = adapt.as_mut() {
+                        // Rebalance first: a lowered watermark that the shard's
+                        // delta has already crossed latches merge-due, and the
+                        // fold sweep right below picks it up in the same pass.
+                        state.rebalance(worker_forest.as_ref());
                     }
                     Self::fold_due(&worker_forest, merge_stripe);
                 }
@@ -315,6 +413,68 @@ mod tests {
         let scanned: Vec<u64> = forest.range(..).map(|(k, _)| k).collect();
         assert_eq!(scanned.len(), forest.len());
         assert!(scanned.windows(2).all(|w| w[0] < w[1]));
+    }
+
+    #[test]
+    fn adaptive_watermark_folds_hot_shard_sooner() {
+        // Base watermark 100k: with 60k hot-shard writes no shard would EVER
+        // fold without adaptation. The adaptive coordinator must observe the
+        // skew (hot shard takes ~98% of writes vs a fair share of 25%), lower
+        // the hot shard's watermark toward base/S = 25k, and fold it — while
+        // the cold shards stay clamped at the base and never fold.
+        let config = ShardedSkipTrieConfig::for_universe_bits(16)
+            .with_shards(4)
+            .with_merge_watermark(100_000)
+            .with_adaptive_watermark();
+        let forest: TieredForest<u64> = TieredForest::new(config);
+        let shard_span = 1u64 << 14; // universe 16 bits, 4 shards
+                                     // Cold traffic: 300 writes into each of shards 1..=3.
+        for shard in 1..4u64 {
+            for k in 0..300u64 {
+                forest.insert(shard * shard_span + (k % shard_span), k);
+            }
+        }
+        // Hot traffic: 60k delta writes into shard 0 (inserts + removes both
+        // count), spread over time so the 1ms re-weighting timer gets samples.
+        for k in 0..30_000u64 {
+            let key = k % shard_span;
+            forest.insert(key, k);
+            forest.remove(key);
+        }
+        let hot = forest.shard(0);
+        let deadline = std::time::Instant::now() + std::time::Duration::from_secs(20);
+        while hot.merge_count() == 0 {
+            assert!(
+                std::time::Instant::now() < deadline,
+                "adaptive coordinator never folded the hot shard: \
+                 effective watermark {:?}, delta_writes {}",
+                hot.effective_merge_watermark(),
+                hot.delta_writes()
+            );
+            std::thread::yield_now();
+        }
+        let hot_watermark = hot.effective_merge_watermark().unwrap();
+        assert!(
+            hot_watermark < 100_000,
+            "hot shard's watermark must drop below the base, got {hot_watermark}"
+        );
+        assert!(
+            hot_watermark >= 6_250,
+            "the floor (base/(4S)) bounds how far adaptation can drop, got {hot_watermark}"
+        );
+        for shard in 1..4 {
+            let cold = forest.shard(shard);
+            assert_eq!(
+                cold.merge_count(),
+                0,
+                "cold shard {shard} (300 writes, watermark >= base/…) must not fold"
+            );
+            assert_eq!(
+                cold.effective_merge_watermark(),
+                Some(100_000),
+                "cold shard {shard} stays at the configured base"
+            );
+        }
     }
 
     #[test]

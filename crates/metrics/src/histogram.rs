@@ -131,6 +131,75 @@ impl Histogram {
         self.max
     }
 
+    /// An upper bound on the value at quantile `q` — the serving pipeline's
+    /// primary quantile entry point; identical to [`Histogram::value_at_quantile`].
+    ///
+    /// # Error bound
+    ///
+    /// Let `v > 0` be the true value at quantile `q`. It lands in bucket
+    /// `i = floor(log2 v)`, and the reported bound is `min(2^(i+1) - 1, max)`,
+    /// so the report `U` satisfies `v <= U <= 2v - 1 < 2v`: quantiles are never
+    /// under-reported and over-report by strictly less than 2× (exactly 1× at
+    /// powers of two, and whenever the clamp to the recorded maximum engages).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `q` is not within `0.0..=1.0`.
+    pub fn quantile(&self, q: f64) -> u64 {
+        self.value_at_quantile(q)
+    }
+
+    /// Extracts several quantiles in one pass over the buckets.
+    ///
+    /// Same per-quantile bound as [`Histogram::quantile`]. Returns one value per
+    /// requested quantile, in input order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the quantiles are not sorted ascending or any falls outside
+    /// `0.0..=1.0`.
+    pub fn quantiles(&self, qs: &[f64]) -> Vec<u64> {
+        for pair in qs.windows(2) {
+            assert!(pair[0] <= pair[1], "quantiles must be sorted ascending");
+        }
+        let mut out = Vec::with_capacity(qs.len());
+        let mut seen = 0u64;
+        let mut bucket = 0usize;
+        for &q in qs {
+            assert!((0.0..=1.0).contains(&q), "quantile must be in [0,1]");
+            if self.count == 0 {
+                out.push(0);
+                continue;
+            }
+            let target = (q * self.count as f64).ceil().max(1.0) as u64;
+            while bucket < NUM_BUCKETS && seen + self.buckets[bucket] < target {
+                seen += self.buckets[bucket];
+                bucket += 1;
+            }
+            out.push(if bucket < NUM_BUCKETS {
+                Self::bucket_upper(bucket).min(self.max)
+            } else {
+                self.max
+            });
+        }
+        out
+    }
+
+    /// Median upper bound — `quantile(0.5)`.
+    pub fn p50(&self) -> u64 {
+        self.quantile(0.5)
+    }
+
+    /// 99th-percentile upper bound — `quantile(0.99)`.
+    pub fn p99(&self) -> u64 {
+        self.quantile(0.99)
+    }
+
+    /// 99.9th-percentile upper bound — `quantile(0.999)`.
+    pub fn p999(&self) -> u64 {
+        self.quantile(0.999)
+    }
+
     /// Merges another histogram into this one.
     pub fn merge(&mut self, other: &Histogram) {
         for (a, b) in self.buckets.iter_mut().zip(other.buckets.iter()) {
@@ -274,6 +343,94 @@ mod tests {
     #[should_panic(expected = "quantile")]
     fn quantile_out_of_range_panics() {
         Histogram::new().value_at_quantile(1.5);
+    }
+
+    #[test]
+    fn quantile_exact_at_bucket_boundaries() {
+        // Powers of two sit exactly at a bucket's lower edge and are reported
+        // exactly (the clamp to the recorded max engages).
+        for k in 0..64u32 {
+            let v = 1u64 << k.min(63);
+            let mut h = Histogram::new();
+            h.record(v);
+            assert_eq!(h.quantile(0.5), v, "2^{k} round-trips exactly");
+            assert_eq!(h.quantile(1.0), v, "2^{k} round-trips exactly");
+        }
+        // A bucket's inclusive upper edge (2^(k+1) - 1) also round-trips exactly.
+        for k in 0..62u32 {
+            let v = (1u64 << (k + 1)) - 1;
+            let mut h = Histogram::new();
+            h.record(v);
+            assert_eq!(h.quantile(1.0), v, "2^({k}+1)-1 round-trips exactly");
+        }
+    }
+
+    #[test]
+    fn quantile_error_bound_under_2x() {
+        // The documented bound: for any recorded v > 0, the reported quantile U
+        // satisfies v <= U < 2v. Exercise odd values across the full range.
+        for k in 0..63u32 {
+            for offset in [0u64, 1, 3] {
+                let v = (1u64 << k) + offset;
+                let mut h = Histogram::new();
+                h.record(v);
+                let u = h.quantile(1.0);
+                assert!(u >= v, "quantile {u} under-reports {v}");
+                assert!((u as u128) < 2 * v as u128, "quantile {u} >= 2x {v}");
+            }
+        }
+    }
+
+    #[test]
+    fn quantile_regression_pr3_off_by_one() {
+        // Before the PR 3 fix bucket_index returned floor(log2 v) + 1, so 1 and
+        // 2 shared bucket 1 and the median of {1, 2} reported as 2 (bucket
+        // upper 3 clamped to max). The fixed invariant keeps them apart.
+        assert_eq!(Histogram::bucket_index(1), 0);
+        assert_eq!(Histogram::bucket_index(2), 1);
+        let mut h = Histogram::new();
+        h.record(1);
+        h.record(2);
+        assert_eq!(h.quantile(0.5), 1, "median of {{1,2}} is bucket 0's bound");
+        assert_eq!(h.quantile(1.0), 2);
+    }
+
+    #[test]
+    fn quantiles_single_pass_matches_individual_calls() {
+        let mut h = Histogram::new();
+        for v in [1u64, 3, 9, 80, 81, 1000, 65_536, 1 << 33] {
+            h.record(v);
+        }
+        let qs = [0.0, 0.25, 0.5, 0.9, 0.99, 0.999, 1.0];
+        let batch = h.quantiles(&qs);
+        for (&q, &got) in qs.iter().zip(batch.iter()) {
+            assert_eq!(got, h.quantile(q), "quantiles() diverges at q={q}");
+        }
+        // Empty histogram: all zeros, no panic.
+        assert_eq!(Histogram::new().quantiles(&qs), vec![0; qs.len()]);
+    }
+
+    #[test]
+    #[should_panic(expected = "sorted")]
+    fn quantiles_reject_unsorted_input() {
+        let mut h = Histogram::new();
+        h.record(5);
+        h.quantiles(&[0.9, 0.5]);
+    }
+
+    #[test]
+    fn p50_p99_p999_convenience() {
+        let mut h = Histogram::new();
+        for v in 1..=1000u64 {
+            h.record(v);
+        }
+        assert_eq!(h.p50(), h.quantile(0.5));
+        assert_eq!(h.p99(), h.quantile(0.99));
+        assert_eq!(h.p999(), h.quantile(0.999));
+        assert!(h.p50() <= h.p99() && h.p99() <= h.p999());
+        // p999 of 1..=1000 targets rank 999; the bound must cover 999 and stay
+        // under 2x the true maximum.
+        assert!(h.p999() >= 999 && h.p999() < 2000);
     }
 
     #[test]

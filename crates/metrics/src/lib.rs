@@ -43,9 +43,11 @@ use std::time::{Duration, Instant};
 use serde::{Deserialize, Serialize};
 
 mod histogram;
+mod latency;
 mod stopwatch;
 
 pub use histogram::Histogram;
+pub use latency::LatencyClasses;
 pub use stopwatch::Stopwatch;
 
 /// Categories of shared-memory steps counted by the instrumentation.
@@ -110,6 +112,18 @@ pub use stopwatch::Stopwatch;
 ///   protect→re-validate loop again.
 /// * [`Counter::HpScan`] — scans of a thread's retired list against the published
 ///   hazard intervals (the hazard substrate's collection step).
+/// * [`Counter::SvcEnqueued`] / [`Counter::SvcShed`] — requests accepted into a
+///   serving-pipeline mailbox versus rejected at admission because the
+///   connection's lane was full (`enqueued + shed == submitted` per connection).
+///   A growing `svc_shed` under load is the observable form of backpressure:
+///   queues are bounded, so overload sheds instead of growing memory. Exact
+///   asserts on these are only sound in test binaries where no other test drives
+///   a service concurrently (process-wide counters; use `>=` deltas elsewhere).
+/// * [`Counter::SvcBatchSize`] — total requests executed through a coalesced
+///   batch call (`get_batch`/`insert_batch_flags`/`remove_batch_values`), i.e.
+///   the sum of batch lengths ≥ 2; divide by the number of `TierHit`-style batch
+///   executions a harness counts itself to get a mean. Same isolation caveat as
+///   the other service counters.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
 #[allow(missing_docs)]
 pub enum Counter {
@@ -144,11 +158,14 @@ pub enum Counter {
     GarbageHwm,
     HpProtectRetry,
     HpScan,
+    SvcEnqueued,
+    SvcShed,
+    SvcBatchSize,
 }
 
 impl Counter {
     /// All counters, in a stable order used for display and serialization.
-    pub const ALL: [Counter; 31] = [
+    pub const ALL: [Counter; 34] = [
         Counter::PtrRead,
         Counter::HashOp,
         Counter::CasAttempt,
@@ -180,6 +197,9 @@ impl Counter {
         Counter::GarbageHwm,
         Counter::HpProtectRetry,
         Counter::HpScan,
+        Counter::SvcEnqueued,
+        Counter::SvcShed,
+        Counter::SvcBatchSize,
     ];
 
     /// Number of distinct counters.
@@ -226,6 +246,9 @@ impl Counter {
             Counter::GarbageHwm => "garbage_hwm",
             Counter::HpProtectRetry => "hp_protect_retry",
             Counter::HpScan => "hp_scan",
+            Counter::SvcEnqueued => "svc_enqueued",
+            Counter::SvcShed => "svc_shed",
+            Counter::SvcBatchSize => "svc_batch_size",
         }
     }
 }

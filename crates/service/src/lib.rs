@@ -1,0 +1,31 @@
+//! One request plane from wire to shard for the SkipTrie forest.
+//!
+//! This crate is the serving pipeline layer of the reproduction: every
+//! operation — point, ordered, range, pop or bulk — enters as a [`Request`]
+//! (a [`Verb`] plus the caller's *virtual* send time), is routed by the top
+//! key bits to a shared-nothing **thread-per-shard** executor over bounded
+//! SPSC mailboxes, optionally coalesced with its queue neighbours into the
+//! router's batch entry points, and leaves as a [`Response`] carrying enough
+//! timestamps to report both coordinated-omission-inclusive and
+//! service-time-only latency per [`OpClass`].
+//!
+//! Bounded queues make overload a *measured* state instead of a hidden one:
+//! admission rejects requests past the per-lane in-flight cap
+//! (`SKIPTRIE_SVC_QUEUE_CAP`), and the `SvcEnqueued` / `SvcShed` /
+//! `SvcBatchSize` counters in `skiptrie-metrics` expose exactly how much was
+//! accepted, refused and coalesced.
+//!
+//! Entry points: build a [`Service`] over an `Arc<ShardedSkipTrie<u64, E>>`
+//! (e.g. a `TieredForest`'s router), open one [`Connection`] per client
+//! thread, and drive it open-loop with `skiptrie-workloads`' `LoadDriver`.
+//! See `DESIGN.md` §"Serving pipeline" and experiment E16.
+
+#![warn(missing_docs)]
+
+mod request;
+mod service;
+mod spsc;
+
+pub use request::{OpClass, Reply, Request, Response, Verb};
+pub use service::{Connection, Service, ServiceConfig};
+pub use spsc::Spsc;

@@ -1,0 +1,673 @@
+//! The serving pipeline: thread-per-shard executors behind bounded SPSC
+//! mailboxes, with per-connection coalescing and admission-based backpressure.
+//!
+//! # Architecture
+//!
+//! A [`Service`] wraps a shard router (`ShardedSkipTrie`) and spawns **one
+//! worker thread per shard**. Each [`Connection`] owns one *lane* per shard — a
+//! pair of bounded SPSC rings (requests in, responses out) plus in-flight
+//! accounting — so every ring in the system has exactly one producer and one
+//! consumer and needs no CAS.
+//!
+//! * **Routing.** Point verbs go to the worker owning `shard_of(key)`. Ordered
+//!   and range verbs route by their probe key but the worker executes them
+//!   through the *router*, so read-only stepping across shard boundaries works.
+//!   Pop and caller-supplied batch verbs are **fenced**: the connection waits
+//!   for its own in-flight requests to complete, then executes the verb inline
+//!   on the submitting thread (preserving per-connection program order without
+//!   cross-worker coordination).
+//! * **Backpressure.** Admission requires `submitted - drained < queue_cap`
+//!   per lane. Because a response is only produced after its request leaves
+//!   the request ring, this single check bounds *both* rings; a full lane
+//!   rejects the request ([`Connection::submit`] returns it) and bumps
+//!   [`Counter::SvcShed`]. Nothing in the pipeline blocks or grows without
+//!   bound.
+//! * **Coalescing.** A worker drains each lane in FIFO order up to
+//!   `coalesce` requests per pass and executes *adjacent runs of same-kind
+//!   point verbs* through the router's batch entry points
+//!   (`get_batch` / `insert_batch_flags` / `remove_batch_values`), which sort
+//!   once and thread successor hints through each shard run. Replies stay
+//!   per-request exact. Runs of length ≥ 2 bump [`Counter::SvcBatchSize`] by
+//!   the run length.
+//!
+//! # Knobs
+//!
+//! * `SKIPTRIE_SVC_QUEUE_CAP` — per-lane in-flight bound (default 1024).
+//! * `SKIPTRIE_SVC_COALESCE` — max requests a worker drains from one lane per
+//!   pass, which is also the max coalesced-run length (default 64).
+//!
+//! Both parse fail-loud through the same knob machinery as every other
+//! `SKIPTRIE_*` variable: a malformed value panics with the offending text
+//! instead of being silently ignored.
+
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
+use std::thread::{self, JoinHandle, Thread};
+use std::time::{Duration, Instant};
+
+use skiptrie::{ShardEngine, ShardedSkipTrie};
+use skiptrie_metrics::{add, record, Counter, LatencyClasses};
+use skiptrie_workloads::harness::env_knob;
+
+use crate::request::{OpClass, Reply, Request, Response, Verb};
+use crate::spsc::Spsc;
+
+/// How long a worker sleeps when its lanes are empty before re-polling on its
+/// own. The sleeping-flag handshake makes producer wakeups prompt; the timeout
+/// only bounds the damage of a lost-wakeup race.
+const IDLE_PARK: Duration = Duration::from_millis(1);
+
+/// Tuning for a [`Service`], normally read from the environment.
+#[derive(Clone, Copy, Debug)]
+pub struct ServiceConfig {
+    /// Per-(connection, shard) in-flight bound; both mailbox rings are sized
+    /// to this. Rounded up to a power of two.
+    pub queue_cap: usize,
+    /// Max requests a worker drains from one lane per pass (= max coalesced
+    /// run length).
+    pub coalesce: usize,
+}
+
+impl Default for ServiceConfig {
+    fn default() -> Self {
+        ServiceConfig {
+            queue_cap: 1024,
+            coalesce: 64,
+        }
+    }
+}
+
+impl ServiceConfig {
+    /// Reads `SKIPTRIE_SVC_QUEUE_CAP` / `SKIPTRIE_SVC_COALESCE`, falling back
+    /// to the defaults (1024 / 64). Panics on malformed or zero values.
+    pub fn from_env() -> Self {
+        let default = ServiceConfig::default();
+        let config = ServiceConfig {
+            queue_cap: env_knob("SKIPTRIE_SVC_QUEUE_CAP").unwrap_or(default.queue_cap),
+            coalesce: env_knob("SKIPTRIE_SVC_COALESCE").unwrap_or(default.coalesce),
+        };
+        assert!(
+            config.queue_cap > 0,
+            "SKIPTRIE_SVC_QUEUE_CAP must be positive"
+        );
+        assert!(
+            config.coalesce > 0,
+            "SKIPTRIE_SVC_COALESCE must be positive"
+        );
+        config
+    }
+}
+
+/// A request in flight between a connection and a shard worker.
+struct Envelope {
+    seq: u64,
+    verb: Verb,
+    submit_ns: u64,
+    enqueue_ns: u64,
+}
+
+/// One (connection, shard) mailbox pair. The connection produces requests and
+/// consumes responses; the shard worker does the opposite; `completed` is the
+/// only cross-thread counter (worker writes, connection reads).
+struct Lane {
+    requests: Spsc<Envelope>,
+    responses: Spsc<Response>,
+    completed: AtomicU64,
+}
+
+/// Per-shard worker bookkeeping shared between the service, its connections,
+/// and the worker thread itself.
+struct WorkerSlot {
+    /// Lanes registered by connections. Workers keep a local snapshot and only
+    /// take this lock when `version` moves.
+    lanes: Mutex<Vec<Arc<Lane>>>,
+    version: AtomicUsize,
+    sleeping: AtomicBool,
+    thread: OnceLock<Thread>,
+}
+
+impl WorkerSlot {
+    fn new() -> Self {
+        WorkerSlot {
+            lanes: Mutex::new(Vec::new()),
+            version: AtomicUsize::new(0),
+            sleeping: AtomicBool::new(false),
+            thread: OnceLock::new(),
+        }
+    }
+
+    fn wake(&self) {
+        if self.sleeping.load(Ordering::SeqCst) {
+            if let Some(thread) = self.thread.get() {
+                thread.unpark();
+            }
+        }
+    }
+}
+
+struct Shared<E: ShardEngine<u64>> {
+    router: Arc<ShardedSkipTrie<u64, E>>,
+    config: ServiceConfig,
+    start: Instant,
+    stop: AtomicBool,
+    workers: Vec<WorkerSlot>,
+    /// Latency from *virtual send time* to completion — the
+    /// coordinated-omission-inclusive figure.
+    virtual_latency: LatencyClasses,
+    /// Latency from mailbox admission to completion — pure service time.
+    service_latency: LatencyClasses,
+}
+
+impl<E: ShardEngine<u64>> Shared<E> {
+    fn now_ns(&self) -> u64 {
+        self.start.elapsed().as_nanos() as u64
+    }
+
+    /// Executes one verb against the router. Single entry point shared by the
+    /// shard workers (routed verbs) and the connections (fenced verbs), so
+    /// pipeline and direct execution cannot drift apart semantically.
+    fn execute_verb(&self, verb: &Verb) -> Reply {
+        match verb {
+            Verb::Get(key) => Reply::Value(self.router.get(*key)),
+            Verb::Insert(key, value) => Reply::Inserted(self.router.insert(*key, *value)),
+            Verb::Remove(key) => Reply::Removed(self.router.remove(*key)),
+            Verb::Predecessor(key) => Reply::Entry(self.router.predecessor(*key)),
+            Verb::Successor(key) => Reply::Entry(self.router.successor(*key)),
+            Verb::Scan { from, limit } => {
+                Reply::Entries(self.router.range(*from..).take(*limit).collect())
+            }
+            Verb::PopFirst => Reply::Entry(self.router.pop_first()),
+            Verb::PopLast => Reply::Entry(self.router.pop_last()),
+            Verb::InsertBatch(entries) => Reply::Count(self.router.insert_batch(entries)),
+            Verb::RemoveBatch(keys) => Reply::Count(self.router.remove_batch(keys)),
+            Verb::GetBatch(keys) => Reply::Count(
+                self.router
+                    .get_batch(keys)
+                    .iter()
+                    .filter(|v| v.is_some())
+                    .count(),
+            ),
+        }
+    }
+
+    fn record_latency(&self, response: &Response) {
+        let class = response.class.index();
+        self.virtual_latency
+            .record(class, response.virtual_latency_ns());
+        self.service_latency
+            .record(class, response.service_latency_ns());
+    }
+}
+
+/// Which batchable point kind a verb is, for run coalescing.
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum PointKind {
+    Get,
+    Insert,
+    Remove,
+}
+
+fn point_kind(verb: &Verb) -> Option<PointKind> {
+    match verb {
+        Verb::Get(_) => Some(PointKind::Get),
+        Verb::Insert(_, _) => Some(PointKind::Insert),
+        Verb::Remove(_) => Some(PointKind::Remove),
+        _ => None,
+    }
+}
+
+/// The serving pipeline over a shard router. See the [crate docs](crate) for
+/// the architecture; construct with [`Service::new`] (or
+/// [`Service::from_env`]) and open per-thread [`Connection`]s with
+/// [`Service::connect`].
+///
+/// Dropping the service stops and joins every shard worker; requests already
+/// admitted are completed first.
+pub struct Service<E: ShardEngine<u64>> {
+    shared: Arc<Shared<E>>,
+    handles: Vec<JoinHandle<()>>,
+}
+
+impl<E: ShardEngine<u64>> Service<E> {
+    /// Spawns one worker thread per shard of `router`.
+    pub fn new(router: Arc<ShardedSkipTrie<u64, E>>, config: ServiceConfig) -> Self {
+        assert!(config.queue_cap > 0, "queue_cap must be positive");
+        assert!(config.coalesce > 0, "coalesce must be positive");
+        let shards = router.shard_count();
+        let labels = OpClass::labels();
+        let shared = Arc::new(Shared {
+            router,
+            config,
+            start: Instant::now(),
+            stop: AtomicBool::new(false),
+            workers: (0..shards).map(|_| WorkerSlot::new()).collect(),
+            virtual_latency: LatencyClasses::new(&labels),
+            service_latency: LatencyClasses::new(&labels),
+        });
+        let handles: Vec<JoinHandle<()>> = (0..shards)
+            .map(|shard| {
+                let shared = Arc::clone(&shared);
+                thread::Builder::new()
+                    .name(format!("svc-shard-{shard}"))
+                    .spawn(move || worker_loop(&shared, shard))
+                    .expect("spawn service shard worker")
+            })
+            .collect();
+        for (slot, handle) in shared.workers.iter().zip(&handles) {
+            slot.thread
+                .set(handle.thread().clone())
+                .expect("worker thread handle set once");
+        }
+        Service { shared, handles }
+    }
+
+    /// [`Service::new`] with [`ServiceConfig::from_env`].
+    pub fn from_env(router: Arc<ShardedSkipTrie<u64, E>>) -> Self {
+        Service::new(router, ServiceConfig::from_env())
+    }
+
+    /// Opens a connection: one bounded lane per shard, registered with each
+    /// shard worker. Connections are single-threaded handles — open one per
+    /// client thread.
+    pub fn connect(&self) -> Connection<E> {
+        let cap = self.shared.config.queue_cap;
+        let lanes: Vec<LaneState> = (0..self.shared.workers.len())
+            .map(|shard| {
+                let lane = Arc::new(Lane {
+                    requests: Spsc::with_capacity(cap),
+                    responses: Spsc::with_capacity(cap),
+                    completed: AtomicU64::new(0),
+                });
+                let slot = &self.shared.workers[shard];
+                slot.lanes.lock().unwrap().push(Arc::clone(&lane));
+                slot.version.fetch_add(1, Ordering::Release);
+                slot.wake();
+                LaneState {
+                    lane,
+                    submitted: 0,
+                    drained: 0,
+                }
+            })
+            .collect();
+        Connection {
+            shared: Arc::clone(&self.shared),
+            lanes,
+            inline: VecDeque::new(),
+            next_seq: 0,
+            next_drain: 0,
+        }
+    }
+
+    /// Nanoseconds since this service started — the clock every
+    /// [`Request::submit_ns`] and [`Response`] timestamp lives on.
+    pub fn now_ns(&self) -> u64 {
+        self.shared.now_ns()
+    }
+
+    /// Per-class latency measured from *virtual send time* to completion.
+    /// Under overload this includes the queueing the arrival schedule implies
+    /// (no coordinated omission).
+    pub fn virtual_latency(&self) -> &LatencyClasses {
+        &self.shared.virtual_latency
+    }
+
+    /// Per-class latency measured from mailbox admission to completion:
+    /// service time only. The gap between this and
+    /// [`Service::virtual_latency`] *is* the coordinated-omission error a
+    /// closed-loop harness would hide.
+    pub fn service_latency(&self) -> &LatencyClasses {
+        &self.shared.service_latency
+    }
+
+    /// The router this service executes against.
+    pub fn router(&self) -> &Arc<ShardedSkipTrie<u64, E>> {
+        &self.shared.router
+    }
+}
+
+impl<E: ShardEngine<u64>> Drop for Service<E> {
+    fn drop(&mut self) {
+        self.shared.stop.store(true, Ordering::SeqCst);
+        for slot in &self.shared.workers {
+            if let Some(thread) = slot.thread.get() {
+                thread.unpark();
+            }
+        }
+        for handle in self.handles.drain(..) {
+            handle.join().expect("service shard worker panicked");
+        }
+    }
+}
+
+/// Connection-private view of one lane: the shared mailboxes plus the
+/// admission counters only this connection touches.
+struct LaneState {
+    lane: Arc<Lane>,
+    /// Requests pushed into `lane.requests` (written only by the connection).
+    submitted: u64,
+    /// Responses popped from `lane.responses` (written only by the connection).
+    drained: u64,
+}
+
+impl LaneState {
+    fn in_flight(&self) -> u64 {
+        self.submitted - self.drained
+    }
+}
+
+/// A single-threaded client handle onto a [`Service`].
+///
+/// Submit with [`Connection::submit`]; collect completions with
+/// [`Connection::poll`], [`Connection::drain`] or [`Connection::wait_idle`].
+/// Responses for routed verbs arrive in per-shard FIFO order; fenced verbs
+/// (pop / caller-supplied batch) complete before `submit` returns and are
+/// delivered by the next `poll`.
+pub struct Connection<E: ShardEngine<u64>> {
+    shared: Arc<Shared<E>>,
+    lanes: Vec<LaneState>,
+    /// Responses of fenced verbs, handed out by `poll` ahead of lane traffic.
+    inline: VecDeque<Response>,
+    next_seq: u64,
+    next_drain: usize,
+}
+
+impl<E: ShardEngine<u64>> Connection<E> {
+    /// Submits one request. Returns the request's sequence number, or gives
+    /// the verb back if the owning lane is at capacity (backpressure) or the
+    /// service is shutting down — both count as [`Counter::SvcShed`].
+    ///
+    /// `submit_ns` is the virtual send time on the service clock
+    /// ([`Service::now_ns`] / [`Connection::now_ns`]); closed-loop callers
+    /// just pass "now".
+    pub fn submit(&mut self, request: Request) -> Result<u64, Verb> {
+        let Request { verb, submit_ns } = request;
+        if self.shared.stop.load(Ordering::SeqCst) {
+            record(Counter::SvcShed);
+            return Err(verb);
+        }
+        match verb.routing_key() {
+            Some(key) => self.submit_routed(key, verb, submit_ns),
+            None => Ok(self.execute_fenced(verb, submit_ns)),
+        }
+    }
+
+    fn submit_routed(&mut self, key: u64, verb: Verb, submit_ns: u64) -> Result<u64, Verb> {
+        let shard = self.shared.router.shard_of(key);
+        let state = &mut self.lanes[shard];
+        if state.in_flight() >= self.shared.config.queue_cap as u64 {
+            record(Counter::SvcShed);
+            return Err(verb);
+        }
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        let envelope = Envelope {
+            seq,
+            verb,
+            submit_ns,
+            enqueue_ns: self.shared.now_ns(),
+        };
+        state
+            .lane
+            .requests
+            .push(envelope)
+            .unwrap_or_else(|_| panic!("admission bound keeps the request ring non-full"));
+        state.submitted += 1;
+        record(Counter::SvcEnqueued);
+        self.shared.workers[shard].wake();
+        Ok(seq)
+    }
+
+    /// Fence-and-execute for pop/batch verbs: wait for this connection's
+    /// in-flight requests, run the verb inline through the shared executor,
+    /// stash the response for the next `poll`.
+    fn execute_fenced(&mut self, verb: Verb, submit_ns: u64) -> u64 {
+        self.fence();
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        let class = verb.class();
+        let enqueue_ns = self.shared.now_ns();
+        let reply = self.shared.execute_verb(&verb);
+        let response = Response {
+            seq,
+            reply,
+            class,
+            submit_ns,
+            enqueue_ns,
+            done_ns: self.shared.now_ns(),
+        };
+        record(Counter::SvcEnqueued);
+        self.shared.record_latency(&response);
+        self.inline.push_back(response);
+        seq
+    }
+
+    /// Blocks until every routed request this connection submitted has been
+    /// *executed* (its response may still be waiting in a response ring).
+    fn fence(&mut self) {
+        for state in &self.lanes {
+            let mut spins = 0u32;
+            while state.lane.completed.load(Ordering::Acquire) < state.submitted {
+                spins += 1;
+                if spins < 64 {
+                    std::hint::spin_loop();
+                } else {
+                    thread::yield_now();
+                }
+            }
+        }
+    }
+
+    /// Returns one completed response, if any: fenced responses first, then
+    /// lane responses round-robin across shards.
+    pub fn poll(&mut self) -> Option<Response> {
+        if let Some(response) = self.inline.pop_front() {
+            return Some(response);
+        }
+        let shards = self.lanes.len();
+        for offset in 0..shards {
+            let shard = (self.next_drain + offset) % shards;
+            if let Some(response) = self.lanes[shard].lane.responses.pop() {
+                self.lanes[shard].drained += 1;
+                self.next_drain = (shard + 1) % shards;
+                return Some(response);
+            }
+        }
+        None
+    }
+
+    /// Drains every response currently available without blocking.
+    pub fn drain(&mut self) -> Vec<Response> {
+        let mut out = Vec::new();
+        while let Some(response) = self.poll() {
+            out.push(response);
+        }
+        out
+    }
+
+    /// Requests submitted but not yet drained back as responses.
+    pub fn in_flight(&self) -> u64 {
+        self.lanes.iter().map(LaneState::in_flight).sum::<u64>() + self.inline.len() as u64
+    }
+
+    /// Blocks until every outstanding request has completed and returns all
+    /// their responses.
+    pub fn wait_idle(&mut self) -> Vec<Response> {
+        let mut out = Vec::new();
+        loop {
+            match self.poll() {
+                Some(response) => out.push(response),
+                None if self.in_flight() == 0 => break,
+                None => thread::yield_now(),
+            }
+        }
+        out
+    }
+
+    /// The service clock (see [`Service::now_ns`]).
+    pub fn now_ns(&self) -> u64 {
+        self.shared.now_ns()
+    }
+}
+
+/// Body of one shard worker thread.
+fn worker_loop<E: ShardEngine<u64>>(shared: &Shared<E>, shard: usize) {
+    let slot = &shared.workers[shard];
+    let mut lanes: Vec<Arc<Lane>> = Vec::new();
+    let mut seen_version = usize::MAX;
+    let mut batch: Vec<Envelope> = Vec::with_capacity(shared.config.coalesce);
+    loop {
+        let version = slot.version.load(Ordering::Acquire);
+        if version != seen_version {
+            lanes = slot.lanes.lock().unwrap().clone();
+            seen_version = version;
+        }
+        let mut did_work = false;
+        for lane in &lanes {
+            did_work |= serve_lane(shared, lane, &mut batch);
+        }
+        if shared.stop.load(Ordering::SeqCst) {
+            break;
+        }
+        if !did_work {
+            slot.sleeping.store(true, Ordering::SeqCst);
+            // Re-check after raising the flag: a producer that pushed before
+            // seeing the flag is caught here instead of being lost.
+            let pending = lanes.iter().any(|lane| !lane.requests.is_empty())
+                || slot.version.load(Ordering::Acquire) != seen_version
+                || shared.stop.load(Ordering::SeqCst);
+            if !pending {
+                thread::park_timeout(IDLE_PARK);
+            }
+            slot.sleeping.store(false, Ordering::SeqCst);
+        }
+    }
+    // Shutdown drain: requests admitted before `stop` was raised still get
+    // executed, so a `wait_idle` racing shutdown cannot hang.
+    let lanes = slot.lanes.lock().unwrap().clone();
+    for lane in &lanes {
+        while serve_lane(shared, lane, &mut batch) {}
+    }
+}
+
+/// Drains up to `coalesce` requests from one lane and executes them,
+/// coalescing adjacent same-kind point runs through the router's batch entry
+/// points. Returns whether any request was served.
+fn serve_lane<E: ShardEngine<u64>>(
+    shared: &Shared<E>,
+    lane: &Lane,
+    batch: &mut Vec<Envelope>,
+) -> bool {
+    batch.clear();
+    while batch.len() < shared.config.coalesce {
+        match lane.requests.pop() {
+            Some(envelope) => batch.push(envelope),
+            None => break,
+        }
+    }
+    if batch.is_empty() {
+        return false;
+    }
+    let mut start = 0;
+    while start < batch.len() {
+        let kind = point_kind(&batch[start].verb);
+        let mut end = start + 1;
+        if let Some(kind) = kind {
+            while end < batch.len() && point_kind(&batch[end].verb) == Some(kind) {
+                end += 1;
+            }
+        }
+        if end - start >= 2 {
+            execute_run(
+                shared,
+                lane,
+                &batch[start..end],
+                kind.expect("runs are point verbs"),
+            );
+        } else {
+            let envelope = &batch[start];
+            let reply = shared.execute_verb(&envelope.verb);
+            complete(shared, lane, envelope, reply);
+        }
+        start = end;
+    }
+    true
+}
+
+/// Executes a coalesced run of same-kind point verbs via one router batch
+/// call, keeping replies per-request exact.
+fn execute_run<E: ShardEngine<u64>>(
+    shared: &Shared<E>,
+    lane: &Lane,
+    run: &[Envelope],
+    kind: PointKind,
+) {
+    add(Counter::SvcBatchSize, run.len() as u64);
+    match kind {
+        PointKind::Get => {
+            let keys: Vec<u64> = run
+                .iter()
+                .map(|envelope| match envelope.verb {
+                    Verb::Get(key) => key,
+                    _ => unreachable!("run kind is Get"),
+                })
+                .collect();
+            let values = shared.router.get_batch(&keys);
+            for (envelope, value) in run.iter().zip(values) {
+                complete(shared, lane, envelope, Reply::Value(value));
+            }
+        }
+        PointKind::Insert => {
+            let entries: Vec<(u64, u64)> = run
+                .iter()
+                .map(|envelope| match envelope.verb {
+                    Verb::Insert(key, value) => (key, value),
+                    _ => unreachable!("run kind is Insert"),
+                })
+                .collect();
+            let mut flags = vec![false; entries.len()];
+            shared.router.insert_batch_flags(&entries, &mut flags);
+            for (envelope, inserted) in run.iter().zip(flags) {
+                complete(shared, lane, envelope, Reply::Inserted(inserted));
+            }
+        }
+        PointKind::Remove => {
+            let keys: Vec<u64> = run
+                .iter()
+                .map(|envelope| match envelope.verb {
+                    Verb::Remove(key) => key,
+                    _ => unreachable!("run kind is Remove"),
+                })
+                .collect();
+            let mut values = vec![None; keys.len()];
+            shared.router.remove_batch_values(&keys, &mut values);
+            for (envelope, value) in run.iter().zip(values) {
+                complete(shared, lane, envelope, Reply::Removed(value));
+            }
+        }
+    }
+}
+
+/// Publishes one response: timestamps, latency recording, response ring push,
+/// completion count (in that order — `completed` is the fence's signal, so it
+/// must trail the ring push).
+fn complete<E: ShardEngine<u64>>(
+    shared: &Shared<E>,
+    lane: &Lane,
+    envelope: &Envelope,
+    reply: Reply,
+) {
+    let response = Response {
+        seq: envelope.seq,
+        reply,
+        class: envelope.verb.class(),
+        submit_ns: envelope.submit_ns,
+        enqueue_ns: envelope.enqueue_ns,
+        done_ns: shared.now_ns(),
+    };
+    shared.record_latency(&response);
+    lane.responses
+        .push(response)
+        .unwrap_or_else(|_| panic!("admission bound keeps the response ring non-full"));
+    lane.completed.fetch_add(1, Ordering::Release);
+}

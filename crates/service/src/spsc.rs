@@ -1,0 +1,210 @@
+//! Hand-rolled bounded single-producer/single-consumer ring.
+//!
+//! The pipeline's mailboxes are strictly SPSC by construction: a request ring
+//! is written only by the connection that owns the lane and read only by the
+//! lane's shard worker; a response ring is the mirror image. That discipline
+//! lets the ring get away with two atomic cursors and no CAS loops — a push is
+//! one load + one store + one release store, a pop the mirror image.
+//!
+//! The ring is *bounded and fail-fast*: [`Spsc::push`] returns the rejected
+//! value instead of blocking or growing, which is exactly the hook the
+//! admission layer needs to convert a full mailbox into backpressure (shed)
+//! rather than unbounded queueing.
+
+use std::cell::UnsafeCell;
+use std::mem::MaybeUninit;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Bounded SPSC ring buffer with power-of-two capacity.
+///
+/// # Safety contract (enforced by the pipeline's ownership structure)
+///
+/// At most one thread may call [`Spsc::push`] concurrently, and at most one
+/// (possibly different) thread may call [`Spsc::pop`] concurrently. The
+/// methods take `&self` because producer and consumer are different threads
+/// sharing the ring through an `Arc`; the single-producer/single-consumer
+/// requirement is what makes the unsynchronised slot accesses sound.
+pub struct Spsc<T> {
+    slots: Box<[UnsafeCell<MaybeUninit<T>>]>,
+    mask: usize,
+    /// Next slot the consumer will read. Written only by the consumer.
+    head: AtomicUsize,
+    /// Next slot the producer will write. Written only by the producer.
+    tail: AtomicUsize,
+}
+
+// SAFETY: values of T move across the ring from producer to consumer, so T
+// must be Send; the ring itself is shared by reference between exactly those
+// two threads, with slot accesses ordered by the acquire/release cursor pair.
+unsafe impl<T: Send> Send for Spsc<T> {}
+unsafe impl<T: Send> Sync for Spsc<T> {}
+
+impl<T> Spsc<T> {
+    /// Creates a ring holding up to `capacity` values. `capacity` is rounded
+    /// up to the next power of two (minimum 2) so index masking is a single
+    /// AND.
+    pub fn with_capacity(capacity: usize) -> Self {
+        let cap = capacity.max(2).next_power_of_two();
+        let slots = (0..cap)
+            .map(|_| UnsafeCell::new(MaybeUninit::uninit()))
+            .collect::<Vec<_>>()
+            .into_boxed_slice();
+        Spsc {
+            slots,
+            mask: cap - 1,
+            head: AtomicUsize::new(0),
+            tail: AtomicUsize::new(0),
+        }
+    }
+
+    /// Number of slots (the rounded-up capacity).
+    pub fn capacity(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Values currently in flight. Exact only from the producer or consumer
+    /// thread; from anywhere else it is a point-in-time estimate.
+    pub fn len(&self) -> usize {
+        let tail = self.tail.load(Ordering::Acquire);
+        let head = self.head.load(Ordering::Acquire);
+        tail.wrapping_sub(head)
+    }
+
+    /// Whether the ring currently holds no values (same caveat as [`len`](Spsc::len)).
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Producer side: appends `value`, or returns it if the ring is full.
+    ///
+    /// Must only be called from the single producer thread.
+    pub fn push(&self, value: T) -> Result<(), T> {
+        let tail = self.tail.load(Ordering::Relaxed);
+        let head = self.head.load(Ordering::Acquire);
+        if tail.wrapping_sub(head) == self.slots.len() {
+            return Err(value);
+        }
+        // SAFETY: slot `tail & mask` is outside the [head, tail) live window,
+        // so the consumer does not touch it; we are the only producer.
+        unsafe {
+            (*self.slots[tail & self.mask].get()).write(value);
+        }
+        // Release pairs with the consumer's acquire load of `tail`, publishing
+        // the slot write before the new tail becomes visible.
+        self.tail.store(tail.wrapping_add(1), Ordering::Release);
+        Ok(())
+    }
+
+    /// Consumer side: removes and returns the oldest value, if any.
+    ///
+    /// Must only be called from the single consumer thread.
+    pub fn pop(&self) -> Option<T> {
+        let head = self.head.load(Ordering::Relaxed);
+        let tail = self.tail.load(Ordering::Acquire);
+        if head == tail {
+            return None;
+        }
+        // SAFETY: slot `head & mask` is inside the live window, fully written
+        // (the acquire on `tail` ordered the producer's write before this
+        // read), and we are the only consumer.
+        let value = unsafe { (*self.slots[head & self.mask].get()).assume_init_read() };
+        // Release pairs with the producer's acquire load of `head`, returning
+        // the slot to the producer only after our read is done.
+        self.head.store(head.wrapping_add(1), Ordering::Release);
+        Some(value)
+    }
+}
+
+impl<T> Drop for Spsc<T> {
+    fn drop(&mut self) {
+        // Exclusive access: drain whatever is still live so T's destructors run.
+        while self.pop().is_some() {}
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn fifo_order_and_capacity_rounding() {
+        let ring: Spsc<u32> = Spsc::with_capacity(3);
+        assert_eq!(ring.capacity(), 4);
+        for i in 0..4 {
+            assert!(ring.push(i).is_ok());
+        }
+        assert_eq!(ring.push(99), Err(99));
+        for i in 0..4 {
+            assert_eq!(ring.pop(), Some(i));
+        }
+        assert_eq!(ring.pop(), None);
+    }
+
+    #[test]
+    fn wraparound_preserves_values() {
+        let ring: Spsc<u64> = Spsc::with_capacity(4);
+        for round in 0..100u64 {
+            assert!(ring.push(round).is_ok());
+            assert!(ring.push(round + 1000).is_ok());
+            assert_eq!(ring.pop(), Some(round));
+            assert_eq!(ring.pop(), Some(round + 1000));
+        }
+        assert!(ring.is_empty());
+    }
+
+    #[test]
+    fn cross_thread_transfer_is_lossless() {
+        const N: u64 = 200_000;
+        let ring: Arc<Spsc<u64>> = Arc::new(Spsc::with_capacity(64));
+        let producer = {
+            let ring = Arc::clone(&ring);
+            std::thread::spawn(move || {
+                for i in 0..N {
+                    let mut v = i;
+                    loop {
+                        match ring.push(v) {
+                            Ok(()) => break,
+                            Err(back) => {
+                                v = back;
+                                std::thread::yield_now();
+                            }
+                        }
+                    }
+                }
+            })
+        };
+        let mut expected = 0u64;
+        while expected < N {
+            if let Some(v) = ring.pop() {
+                assert_eq!(v, expected, "ring reordered or dropped a value");
+                expected += 1;
+            } else {
+                std::thread::yield_now();
+            }
+        }
+        producer.join().unwrap();
+        assert_eq!(ring.pop(), None);
+    }
+
+    #[test]
+    fn drop_runs_destructors_of_undrained_values() {
+        use std::sync::atomic::AtomicUsize;
+        static DROPS: AtomicUsize = AtomicUsize::new(0);
+        struct Token;
+        impl Drop for Token {
+            fn drop(&mut self) {
+                DROPS.fetch_add(1, Ordering::SeqCst);
+            }
+        }
+        DROPS.store(0, Ordering::SeqCst);
+        {
+            let ring: Spsc<Token> = Spsc::with_capacity(8);
+            for _ in 0..5 {
+                assert!(ring.push(Token).is_ok());
+            }
+            drop(ring.pop());
+        }
+        assert_eq!(DROPS.load(Ordering::SeqCst), 5);
+    }
+}

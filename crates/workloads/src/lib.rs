@@ -9,9 +9,11 @@
 #![warn(missing_docs)]
 
 pub mod harness;
+pub mod load;
 mod rng;
 mod zipf;
 
+pub use load::{Arrivals, LoadDriver, LoadReport, Pacing};
 pub use rng::SplitMix64;
 pub use zipf::Zipf;
 

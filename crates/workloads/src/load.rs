@@ -1,0 +1,401 @@
+//! Load drivers: *how* operations are offered to a system under test.
+//!
+//! The repo grew up closed-loop: [`harness::Workload`](crate::harness::Workload)
+//! spawns a fixed worker set and each worker issues its next operation the
+//! instant the previous one completes. That measures capacity, but it hides
+//! queueing delay — a slow response *slows the load down*, so the latency a
+//! closed loop reports under saturation is a lie by construction (the
+//! coordinated-omission problem). This module adds the other half:
+//!
+//! * [`Pacing`] — an arrival process (fixed-rate or Poisson) with a target
+//!   aggregate rate.
+//! * [`Arrivals`] — the pure, deterministic per-thread schedule of *virtual
+//!   send times* an arrival process generates.
+//! * [`LoadDriver`] — the driver abstraction: [`LoadDriver::Closed`] issues
+//!   back-to-back (the classic closed loop, now through the same entry point),
+//!   [`LoadDriver::Open`] paces submissions against the wall clock and **never
+//!   skips a scheduled arrival**. When the system falls behind, the driver
+//!   submits late but stamps the request with its scheduled (virtual) send
+//!   time, so end-to-end latency measured from `send_ns` includes the time the
+//!   request *would have* spent queueing — coordinated omission is measured,
+//!   not hidden.
+//!
+//! # Example
+//!
+//! ```
+//! use skiptrie_workloads::load::{LoadDriver, Pacing};
+//!
+//! let driver = LoadDriver::Open(Pacing::FixedRate { ops_per_sec: 50_000.0 });
+//! let report = driver.drive(2, 200, 42, |_thread, _op, _send_ns| true);
+//! assert_eq!(report.offered, 400);
+//! assert_eq!(report.sent, 400);
+//! assert_eq!(report.shed, 0);
+//! ```
+
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+
+use crate::harness::Workload;
+use crate::SplitMix64;
+
+/// An open-loop arrival process with a target *aggregate* rate across all
+/// driver threads.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Pacing {
+    /// Deterministic arrivals every `1/ops_per_sec` seconds (per-thread streams
+    /// are phase-shifted so threads do not fire in lockstep).
+    FixedRate {
+        /// Aggregate target arrival rate, operations per second.
+        ops_per_sec: f64,
+    },
+    /// Memoryless arrivals: exponential inter-arrival times with mean
+    /// `1/ops_per_sec` — the bursty shape real aggregate traffic has, and the
+    /// harsher tail-latency test.
+    Poisson {
+        /// Aggregate target arrival rate, operations per second.
+        ops_per_sec: f64,
+    },
+}
+
+impl Pacing {
+    /// The aggregate target rate in operations per second.
+    pub fn ops_per_sec(&self) -> f64 {
+        match *self {
+            Pacing::FixedRate { ops_per_sec } | Pacing::Poisson { ops_per_sec } => ops_per_sec,
+        }
+    }
+}
+
+/// The deterministic schedule of virtual send times (nanoseconds from run
+/// start) for one driver thread — the pure core of the open-loop driver,
+/// exposed for tests and for harnesses that pace themselves.
+#[derive(Debug, Clone)]
+pub struct Arrivals {
+    poisson: bool,
+    period_ns: f64,
+    next_ns: f64,
+    rng: SplitMix64,
+}
+
+impl Arrivals {
+    /// The arrival schedule of thread `thread` of `threads` under `pacing`.
+    ///
+    /// Each thread carries `1/threads` of the aggregate rate. Fixed-rate
+    /// streams are phase-shifted by `thread / threads` of one per-thread
+    /// period; Poisson streams draw from a per-thread deterministic RNG
+    /// (seeded from `seed` and `thread`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the rate is not positive and finite, or `threads == 0`.
+    pub fn new(pacing: Pacing, threads: usize, thread: usize, seed: u64) -> Self {
+        let rate = pacing.ops_per_sec();
+        assert!(
+            rate > 0.0 && rate.is_finite(),
+            "arrival rate {rate} must be positive and finite"
+        );
+        assert!(threads > 0, "at least one driver thread");
+        let period_ns = 1e9 / (rate / threads as f64);
+        let (poisson, first) = match pacing {
+            Pacing::FixedRate { .. } => (false, period_ns * (thread as f64 / threads as f64)),
+            Pacing::Poisson { .. } => (true, 0.0),
+        };
+        let mut arrivals = Arrivals {
+            poisson,
+            period_ns,
+            next_ns: first,
+            rng: crate::harness::worker_rng(seed, thread),
+        };
+        if poisson {
+            // The first arrival is itself exponentially distributed.
+            arrivals.next_ns = arrivals.exp_sample();
+        }
+        arrivals
+    }
+
+    /// One exponential inter-arrival sample with mean `period_ns`.
+    fn exp_sample(&mut self) -> f64 {
+        // 53 uniform mantissa bits in (0, 1]; the +1 excludes 0 so ln() is finite.
+        let u = ((self.rng.next() >> 11) + 1) as f64 / (1u64 << 53) as f64;
+        -u.ln() * self.period_ns
+    }
+}
+
+impl Iterator for Arrivals {
+    type Item = u64;
+
+    fn next(&mut self) -> Option<u64> {
+        let at = self.next_ns;
+        let step = if self.poisson {
+            self.exp_sample()
+        } else {
+            self.period_ns
+        };
+        self.next_ns += step;
+        Some(at as u64)
+    }
+}
+
+/// How a run offers load: the closed loop the repo always had, or an open-loop
+/// arrival process. See the [module docs](self) for why the distinction is the
+/// difference between measuring tail latency and hiding it.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum LoadDriver {
+    /// Closed loop: each thread submits its next operation as soon as the
+    /// submit callback returns. Offered rate == achieved rate by construction;
+    /// queueing delay is invisible. (The richer closed-loop harness with
+    /// role mixes stays [`harness::Workload`](crate::harness::Workload); this
+    /// variant exists so rate sweeps can include a "as fast as possible" row
+    /// through the same entry point.)
+    Closed,
+    /// Open loop: submissions are paced against the wall clock by an arrival
+    /// process, with virtual send times (never skipped, submitted late when
+    /// behind) so coordinated omission is measured.
+    Open(Pacing),
+}
+
+/// What one [`LoadDriver::drive`] run did.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct LoadReport {
+    /// Operations scheduled (threads × ops per thread).
+    pub offered: u64,
+    /// Operations the submit callback accepted.
+    pub sent: u64,
+    /// Operations the submit callback rejected (admission shed).
+    pub shed: u64,
+    /// Wall-clock duration of the drive.
+    pub elapsed: Duration,
+    /// Largest observed lateness at submit time: `now - virtual send time`.
+    /// Zero(-ish) while the driver keeps up; grows without bound past the
+    /// saturation knee — the driver's direct measure of how much latency a
+    /// closed loop would have silently omitted.
+    pub max_lag_ns: u64,
+    /// Submissions that were late by more than one millisecond.
+    pub late_ops: u64,
+}
+
+impl LoadReport {
+    /// Achieved *accepted* rate in operations per second.
+    pub fn achieved_ops_per_sec(&self) -> f64 {
+        if self.elapsed.is_zero() {
+            return 0.0;
+        }
+        self.sent as f64 / self.elapsed.as_secs_f64()
+    }
+}
+
+/// Sleep-then-spin until `start.elapsed()` reaches `deadline_ns`. Sleeping
+/// covers all but the last ~100µs (timer slop), spinning the remainder keeps
+/// the arrival jitter well under the latencies being measured.
+fn wait_until(start: Instant, deadline_ns: u64) -> u64 {
+    loop {
+        let now = start.elapsed().as_nanos() as u64;
+        if now >= deadline_ns {
+            return now;
+        }
+        let remaining = deadline_ns - now;
+        if remaining > 200_000 {
+            std::thread::sleep(Duration::from_nanos(remaining - 100_000));
+        } else {
+            std::hint::spin_loop();
+        }
+    }
+}
+
+impl LoadDriver {
+    /// Drives `threads × ops_per_thread` submissions through `submit`, paced by
+    /// this driver, and reports what happened.
+    ///
+    /// `submit(thread, op_index, send_ns)` performs (or enqueues) operation
+    /// `op_index` of thread `thread` and returns whether it was accepted;
+    /// `send_ns` is the operation's **virtual send time** in nanoseconds from
+    /// the run start — under [`LoadDriver::Open`] the scheduled arrival (which
+    /// may be earlier than "now" when the driver is behind), under
+    /// [`LoadDriver::Closed`] simply "now". Latency measured from `send_ns` to
+    /// completion therefore includes coordinated-omission time.
+    ///
+    /// Threads are barrier-started (and honor `SKIPTRIE_PIN_CORES`) via the
+    /// same [`Workload`] scaffolding the closed-loop tests use.
+    pub fn drive<F>(
+        &self,
+        threads: usize,
+        ops_per_thread: usize,
+        seed: u64,
+        submit: F,
+    ) -> LoadReport
+    where
+        F: Fn(usize, usize, u64) -> bool + Sync,
+    {
+        assert!(threads > 0, "at least one driver thread");
+        let submit = &submit;
+        let driver = *self;
+        let report = Mutex::new(LoadReport {
+            offered: (threads * ops_per_thread) as u64,
+            ..LoadReport::default()
+        });
+        let start = Instant::now();
+        let mut workload = Workload::new(seed);
+        for thread in 0..threads {
+            let report = &report;
+            workload = workload.worker(move |_ctx| {
+                let mut local = LoadReport::default();
+                let mut arrivals = match driver {
+                    LoadDriver::Closed => None,
+                    LoadDriver::Open(pacing) => Some(Arrivals::new(pacing, threads, thread, seed)),
+                };
+                for op in 0..ops_per_thread {
+                    let send_ns = match arrivals.as_mut() {
+                        None => start.elapsed().as_nanos() as u64,
+                        Some(schedule) => {
+                            let at = schedule.next().expect("arrival schedules are infinite");
+                            // Wait if early; if late, fall through immediately —
+                            // the arrival is *never* skipped, and `at` (not
+                            // "now") is what gets stamped on the request.
+                            let now = wait_until(start, at);
+                            let lag = now.saturating_sub(at);
+                            local.max_lag_ns = local.max_lag_ns.max(lag);
+                            if lag > 1_000_000 {
+                                local.late_ops += 1;
+                            }
+                            at
+                        }
+                    };
+                    if submit(thread, op, send_ns) {
+                        local.sent += 1;
+                    } else {
+                        local.shed += 1;
+                    }
+                }
+                let mut merged = report.lock().expect("load report poisoned");
+                merged.sent += local.sent;
+                merged.shed += local.shed;
+                merged.max_lag_ns = merged.max_lag_ns.max(local.max_lag_ns);
+                merged.late_ops += local.late_ops;
+            });
+        }
+        workload.run();
+        let mut report = report.into_inner().expect("load report poisoned");
+        report.elapsed = start.elapsed();
+        report
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fixed_rate_arrivals_are_evenly_spaced() {
+        let mut a = Arrivals::new(
+            Pacing::FixedRate {
+                ops_per_sec: 1000.0,
+            },
+            1,
+            0,
+            7,
+        );
+        let times: Vec<u64> = (&mut a).take(5).collect();
+        // 1000 ops/s on one thread = 1ms period, starting at phase 0.
+        assert_eq!(times, vec![0, 1_000_000, 2_000_000, 3_000_000, 4_000_000]);
+    }
+
+    #[test]
+    fn fixed_rate_threads_are_phase_shifted() {
+        let first: Vec<u64> = (0..4)
+            .map(|t| {
+                Arrivals::new(
+                    Pacing::FixedRate {
+                        ops_per_sec: 1000.0,
+                    },
+                    4,
+                    t,
+                    7,
+                )
+                .next()
+                .unwrap()
+            })
+            .collect();
+        // 4 threads at 250 ops/s each = 4ms per-thread period, offset by t/4 of it.
+        assert_eq!(first, vec![0, 1_000_000, 2_000_000, 3_000_000]);
+    }
+
+    #[test]
+    fn poisson_mean_interarrival_matches_rate() {
+        let mut a = Arrivals::new(
+            Pacing::Poisson {
+                ops_per_sec: 10_000.0,
+            },
+            1,
+            0,
+            99,
+        );
+        let n = 20_000usize;
+        let mut last = 0u64;
+        let mut sum = 0u64;
+        for _ in 0..n {
+            let t = a.next().unwrap();
+            assert!(t >= last, "arrival times are monotone");
+            sum += t - last;
+            last = t;
+        }
+        let mean = sum as f64 / n as f64;
+        // Period is 100µs; 20k exponential samples keep the sample mean within a
+        // few percent with overwhelming probability at this fixed seed.
+        assert!(
+            (mean - 100_000.0).abs() < 5_000.0,
+            "Poisson mean inter-arrival {mean}ns should be ~100000ns"
+        );
+    }
+
+    #[test]
+    fn poisson_schedule_is_deterministic_per_seed() {
+        let pacing = Pacing::Poisson {
+            ops_per_sec: 5000.0,
+        };
+        let a: Vec<u64> = Arrivals::new(pacing, 2, 1, 42).take(64).collect();
+        let b: Vec<u64> = Arrivals::new(pacing, 2, 1, 42).take(64).collect();
+        let c: Vec<u64> = Arrivals::new(pacing, 2, 1, 43).take(64).collect();
+        assert_eq!(a, b, "same seed, same schedule");
+        assert_ne!(a, c, "different seed, different schedule");
+    }
+
+    #[test]
+    fn closed_driver_counts_and_stamps_now() {
+        let report = LoadDriver::Closed.drive(2, 50, 1, |_t, _op, _send| true);
+        assert_eq!(report.offered, 100);
+        assert_eq!(report.sent, 100);
+        assert_eq!(report.shed, 0);
+        assert_eq!(report.max_lag_ns, 0, "closed loop has no schedule to lag");
+    }
+
+    #[test]
+    fn open_driver_sheds_what_submit_rejects() {
+        let driver = LoadDriver::Open(Pacing::FixedRate {
+            ops_per_sec: 1_000_000.0,
+        });
+        let report = driver.drive(1, 100, 1, |_t, op, _send| op % 2 == 0);
+        assert_eq!(report.offered, 100);
+        assert_eq!(report.sent, 50);
+        assert_eq!(report.shed, 50);
+    }
+
+    #[test]
+    fn open_driver_measures_lag_when_submit_is_slow() {
+        // Offered: 1M ops/s (1µs period). Each submit burns ~1ms, so the driver
+        // falls behind by design; virtual send times must expose the backlog.
+        let driver = LoadDriver::Open(Pacing::FixedRate {
+            ops_per_sec: 1_000_000.0,
+        });
+        let report = driver.drive(1, 20, 1, |_t, _op, _send| {
+            std::thread::sleep(Duration::from_millis(1));
+            true
+        });
+        assert_eq!(report.sent, 20, "arrivals are never skipped");
+        assert!(
+            report.max_lag_ns > 5_000_000,
+            "a stalled submit must surface as schedule lag, got {}ns",
+            report.max_lag_ns
+        );
+        assert!(report.late_ops > 0);
+    }
+}

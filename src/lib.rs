@@ -10,6 +10,7 @@ pub use skiptrie;
 pub use skiptrie_atomics as atomics;
 pub use skiptrie_baselines as baselines;
 pub use skiptrie_metrics as metrics;
+pub use skiptrie_service as service;
 pub use skiptrie_skiplist as skiplist;
 pub use skiptrie_splitorder as splitorder;
 pub use skiptrie_workloads as workloads;
